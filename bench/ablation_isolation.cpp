@@ -1,0 +1,80 @@
+// Ablation — detector isolation (Section V-C's compromised-detector filter).
+//
+// A compromised detector spams fabricated vulnerability claims. Providers
+// must run AutoVerif (re-analysis of the image — the expensive step) on
+// every reveal they admit. WITH isolation, three strikes drop the cheater's
+// future submissions before verification; WITHOUT it (threshold = ∞), every
+// forged reveal costs a full verification pass. We measure verification work
+// and the cheater's own gas burn under both policies.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/platform.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  using chain::kEther;
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 23);
+  const std::uint64_t spam = bench::flag_u64(argc, argv, "spam", 40);
+
+  bench::header("Ablation: detector isolation vs unbounded forged-report spam");
+
+  struct Result {
+    std::uint64_t strikes = 0;
+    std::uint64_t filtered = 0;
+    double cheater_gas = 0;
+    std::uint64_t honest_confirmed = 0;
+  };
+
+  auto run_policy = [&](std::uint32_t threshold) {
+    core::PlatformConfig config;
+    for (double hp : {26.30, 22.10, 14.90, 12.30, 10.10})
+      config.providers.push_back({hp, 200'000 * kEther});
+    config.detectors = {{8}, {8}};  // detector 0 honest, 1 compromised
+    config.seed = seed;
+    config.reputation.isolation_threshold = threshold;
+    core::Platform platform(std::move(config));
+    const auto sra = platform.release_system(0, 1.0, 2000 * kEther, 10 * kEther);
+    platform.run_for(60.0);
+    // The cheater spams fabricated claims in waves.
+    for (std::uint64_t wave = 0; wave < spam; ++wave) {
+      platform.submit_forged_report(1, sra, 500'000 + wave);
+      platform.run_for(30.0);
+    }
+    platform.run_for(600.0);
+
+    Result result;
+    const auto* record =
+        platform.reputation().find(platform.detector_address(1));
+    if (record) {
+      result.strikes = record->strikes;
+      result.filtered = record->filtered;
+    }
+    result.cheater_gas = chain::to_ether(platform.detector_stats(1).gas_spent);
+    result.honest_confirmed = platform.detector_stats(0).reports_confirmed;
+    return result;
+  };
+
+  const Result with_isolation = run_policy(3);
+  const Result without = run_policy(1'000'000);  // effectively disabled
+
+  std::printf("%-36s %-18s %-18s\n", "", "isolation ON (3)", "isolation OFF");
+  std::printf("%-36s %-18llu %-18llu\n", "expensive AutoVerif runs on spam",
+              static_cast<unsigned long long>(with_isolation.strikes),
+              static_cast<unsigned long long>(without.strikes));
+  std::printf("%-36s %-18llu %-18llu\n", "spam dropped before verification",
+              static_cast<unsigned long long>(with_isolation.filtered),
+              static_cast<unsigned long long>(without.filtered));
+  std::printf("%-36s %-18.4f %-18.4f\n", "cheater gas burned (eth)",
+              with_isolation.cheater_gas, without.cheater_gas);
+  std::printf("%-36s %-18llu %-18llu\n", "honest reports confirmed",
+              static_cast<unsigned long long>(with_isolation.honest_confirmed),
+              static_cast<unsigned long long>(without.honest_confirmed));
+
+  std::printf("\nWith isolation, provider-side verification work on spam is "
+              "capped at the\nstrike threshold; without it, every fabricated "
+              "reveal costs a full AutoVerif\npass — the asymmetric-cost DoS "
+              "the paper's filter (Section V-C) prevents.\nHonest detection "
+              "is unaffected either way.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Analysis — total detection capability DC_T (Eq. 11) under three schemes:
+// a centralized service, unpaid N-version detection (CloudAV/Vigilante
+// without compensation), and SmartCrowd's incentive-sustained pool.
+//
+// This is the executable form of the paper's Section VI-B claim that more
+// participating detectors push DC_T toward 1, and of its Section I critique
+// that prior outsourcing designs lack participation incentives.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/baselines.hpp"
+#include "core/incentives.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 13);
+  const std::uint64_t rounds = bench::flag_u64(argc, argv, "rounds", 16);
+  const std::uint64_t trials = bench::flag_u64(argc, argv, "runs", 40);
+
+  bench::header("Coverage over time: centralized vs unpaid N-version vs SmartCrowd");
+
+  std::vector<detect::ScannerProfile> pool;
+  for (unsigned t = 1; t <= 8; ++t) pool.push_back(detect::thread_scaled_profile(t));
+
+  const auto central = core::baselines::centralized_service(
+      detect::thread_scaled_profile(4), static_cast<std::uint32_t>(rounds),
+      static_cast<std::uint32_t>(trials), seed);
+  const auto unpaid = core::baselines::nversion_without_incentives(
+      pool, static_cast<std::uint32_t>(rounds), static_cast<std::uint32_t>(trials),
+      {}, seed + 1);
+  const auto paid = core::baselines::smartcrowd_with_incentives(
+      pool, static_cast<std::uint32_t>(rounds), static_cast<std::uint32_t>(trials),
+      {}, seed + 2);
+
+  std::printf("%-8s %-14s %-26s %-14s\n", "round", "centralized",
+              "n-version (no pay, part.)", "smartcrowd");
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    std::printf("%-8llu %-14.3f %10.3f (%4.0f%%)         %-14.3f\n",
+                static_cast<unsigned long long>(r),
+                central.coverage_per_round[r], unpaid.coverage_per_round[r],
+                100.0 * unpaid.participation_per_round[r],
+                paid.coverage_per_round[r]);
+  }
+
+  bench::subheader("Eq. 11 closed form: DC_T and union coverage vs pool size");
+  for (std::size_t m : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<double> dc(m, 0.5);
+    const auto rho = core::expected_rho(dc);
+    double miss = 1.0;
+    for (double d : dc) miss *= 1.0 - d;
+    std::printf("m=%2zu detectors (DC=0.5 each): DC_T = %.3f, "
+                "P(detected by anyone) = %.3f\n",
+                m, core::total_detection_capability(dc, rho), 1.0 - miss);
+  }
+  std::printf("\nThe union detection probability approaches 1 as participation "
+              "grows\n(the paper's 'larger DC_T approaching 1' claim; the "
+              "Eq. 11 sum itself is\ncapped by per-detector capability since "
+              "each vulnerability records once) —\nand only SmartCrowd's "
+              "incentives keep participation from decaying.\n");
+  return 0;
+}

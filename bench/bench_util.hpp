@@ -1,0 +1,36 @@
+// Shared helpers for the experiment harness binaries (bench/fig*, table*).
+//
+// Each binary regenerates one table or figure from the paper's evaluation
+// (Section VII), printing the same rows/series. Flags: --runs=N / --seed=N
+// trim or grow the Monte-Carlo effort; defaults finish in seconds.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace sc::bench {
+
+/// Parses "--name=value" style flags; returns fallback when absent.
+inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
+                              std::uint64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+  }
+  return fallback;
+}
+
+inline void header(const char* title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("============================================================\n");
+}
+
+inline void subheader(const char* title) {
+  std::printf("\n--- %s ---\n", title);
+}
+
+}  // namespace sc::bench

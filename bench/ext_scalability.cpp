@@ -1,0 +1,71 @@
+// Extension experiment — platform scalability in the detector count m.
+//
+// Section VI-B argues DC_T grows with m ("more detectors' participation …
+// will introduce a more comprehensive detection result"). We sweep
+// m ∈ {1..32} detectors on the full platform and measure:
+//   - detection coverage (confirmed / injected vulnerabilities),
+//   - chain load (reports per block, commits racing per vulnerability),
+//   - per-detector economics (mean bounty, race-loss rate),
+// showing coverage saturates while per-detector earnings dilute — the
+// economic carrying capacity of one SRA's bounty pool.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/platform.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  using chain::kEther;
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 17);
+  const std::uint64_t reps = bench::flag_u64(argc, argv, "reps", 12);
+
+  bench::header("Extension: scalability and coverage vs detector count m");
+  std::printf("%-6s %-12s %-14s %-14s %-14s %-12s\n", "m", "coverage",
+              "reports/blk", "mean eth/det", "race-loss %", "events");
+
+  for (std::size_t m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    double coverage_sum = 0.0, reports_per_block = 0.0, race_loss = 0.0;
+    double bounty_sum = 0.0;
+    std::uint64_t events = 0;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      core::PlatformConfig config;
+      for (double hp : {26.30, 22.10, 14.90, 12.30, 10.10})
+        config.providers.push_back({hp, 200'000 * kEther});
+      for (std::size_t d = 0; d < m; ++d)
+        config.detectors.push_back(
+            {static_cast<unsigned>(1 + d % 8), 1'000 * kEther});
+      config.seed = seed ^ (m * 1009 + rep * 13);
+      core::Platform platform(std::move(config));
+      const auto sra = platform.release_system(0, 1.0, 2000 * kEther, 10 * kEther);
+      platform.run_for(900.0);
+
+      const auto* system = platform.corpus().find(platform.lookup_sra(sra)->system_hash);
+      coverage_sum += static_cast<double>(platform.confirmed_vulnerabilities(sra)) /
+                      static_cast<double>(system->ground_truth.size());
+      reports_per_block += platform.average_reports_per_block();
+      std::uint64_t confirmed = 0, lost = 0;
+      for (std::size_t d = 0; d < m; ++d) {
+        const auto& stats = platform.detector_stats(d);
+        confirmed += stats.reports_confirmed;
+        lost += stats.reports_lost_race;
+        bounty_sum += chain::to_ether(stats.bounty_income);
+      }
+      if (confirmed + lost > 0)
+        race_loss += static_cast<double>(lost) / static_cast<double>(confirmed + lost);
+      events += platform.simulator().events_executed();
+    }
+    const double n = static_cast<double>(reps);
+    std::printf("%-6zu %-12.3f %-14.2f %-14.2f %-12.1f %-12llu\n", m,
+                coverage_sum / n, reports_per_block / n,
+                bounty_sum / (n * static_cast<double>(m)), 100.0 * race_loss / n,
+                static_cast<unsigned long long>(events / reps));
+  }
+
+  std::printf("\nCoverage saturates once the pool can find every injected "
+              "vulnerability\n(DC_T -> 1, Section VI-B); chain load grows "
+              "with the racing commits while\nper-detector earnings dilute — "
+              "the bounty pool fixes the economic carrying\ncapacity of a "
+              "release.\n");
+  return 0;
+}

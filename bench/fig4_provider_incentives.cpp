@@ -1,0 +1,94 @@
+// Fig. 4 — incentives and punishments of IoT providers.
+//
+// (a) Cumulative provider incentives (mining rewards + transaction fees)
+//     over time, per hashing-power proportion. Paper: incentives grow with
+//     time and with HP, but not strictly proportionally.
+// (b) Punishments versus vulnerability proportion (VP) for insurances
+//     250/500/750/1000 ether. Paper: punishment grows with VP; higher
+//     insurance → steeper line.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/economics.hpp"
+#include "core/platform.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sc;
+  using chain::kEther;
+  const std::uint64_t seed = bench::flag_u64(argc, argv, "seed", 7);
+  const std::uint64_t trials = bench::flag_u64(argc, argv, "runs", 30);
+
+  bench::header("Fig. 4: incentives and punishments of IoT providers");
+
+  // ---------------------------------------------------------------- (a) ----
+  bench::subheader("(a) provider incentives over time, by hashing power");
+  const std::vector<double> hp{26.30, 22.10, 14.90, 12.30, 10.10};
+  core::PlatformConfig config;
+  for (double share : hp) config.providers.push_back({share, 100'000 * kEther});
+  for (unsigned t : {2u, 5u, 8u}) config.detectors.push_back({t, 1'000 * kEther});
+  config.seed = seed;
+  core::Platform platform(std::move(config));
+
+  std::printf("%-10s", "t (min)");
+  for (double share : hp) std::printf("  HP=%5.2f%%", share);
+  std::printf("     (cumulative incentives, eth)\n");
+  for (int tick = 1; tick <= 6; ++tick) {
+    // Fee traffic: one release per 5-minute tick.
+    platform.release_system(static_cast<std::size_t>(tick % 5), 0.4,
+                            1000 * kEther, 10 * kEther);
+    platform.run_for(300.0);
+    std::printf("%-10d", tick * 5);
+    for (std::size_t i = 0; i < hp.size(); ++i)
+      std::printf("  %9.1f",
+                  chain::to_ether(platform.provider_stats(i).incentives()));
+    std::printf("\n");
+  }
+  std::printf("(higher HP earns more; growth is probabilistic, matching the "
+              "paper's\n observation that rewards do not strictly follow the "
+              "computation share)\n");
+
+  // ---------------------------------------------------------------- (b) ----
+  bench::subheader("(b) punishments vs vulnerability proportion (closed form, "
+                   "10-min window, 1 release)");
+  core::IncentiveParams params;
+  params.cp = 0.030;  // measured SRA deploy cost of this implementation
+  params.theta = 600.0;
+  params.vartheta = 15.0;
+  std::printf("%-8s", "VP");
+  for (double ins : {250.0, 500.0, 750.0, 1000.0}) std::printf("  I=%6.0f", ins);
+  std::printf("     (expected punishment, eth)\n");
+  for (double vp = 0.0; vp <= 0.101; vp += 0.02) {
+    std::printf("%-8.2f", vp);
+    for (double ins : {250.0, 500.0, 750.0, 1000.0})
+      std::printf("  %8.2f", core::expected_punishment(params, vp, ins, 600.0));
+    std::printf("\n");
+  }
+
+  bench::subheader("(b') empirical cross-check: measured punishments at two VPs");
+  for (double vp : {0.2, 0.8}) {
+    // Aggregate across trials: each trial releases one system at this VP
+    // with 1000 eth insurance and runs past the reclaim window.
+    double punished = 0.0;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      core::PlatformConfig cfg;
+      cfg.providers.push_back({1.0, 100'000 * kEther});
+      for (unsigned threads : {4u, 8u}) cfg.detectors.push_back({threads, 1'000 * kEther});
+      cfg.seed = seed ^ (0x40000 + t * 977 + static_cast<std::uint64_t>(vp * 100));
+      cfg.reclaim_delay = 350.0;
+      core::Platform trial(std::move(cfg));
+      trial.release_system(0, vp, 1000 * kEther, 10 * kEther);
+      trial.run_for(900.0);
+      punished += chain::to_ether(trial.provider_stats(0).punishments());
+    }
+    const double measured = punished / static_cast<double>(trials);
+    const double predicted = 0.030 + vp * 1000.0;
+    std::printf("VP=%.2f: measured avg punishment %8.2f eth, closed form "
+                "%8.2f eth\n",
+                vp, measured, predicted);
+  }
+  std::printf("(punishment is linear in VP with slope = insurance: a "
+              "vulnerable\n release forfeits the escrow — the built-in "
+              "accountability)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Scenario: should a security company join SmartCrowd as a detector?
+//
+// A third-party scanner operator evaluates participation: it forecasts its
+// expected earnings with the paper's closed forms (Eq. 7/10/13), then
+// validates the forecast by simulating a month of releases at several
+// capability levels — answering "is the bounty worth the gas and the
+// scanning cost, and how much is a capability upgrade worth?".
+//
+//   ./build/examples/detector_economy
+#include <cstdio>
+#include <vector>
+
+#include "core/economics.hpp"
+#include "core/platform.hpp"
+
+int main() {
+  using namespace sc;
+  using chain::kEther;
+
+  std::printf("A security company is sizing its SmartCrowd detector fleet.\n");
+  std::printf("Market: one SRA per 10 minutes, VP 0.30, bounty 10 eth, 7 "
+              "competitors.\n\n");
+
+  // ---- Closed-form forecast (Eq. 13). -------------------------------------
+  core::IncentiveParams params;
+  params.mu = 10.0;
+  params.psi = 0.009;            // measured per-report fee of this implementation
+  params.theta = 600.0;
+  params.vartheta = 15.0;
+  const double n_avg = 4.0;      // vulnerabilities per vulnerable release
+  const double vp = 0.30;
+
+  std::printf("%-22s %-16s %-16s\n", "capability (threads)", "Eq.13 eth/hour",
+              "simulated eth/hour");
+
+  for (unsigned threads : {1u, 4u, 8u}) {
+    // ξ and ρ from capability shares: our candidate + 7 incumbents (1..7).
+    std::vector<double> dc;
+    for (unsigned t = 1; t <= 7; ++t)
+      dc.push_back(detect::Scanner(detect::thread_scaled_profile(t))
+                       .detection_capability());
+    dc.push_back(detect::Scanner(detect::thread_scaled_profile(threads))
+                     .detection_capability());
+    const auto rho = core::expected_rho(dc);
+    const auto xi = core::capability_proportions(dc);
+    // Eq. 13 per-release balance x vulnerable-release rate, per hour.
+    const double per_hour = core::detector_balance(
+        params, n_avg * vp, xi.back(), rho.back() / std::max(1e-9, xi.back()),
+        3600.0);
+
+    // ---- Simulation cross-check. -------------------------------------------
+    core::PlatformConfig config;
+    for (double hp : {26.30, 22.10, 14.90, 12.30, 10.10})
+      config.providers.push_back({hp, 200'000 * kEther});
+    for (unsigned t = 1; t <= 7; ++t) config.detectors.push_back({t, 1'000 * kEther});
+    config.detectors.push_back({threads, 1'000 * kEther});  // our company
+    config.seed = 31337 + threads;
+    core::Platform platform(std::move(config));
+    const double horizon = 4 * 3600.0;  // four hours of releases
+    double released = 0;
+    for (double t = 0; t + 700.0 < horizon; t += 600.0) {
+      platform.release_system(static_cast<std::size_t>(
+                                  static_cast<int>(released) % 5),
+                              vp, 1000 * kEther, 10 * kEther);
+      platform.run_for(600.0);
+      released += 1;
+    }
+    platform.run_for(700.0);
+    const auto& stats = platform.detector_stats(7);
+    const double simulated = stats.net_ether() / (horizon / 3600.0);
+
+    std::printf("%-22u %-16.2f %-16.2f\n", threads, per_hour, simulated);
+  }
+
+  std::printf("\nEvery tier is profitable (report gas ~0.009 eth vs 10 eth "
+              "bounty), and\nearnings scale with capability — the incentive "
+              "that sustains the detector\npool, unlike the unpaid N-version "
+              "baselines (see bench/baseline_coverage).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scenario: an IoT vendor's release pipeline under SmartCrowd accountability.
+//
+// A camera vendor ships quarterly firmware releases. Early releases are
+// sloppy (high vulnerability proportion); the escrow forfeits teach it to
+// invest in pre-release testing. We trace the vendor's ledger across eight
+// releases of decreasing VP and show (a) punishments shrinking, (b) the
+// consumer-visible safety record improving, and (c) the net balance turning
+// positive once VP drops below the vendor's VPB — the paper's central
+// accountability incentive in action.
+//
+//   ./build/examples/vendor_release_audit
+#include <cstdio>
+#include <vector>
+
+#include "core/economics.hpp"
+#include "core/platform.hpp"
+
+int main() {
+  using namespace sc;
+  using chain::kEther;
+
+  core::PlatformConfig config;
+  for (double hp : {26.30, 22.10, 14.90, 12.30, 10.10})
+    config.providers.push_back({hp, 200'000 * kEther});
+  for (unsigned t = 1; t <= 8; ++t) config.detectors.push_back({t, 1'000 * kEther});
+  config.seed = 77;
+  config.reclaim_delay = 380.0;
+  core::Platform platform(std::move(config));
+
+  const std::size_t vendor = 2;  // the 14.90%-HP provider
+  // The vendor's quality trajectory: each release halves the defect rate.
+  const std::vector<double> vp_by_release{0.9, 0.9, 0.6, 0.4, 0.2, 0.1, 0.0, 0.0};
+
+  std::printf("%-9s %-6s %-10s %-12s %-12s %-12s %-10s\n", "release", "VP",
+              "vulns", "incentives", "punishments", "net (eth)", "deploy?");
+
+  chain::Amount last_incentives = 0, last_punishments = 0;
+  for (std::size_t r = 0; r < vp_by_release.size(); ++r) {
+    const auto sra = platform.release_system(vendor, vp_by_release[r],
+                                             1000 * kEther, 10 * kEther);
+    platform.run_for(600.0);  // one release per 10 minutes, as in Fig. 5
+    platform.run_for(100.0);  // settle reclaim
+
+    const auto& stats = platform.provider_stats(vendor);
+    const double inc = chain::to_ether(stats.incentives() - last_incentives);
+    const double pun = chain::to_ether(stats.punishments() - last_punishments);
+    last_incentives = stats.incentives();
+    last_punishments = stats.punishments();
+
+    std::printf("%-9zu %-6.2f %-10llu %-12.1f %-12.1f %-12.1f %-10s\n", r + 1,
+                vp_by_release[r],
+                static_cast<unsigned long long>(platform.confirmed_vulnerabilities(sra)),
+                inc, pun, inc - pun,
+                platform.consumer_would_deploy(sra) ? "yes" : "NO");
+  }
+
+  const auto& final_stats = platform.provider_stats(vendor);
+  std::printf("\ncareer totals: incentives %.1f eth, punishments %.1f eth, "
+              "vulnerable releases %llu/%llu\n",
+              chain::to_ether(final_stats.incentives()),
+              chain::to_ether(final_stats.punishments()),
+              static_cast<unsigned long long>(final_stats.sras_vulnerable),
+              static_cast<unsigned long long>(final_stats.sras_released));
+
+  // Closed-form advice for the vendor: the break-even VP at its hash power.
+  core::IncentiveParams params = platform.measured_params();
+  params.cp = 0.030;
+  params.theta = 600.0;
+  const double zeta = core::normalized_shares(
+      {26.30, 22.10, 14.90, 12.30, 10.10})[vendor];
+  std::printf("\nVPB for this vendor (Eq. 14 break-even): %.4f — releases "
+              "above this\nvulnerability rate lose money; below it, mining "
+              "income covers the risk.\n",
+              core::solve_vpb(params, zeta, 1000.0));
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "chain/block.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/serialize.hpp"
+
+namespace sc::chain {
+
+util::Bytes BlockHeader::serialize() const {
+  util::Writer w;
+  w.u64(height);
+  w.raw(prev_id.span());
+  w.raw(merkle_root.span());
+  w.u64(timestamp);
+  w.u64(difficulty);
+  w.u64(nonce);
+  w.raw(miner.span());
+  return std::move(w).take();
+}
+
+Hash256 BlockHeader::id() const { return crypto::Sha256::double_digest(serialize()); }
+
+std::optional<BlockHeader> BlockHeader::deserialize(util::ByteSpan data) {
+  util::Reader r(data);
+  BlockHeader h;
+  const auto height = r.u64();
+  const auto prev = r.raw(32);
+  const auto root = r.raw(32);
+  const auto timestamp = r.u64();
+  const auto difficulty = r.u64();
+  const auto nonce = r.u64();
+  const auto miner = r.raw(20);
+  if (!height || !prev || !root || !timestamp || !difficulty || !nonce || !miner ||
+      !r.empty())
+    return std::nullopt;
+  h.height = *height;
+  h.prev_id = Hash256::from_span(*prev);
+  h.merkle_root = Hash256::from_span(*root);
+  h.timestamp = *timestamp;
+  h.difficulty = *difficulty;
+  h.nonce = *nonce;
+  h.miner = Address::from_span(*miner);
+  return h;
+}
+
+util::Bytes Block::encode() const {
+  util::Writer w;
+  w.bytes(header.serialize());
+  w.u32(static_cast<std::uint32_t>(transactions.size()));
+  for (const Transaction& tx : transactions) w.bytes(tx.encode());
+  return std::move(w).take();
+}
+
+std::optional<Block> Block::decode(util::ByteSpan data) {
+  util::Reader r(data);
+  const auto header_bytes = r.bytes();
+  if (!header_bytes) return std::nullopt;
+  const auto header = BlockHeader::deserialize(*header_bytes);
+  if (!header) return std::nullopt;
+  const auto count = r.u32();
+  if (!count || *count > 1'000'000) return std::nullopt;
+  Block block;
+  block.header = *header;
+  // Clamp the speculative reservation: a hostile count cannot force a large
+  // allocation — the decode loop fails on the first missing transaction.
+  block.transactions.reserve(std::min<std::uint32_t>(*count, 1024));
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto tx_bytes = r.bytes();
+    if (!tx_bytes) return std::nullopt;
+    auto tx = Transaction::decode(*tx_bytes);
+    if (!tx) return std::nullopt;
+    block.transactions.push_back(std::move(*tx));
+  }
+  if (!r.empty()) return std::nullopt;
+  return block;
+}
+
+std::vector<Hash256> Block::leaves() const {
+  std::vector<Hash256> out;
+  out.reserve(transactions.size());
+  for (const auto& tx : transactions) out.push_back(tx.id());
+  return out;
+}
+
+Hash256 Block::compute_merkle_root() const { return crypto::merkle_root(leaves()); }
+
+crypto::MerkleProof Block::proof_for(std::size_t index) const {
+  return crypto::merkle_proof(leaves(), index);
+}
+
+}  // namespace sc::chain

@@ -1,0 +1,56 @@
+// Blocks: the SmartCrowd ledger unit (paper Fig. 2).
+//
+// A header carries PreBlockID/CurBlockID linkage, the generation Timestamp,
+// the PoW Nonce, and the Merkle root over the ω_i records in the body. The
+// block id (CurBlockID) is the Bitcoin-style double-SHA-256 of the header.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "chain/transaction.hpp"
+#include "chain/types.hpp"
+#include "crypto/merkle.hpp"
+
+namespace sc::chain {
+
+struct BlockHeader {
+  std::uint64_t height = 0;
+  Hash256 prev_id;           ///< PreBlockID; zero for genesis.
+  Hash256 merkle_root;       ///< Root over body transaction ids.
+  std::uint64_t timestamp = 0;  ///< Sim-seconds since epoch.
+  std::uint64_t difficulty = 1;
+  std::uint64_t nonce = 0;   ///< PoW nonce.
+  Address miner;             ///< Reward recipient (the IoT provider that mined).
+
+  util::Bytes serialize() const;
+  static std::optional<BlockHeader> deserialize(util::ByteSpan data);
+  /// CurBlockID = double-SHA-256 of the serialized header.
+  Hash256 id() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  Hash256 id() const { return header.id(); }
+  std::size_t record_count() const { return transactions.size(); }
+
+  /// Recomputes the Merkle root from the body.
+  Hash256 compute_merkle_root() const;
+  /// Sets header.merkle_root from the body.
+  void seal_merkle_root() { header.merkle_root = compute_merkle_root(); }
+  /// True if the header's root matches the body.
+  bool merkle_consistent() const { return header.merkle_root == compute_merkle_root(); }
+
+  /// Leaf digests (transaction ids) in body order.
+  std::vector<Hash256> leaves() const;
+  /// Inclusion proof for the tx at `index` (for lightweight detectors).
+  crypto::MerkleProof proof_for(std::size_t index) const;
+
+  /// Wire encoding (header + transactions), used by block gossip.
+  util::Bytes encode() const;
+  static std::optional<Block> decode(util::ByteSpan data);
+};
+
+}  // namespace sc::chain

@@ -1,0 +1,198 @@
+#include "chain/blockchain.hpp"
+
+#include "chain/difficulty.hpp"
+#include "chain/pow.hpp"
+
+namespace sc::chain {
+
+Blockchain::Blockchain(const GenesisConfig& genesis)
+    : dynamic_difficulty_(genesis.dynamic_difficulty) {
+  Block genesis_block;
+  genesis_block.header.height = 0;
+  genesis_block.header.timestamp = genesis.timestamp;
+  genesis_block.header.difficulty = genesis.difficulty;
+  genesis_block.seal_merkle_root();
+
+  Entry entry;
+  entry.block = genesis_block;
+  entry.cumulative_difficulty = 0;
+  for (const auto& [addr, amount] : genesis.allocations)
+    entry.post_state.add_balance(addr, amount);
+  entry.arrival_order = arrival_counter_++;
+
+  genesis_id_ = genesis_block.id();
+  best_head_ = genesis_id_;
+  entries_.emplace(genesis_id_, std::move(entry));
+  reindex_canonical();
+}
+
+bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_pow) {
+  auto fail = [&](const char* msg) {
+    if (why) *why = msg;
+    return false;
+  };
+
+  const Hash256 id = block.id();
+  if (entries_.contains(id)) return fail("duplicate block");
+
+  const auto parent_it = entries_.find(block.header.prev_id);
+  if (parent_it == entries_.end()) return fail("unknown parent");
+  const Entry& parent = parent_it->second;
+
+  if (block.header.height != parent.block.header.height + 1)
+    return fail("height mismatch");
+  if (block.header.timestamp < parent.block.header.timestamp)
+    return fail("timestamp regression");
+  if (dynamic_difficulty_) {
+    const std::uint64_t required =
+        adjust_per_block(parent.block.header.difficulty,
+                         parent.block.header.timestamp, block.header.timestamp,
+                         RetargetConfig{});
+    if (block.header.difficulty != required) return fail("wrong difficulty");
+  }
+  if (!block.merkle_consistent()) return fail("merkle root mismatch");
+  if (!skip_pow && !check_pow(block.header)) return fail("invalid proof of work");
+
+  for (const Transaction& tx : block.transactions) {
+    if (!validate_transaction(tx)) return fail("invalid transaction in body");
+  }
+
+  // Execute on a copy of the parent's post-state.
+  Entry entry;
+  entry.block = block;
+  entry.post_state = parent.post_state;
+  entry.cumulative_difficulty =
+      parent.cumulative_difficulty + std::max<std::uint64_t>(1, block.header.difficulty);
+  entry.arrival_order = arrival_counter_++;
+
+  BlockEnv env;
+  env.number = block.header.height;
+  env.timestamp = block.header.timestamp;
+  env.miner = block.header.miner;
+  entry.receipts = apply_block_body(entry.post_state, env, block.transactions,
+                                    kBlockReward);
+
+  const Entry& current_best = entries_.at(best_head_);
+  const bool better =
+      entry.cumulative_difficulty > current_best.cumulative_difficulty;
+  entries_.emplace(id, std::move(entry));
+  if (better) {
+    best_head_ = id;
+    reindex_canonical();
+  }
+  return true;
+}
+
+std::uint64_t Blockchain::best_height() const {
+  return entries_.at(best_head_).block.header.height;
+}
+
+const WorldState& Blockchain::best_state() const {
+  return entries_.at(best_head_).post_state;
+}
+
+const WorldState* Blockchain::state_of(const Hash256& block_id) const {
+  const auto it = entries_.find(block_id);
+  return it == entries_.end() ? nullptr : &it->second.post_state;
+}
+
+const Block* Blockchain::block(const Hash256& id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.block;
+}
+
+const Block* Blockchain::block_at(std::uint64_t height) const {
+  if (height >= canonical_.size()) return nullptr;
+  return block(canonical_[height]);
+}
+
+const std::vector<Receipt>* Blockchain::receipts(const Hash256& block_id) const {
+  const auto it = entries_.find(block_id);
+  return it == entries_.end() ? nullptr : &it->second.receipts;
+}
+
+bool Blockchain::is_confirmed(const Hash256& block_id, std::uint64_t depth) const {
+  const auto it = entries_.find(block_id);
+  if (it == entries_.end()) return false;
+  const std::uint64_t height = it->second.block.header.height;
+  if (height >= canonical_.size() || canonical_[height] != block_id) return false;
+  return best_height() >= height + depth;
+}
+
+std::optional<TxLocation> Blockchain::find_transaction(const Hash256& tx_id) const {
+  const auto it = tx_index_.find(tx_id);
+  if (it == tx_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Receipt* Blockchain::receipt_of(const Hash256& tx_id) const {
+  const auto loc = find_transaction(tx_id);
+  if (!loc) return nullptr;
+  const auto* block_receipts = receipts(loc->block_id);
+  if (!block_receipts || loc->index >= block_receipts->size()) return nullptr;
+  return &(*block_receipts)[loc->index];
+}
+
+bool Blockchain::tx_confirmed(const Hash256& tx_id, std::uint64_t depth) const {
+  const auto loc = find_transaction(tx_id);
+  return loc && is_confirmed(loc->block_id, depth);
+}
+
+std::uint64_t Blockchain::required_difficulty(std::uint64_t child_timestamp) const {
+  const Entry& head = entries_.at(best_head_);
+  return adjust_per_block(head.block.header.difficulty, head.block.header.timestamp,
+                          child_timestamp, RetargetConfig{});
+}
+
+Block Blockchain::build_block_template(const Address& miner, std::uint64_t timestamp,
+                                       std::uint64_t difficulty,
+                                       std::vector<Transaction> txs) const {
+  const Entry& head = entries_.at(best_head_);
+  Block block;
+  block.header.height = head.block.header.height + 1;
+  block.header.prev_id = best_head_;
+  block.header.timestamp = std::max(timestamp, head.block.header.timestamp);
+  block.header.difficulty = dynamic_difficulty_
+                                ? required_difficulty(block.header.timestamp)
+                                : difficulty;
+  block.header.miner = miner;
+  block.transactions = std::move(txs);
+  block.seal_merkle_root();
+  return block;
+}
+
+std::vector<std::pair<TxLocation, const Transaction*>> Blockchain::protocol_records(
+    ProtocolKind kind) const {
+  std::vector<std::pair<TxLocation, const Transaction*>> out;
+  for (std::uint64_t h = 0; h < canonical_.size(); ++h) {
+    const Block* blk = block(canonical_[h]);
+    for (std::size_t i = 0; i < blk->transactions.size(); ++i) {
+      const Transaction& tx = blk->transactions[i];
+      if (tx.protocol == kind)
+        out.push_back({TxLocation{canonical_[h], h, i}, &tx});
+    }
+  }
+  return out;
+}
+
+void Blockchain::reindex_canonical() {
+  canonical_.clear();
+  tx_index_.clear();
+  // Walk back from the head to genesis.
+  Hash256 cursor = best_head_;
+  std::vector<Hash256> reversed;
+  while (true) {
+    reversed.push_back(cursor);
+    const Entry& entry = entries_.at(cursor);
+    if (entry.block.header.height == 0) break;
+    cursor = entry.block.header.prev_id;
+  }
+  canonical_.assign(reversed.rbegin(), reversed.rend());
+  for (std::uint64_t h = 0; h < canonical_.size(); ++h) {
+    const Block* blk = block(canonical_[h]);
+    for (std::size_t i = 0; i < blk->transactions.size(); ++i)
+      tx_index_[blk->transactions[i].id()] = TxLocation{canonical_[h], h, i};
+  }
+}
+
+}  // namespace sc::chain

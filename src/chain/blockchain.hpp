@@ -1,0 +1,119 @@
+// The blockchain store: validation, fork choice and finality.
+//
+// Fault-tolerant verification and storage (paper Section V-C): every block is
+// fully validated (PoW, linkage, Merkle consistency, executability) before
+// being stored; the canonical chain is the one with the greatest cumulative
+// difficulty (majority hashing power wins, which is exactly the paper's
+// ">50% of IoT providers" argument); a block is *confirmed* once
+// kConfirmationDepth descendants extend it, after which its records — SRAs
+// and detection reports — are treated as authoritative by consumers and the
+// incentive layer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/executor.hpp"
+#include "chain/state.hpp"
+
+namespace sc::chain {
+
+/// Genesis configuration: initial balances (stakeholder endowments).
+struct GenesisConfig {
+  std::vector<std::pair<Address, Amount>> allocations;
+  std::uint64_t timestamp = 0;
+  std::uint64_t difficulty = 1;
+  /// When true, every block's declared difficulty must equal the per-block
+  /// retarget of its parent (chain/difficulty.hpp) — consensus-enforced
+  /// difficulty control instead of the paper's fixed testbed value.
+  bool dynamic_difficulty = false;
+};
+
+/// Where a transaction landed.
+struct TxLocation {
+  Hash256 block_id;
+  std::uint64_t height = 0;
+  std::size_t index = 0;  ///< Position in the block body.
+};
+
+class Blockchain {
+ public:
+  explicit Blockchain(const GenesisConfig& genesis);
+
+  /// Validates and connects a block. Returns false with a reason if the
+  /// block is malformed, unlinked, fails PoW, or fails execution checks.
+  /// `skip_pow` supports simulation-produced blocks whose production rate is
+  /// governed by the event model rather than hash grinding (see DESIGN.md).
+  bool submit_block(const Block& block, std::string* why = nullptr,
+                    bool skip_pow = false);
+
+  const Hash256& genesis_id() const { return genesis_id_; }
+  const Hash256& best_head() const { return best_head_; }
+  std::uint64_t best_height() const;
+  /// Post-state of the best head.
+  const WorldState& best_state() const;
+  /// Post-state of an arbitrary stored block (nullptr if unknown).
+  const WorldState* state_of(const Hash256& block_id) const;
+
+  const Block* block(const Hash256& id) const;
+  /// Block at `height` on the canonical chain (nullptr if beyond tip).
+  const Block* block_at(std::uint64_t height) const;
+  const std::vector<Receipt>* receipts(const Hash256& block_id) const;
+
+  /// True if the block sits on the canonical chain with at least `depth`
+  /// blocks on top (default: protocol confirmation depth).
+  bool is_confirmed(const Hash256& block_id,
+                    std::uint64_t depth = kConfirmationDepth) const;
+
+  /// Locates a transaction on the canonical chain.
+  std::optional<TxLocation> find_transaction(const Hash256& tx_id) const;
+  /// Receipt of a canonical transaction (nullptr if absent).
+  const Receipt* receipt_of(const Hash256& tx_id) const;
+  /// True once the containing block is confirmed.
+  bool tx_confirmed(const Hash256& tx_id,
+                    std::uint64_t depth = kConfirmationDepth) const;
+
+  /// Assembles an unsealed successor of the current best head. Caller fills
+  /// transactions (or uses this as-is), seals the Merkle root and mines.
+  /// Under dynamic difficulty, the `difficulty` argument is ignored and the
+  /// consensus-mandated value is stamped instead.
+  Block build_block_template(const Address& miner, std::uint64_t timestamp,
+                             std::uint64_t difficulty,
+                             std::vector<Transaction> txs) const;
+
+  /// The difficulty consensus requires for a child of the current best head
+  /// at the given timestamp.
+  std::uint64_t required_difficulty(std::uint64_t child_timestamp) const;
+
+  std::size_t block_count() const { return entries_.size(); }
+
+  /// All canonical transactions with the given protocol kind, oldest first —
+  /// the consumer query surface ("look up the blockchain", Section VI-A).
+  std::vector<std::pair<TxLocation, const Transaction*>> protocol_records(
+      ProtocolKind kind) const;
+
+ private:
+  struct Entry {
+    Block block;
+    std::uint64_t cumulative_difficulty = 0;
+    WorldState post_state;
+    std::vector<Receipt> receipts;
+    std::uint64_t arrival_order = 0;  ///< Tie-break: first seen wins.
+  };
+
+  void reindex_canonical();
+
+  std::unordered_map<Hash256, Entry> entries_;
+  bool dynamic_difficulty_ = false;
+  Hash256 genesis_id_;
+  Hash256 best_head_;
+  std::uint64_t arrival_counter_ = 0;
+  /// Canonical chain indices, rebuilt on head change.
+  std::vector<Hash256> canonical_;                       ///< height -> block id
+  std::unordered_map<Hash256, TxLocation> tx_index_;     ///< canonical txs
+};
+
+}  // namespace sc::chain

@@ -1,0 +1,60 @@
+// Transaction execution: validation, gas accounting, VM dispatch, receipts.
+//
+// The executor is a pure function over (state, tx): it mutates a WorldState
+// and returns a receipt. Failed executions (revert/OOG/invalid) roll the
+// state back to the pre-VM checkpoint but still charge gas — this is what
+// makes report submission costly enough to deter spam (Eq. 10's cost c).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chain/state.hpp"
+#include "chain/transaction.hpp"
+#include "vm/vm.hpp"
+
+namespace sc::chain {
+
+enum class TxStatus : std::uint8_t {
+  kSuccess = 0,
+  kReverted,
+  kOutOfGas,
+  kInvalid,        ///< Structural failure (bad signature, nonce, funds).
+};
+
+struct Receipt {
+  Hash256 tx_id;
+  TxStatus status = TxStatus::kInvalid;
+  Gas gas_used = 0;
+  Amount fee_paid = 0;        ///< gas_used * gas_price, credited to the miner.
+  Address contract_address;   ///< For deploys: where code landed.
+  std::vector<vm::LogEntry> logs;
+  util::Bytes return_data;
+  std::string error;
+
+  bool ok() const { return status == TxStatus::kSuccess; }
+};
+
+/// Stateless pre-checks that gate mempool admission: signature validity,
+/// sane gas limit. Does not consult state.
+bool validate_transaction(const Transaction& tx, std::string* why = nullptr);
+
+/// Block-environment values visible to contracts.
+struct BlockEnv {
+  std::uint64_t number = 0;
+  std::uint64_t timestamp = 0;
+  Address miner;
+};
+
+/// Applies one transaction. On any failure after the nonce/balance gate, the
+/// nonce still advances and gas is charged (Ethereum semantics); on
+/// structural failure (kInvalid) the state is untouched.
+Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transaction& tx);
+
+/// Applies a whole block body: all transactions in order, then credits the
+/// miner with the block reward plus collected fees. Returns receipts.
+std::vector<Receipt> apply_block_body(WorldState& state, const BlockEnv& env,
+                                      const std::vector<Transaction>& txs,
+                                      Amount block_reward);
+
+}  // namespace sc::chain

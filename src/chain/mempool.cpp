@@ -1,0 +1,77 @@
+#include "chain/mempool.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace sc::chain {
+
+bool Mempool::add(const Transaction& tx, std::string* why) {
+  std::string reason;
+  if (!validate_transaction(tx, &reason)) {
+    if (why) *why = reason;
+    return false;
+  }
+  if (gate_ && !gate_(tx, reason)) {
+    if (why) *why = reason.empty() ? "rejected by admission gate" : reason;
+    return false;
+  }
+  const Hash256 id = tx.id();
+  if (pool_.contains(id)) {
+    if (why) *why = "duplicate";
+    return false;
+  }
+  pool_.emplace(id, tx);
+  return true;
+}
+
+std::vector<Transaction> Mempool::select(const WorldState& state,
+                                         std::size_t max_count) const {
+  // Group by sender, order each group by nonce, then greedily pick the
+  // highest-gas-price executable transaction across senders.
+  std::map<Address, std::vector<const Transaction*>> by_sender;
+  for (const auto& [id, tx] : pool_) by_sender[tx.sender()].push_back(&tx);
+  for (auto& [sender, txs] : by_sender)
+    std::sort(txs.begin(), txs.end(),
+              [](const Transaction* a, const Transaction* b) { return a->nonce < b->nonce; });
+
+  struct Cursor {
+    std::vector<const Transaction*>* queue;
+    std::size_t next = 0;
+    std::uint64_t expected_nonce = 0;
+    Amount budget = 0;
+  };
+  std::vector<Cursor> cursors;
+  for (auto& [sender, txs] : by_sender)
+    cursors.push_back({&txs, 0, state.nonce(sender), state.balance(sender)});
+
+  std::vector<Transaction> picked;
+  while (picked.size() < max_count) {
+    Cursor* best = nullptr;
+    for (Cursor& c : cursors) {
+      if (c.next >= c.queue->size()) continue;
+      const Transaction* tx = (*c.queue)[c.next];
+      if (tx->nonce != c.expected_nonce) continue;  // gap: later nonces stall
+      if (tx->max_cost() > c.budget) continue;
+      if (!best || tx->gas_price > (*best->queue)[best->next]->gas_price) best = &c;
+    }
+    if (!best) break;
+    const Transaction* chosen = (*best->queue)[best->next];
+    picked.push_back(*chosen);
+    ++best->next;
+    ++best->expected_nonce;
+    best->budget -= chosen->max_cost();
+  }
+  return picked;
+}
+
+void Mempool::remove(const std::vector<Transaction>& txs) {
+  for (const auto& tx : txs) pool_.erase(tx.id());
+}
+
+void Mempool::prune_stale(const WorldState& state) {
+  std::erase_if(pool_, [&](const auto& entry) {
+    return entry.second.nonce < state.nonce(entry.second.sender());
+  });
+}
+
+}  // namespace sc::chain

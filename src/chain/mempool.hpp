@@ -1,0 +1,49 @@
+// Mempool: pending transactions awaiting inclusion by a mining provider.
+//
+// Admission runs the stateless checks (signature etc.) plus an optional
+// protocol gate — this is where providers plug Algorithm 1, so forged or
+// tampered reports never reach a block. Selection is fee-priority with
+// per-sender nonce ordering.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/executor.hpp"
+#include "chain/state.hpp"
+#include "chain/transaction.hpp"
+
+namespace sc::chain {
+
+class Mempool {
+ public:
+  /// Extra admission predicate (e.g. Algorithm 1 verification of protocol
+  /// payloads). Return false to reject; fill `why` for diagnostics.
+  using AdmissionGate = std::function<bool(const Transaction&, std::string& why)>;
+
+  void set_gate(AdmissionGate gate) { gate_ = std::move(gate); }
+
+  /// Validates and inserts; returns false (with reason) on rejection or dup.
+  bool add(const Transaction& tx, std::string* why = nullptr);
+
+  bool contains(const Hash256& tx_id) const { return pool_.contains(tx_id); }
+  std::size_t size() const { return pool_.size(); }
+
+  /// Picks up to `max_count` transactions executable against `state`:
+  /// fee-price descending, nonces contiguous per sender, total cost covered.
+  std::vector<Transaction> select(const WorldState& state, std::size_t max_count) const;
+
+  /// Drops the given transactions (after block inclusion).
+  void remove(const std::vector<Transaction>& txs);
+  /// Drops transactions whose nonce is already consumed in `state`.
+  void prune_stale(const WorldState& state);
+
+ private:
+  std::unordered_map<Hash256, Transaction> pool_;
+  AdmissionGate gate_;
+};
+
+}  // namespace sc::chain

@@ -1,0 +1,31 @@
+#include "chain/pow.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sc::chain {
+
+crypto::U256 target_from_difficulty(std::uint64_t difficulty) {
+  if (difficulty <= 1) return crypto::U256::max_value();
+  return crypto::U256::max_value().div_u64(difficulty);
+}
+
+bool check_pow(const BlockHeader& header) {
+  const crypto::U256 digest = crypto::U256::from_hash(header.id());
+  return digest <= target_from_difficulty(header.difficulty);
+}
+
+std::optional<std::uint64_t> mine(const BlockHeader& header, std::uint64_t max_attempts) {
+  BlockHeader candidate = header;
+  const crypto::U256 target = target_from_difficulty(header.difficulty);
+  for (std::uint64_t i = 0; i < max_attempts; ++i) {
+    if (crypto::U256::from_hash(candidate.id()) <= target) return candidate.nonce;
+    ++candidate.nonce;
+  }
+  return std::nullopt;
+}
+
+double expected_attempts(std::uint64_t difficulty) {
+  return difficulty == 0 ? 1.0 : static_cast<double>(difficulty);
+}
+
+}  // namespace sc::chain

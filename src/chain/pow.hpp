@@ -1,0 +1,31 @@
+// Proof-of-work: target computation, verification and nonce grinding.
+//
+// SmartCrowd uses PoW consensus (Sections II, V-C): providers seek a Nonce
+// making the double-SHA-256 of the header fall below a difficulty target.
+// The paper's testbed sets difficulty 0xf00000; our unit tests grind tiny
+// difficulties for real, while the discrete-event simulator models mining as
+// an exponential race calibrated to the 15 s block time and stamps blocks
+// with difficulty 1 (see sim/ and DESIGN.md).
+#pragma once
+
+#include <optional>
+
+#include "chain/block.hpp"
+#include "crypto/uint256.hpp"
+
+namespace sc::chain {
+
+/// target = floor(2^256-1 / difficulty). Difficulty 0 is treated as 1.
+crypto::U256 target_from_difficulty(std::uint64_t difficulty);
+
+/// True if the header's PoW digest meets its declared difficulty.
+bool check_pow(const BlockHeader& header);
+
+/// Grinds nonces starting from header.nonce; returns the winning nonce, or
+/// nullopt after `max_attempts`. Does not mutate the input.
+std::optional<std::uint64_t> mine(const BlockHeader& header, std::uint64_t max_attempts);
+
+/// Expected number of hash attempts per block at the given difficulty.
+double expected_attempts(std::uint64_t difficulty);
+
+}  // namespace sc::chain

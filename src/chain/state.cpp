@@ -1,0 +1,68 @@
+#include "chain/state.hpp"
+
+namespace sc::chain {
+
+const Account* WorldState::find(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+Account& WorldState::touch(const Address& addr) { return accounts_[addr]; }
+
+Amount WorldState::balance(const Address& addr) const {
+  const Account* acct = find(addr);
+  return acct ? acct->balance : 0;
+}
+
+std::uint64_t WorldState::nonce(const Address& addr) const {
+  const Account* acct = find(addr);
+  return acct ? acct->nonce : 0;
+}
+
+void WorldState::add_balance(const Address& addr, Amount amount) {
+  touch(addr).balance += amount;
+}
+
+bool WorldState::sub_balance(const Address& addr, Amount amount) {
+  Account& acct = touch(addr);
+  if (acct.balance < amount) return false;
+  acct.balance -= amount;
+  return true;
+}
+
+bool WorldState::transfer(const Address& from, const Address& to, Amount amount) {
+  if (!sub_balance(from, amount)) return false;
+  add_balance(to, amount);
+  return true;
+}
+
+crypto::U256 WorldState::get_storage(const Address& contract,
+                                     const crypto::U256& key) const {
+  const Account* acct = find(contract);
+  if (!acct) return {};
+  const auto it = acct->storage.find(key);
+  return it == acct->storage.end() ? crypto::U256{} : it->second;
+}
+
+void WorldState::set_storage(const Address& contract, const crypto::U256& key,
+                             const crypto::U256& value) {
+  Account& acct = touch(contract);
+  if (value.is_zero()) {
+    acct.storage.erase(key);
+  } else {
+    acct.storage[key] = value;
+  }
+}
+
+util::ByteSpan WorldState::code(const Address& addr) const {
+  const Account* acct = find(addr);
+  return acct ? util::ByteSpan{acct->code} : util::ByteSpan{};
+}
+
+Amount WorldState::total_supply() const {
+  Amount total = 0;
+  for (const auto& [addr, acct] : accounts_) total += acct.balance;
+  return total;
+}
+
+}  // namespace sc::chain

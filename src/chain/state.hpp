@@ -1,0 +1,65 @@
+// World state: accounts, balances, contract code and storage.
+//
+// The state is a value type — the blockchain keeps a post-state per block so
+// fork switches and reorgs never need transaction reversal logic; they just
+// pick a different snapshot. Account counts in SmartCrowd simulations are
+// small (providers + detectors + contracts), so snapshot copies are cheap.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "chain/types.hpp"
+#include "crypto/uint256.hpp"
+#include "util/bytes.hpp"
+
+namespace sc::chain {
+
+struct Account {
+  Amount balance = 0;
+  std::uint64_t nonce = 0;
+  util::Bytes code;                        ///< Empty for externally-owned accounts.
+  std::map<crypto::U256, crypto::U256> storage;
+
+  bool is_contract() const { return !code.empty(); }
+};
+
+class WorldState {
+ public:
+  /// Read-only account lookup; nullptr if absent.
+  const Account* find(const Address& addr) const;
+  /// Account reference, creating an empty account on first touch.
+  Account& touch(const Address& addr);
+  bool exists(const Address& addr) const { return accounts_.contains(addr); }
+
+  Amount balance(const Address& addr) const;
+  std::uint64_t nonce(const Address& addr) const;
+
+  void add_balance(const Address& addr, Amount amount);
+  /// False (and no change) if funds are insufficient.
+  bool sub_balance(const Address& addr, Amount amount);
+  /// Atomic transfer; false (no change) on insufficient funds.
+  bool transfer(const Address& from, const Address& to, Amount amount);
+
+  void bump_nonce(const Address& addr) { ++touch(addr).nonce; }
+
+  crypto::U256 get_storage(const Address& contract, const crypto::U256& key) const;
+  void set_storage(const Address& contract, const crypto::U256& key,
+                   const crypto::U256& value);
+
+  void set_code(const Address& addr, util::Bytes code) { touch(addr).code = std::move(code); }
+  util::ByteSpan code(const Address& addr) const;
+
+  /// Sum of all balances — the conservation invariant checked by tests.
+  Amount total_supply() const;
+  std::size_t account_count() const { return accounts_.size(); }
+
+  /// Iteration for analytics.
+  const std::unordered_map<Address, Account>& accounts() const { return accounts_; }
+
+ private:
+  std::unordered_map<Address, Account> accounts_;
+};
+
+}  // namespace sc::chain

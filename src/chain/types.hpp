@@ -1,0 +1,49 @@
+// Chain-wide scalar types and monetary constants.
+//
+// Amounts are denominated in nano-ether (neth, 1e-9 ether) held in uint64 —
+// large enough for ~1.8e10 ether, fine-grained enough to express the paper's
+// gas costs (0.011 ether per report) exactly. Gas is a separate unit; the
+// default gas price of 100 neth/gas puts contract deployment at ~0.095 ether
+// and report submission at ~0.011 ether, matching Section VII.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hash_types.hpp"
+
+namespace sc::chain {
+
+using crypto::Address;
+using crypto::Hash256;
+
+/// Monetary amount in nano-ether.
+using Amount = std::uint64_t;
+/// Gas units.
+using Gas = std::uint64_t;
+
+inline constexpr Amount kNanoEther = 1;
+inline constexpr Amount kMicroEther = 1'000;
+inline constexpr Amount kMilliEther = 1'000'000;
+inline constexpr Amount kEther = 1'000'000'000;
+
+/// Converts an amount to a floating ether value (display/analytics only;
+/// all consensus math stays in integer neth).
+inline double to_ether(Amount a) { return static_cast<double>(a) / static_cast<double>(kEther); }
+inline Amount from_ether(double eth) {
+  return static_cast<Amount>(eth * static_cast<double>(kEther) + 0.5);
+}
+
+/// Default gas price (neth per gas unit).
+inline constexpr Amount kDefaultGasPrice = 100;
+
+/// Block reward: 5 ether per block, as in the paper's geth testbed ("an IoT
+/// provider can gain 5 ethers once creating a block", Section VII).
+inline constexpr Amount kBlockReward = 5 * kEther;
+
+/// Confirmation depth: a block is final once 6 descendants exist (Section V-C).
+inline constexpr std::uint64_t kConfirmationDepth = 6;
+
+/// Target block interval in sim-seconds (geth measured mean: 15.35 s).
+inline constexpr double kTargetBlockTime = 15.0;
+
+}  // namespace sc::chain

@@ -1,0 +1,514 @@
+#include "contracts/smartcrowd_contract.hpp"
+
+#include <cassert>
+
+#include "crypto/keccak.hpp"
+#include "util/serialize.hpp"
+#include "vm/assembler.hpp"
+
+namespace sc::contracts {
+
+namespace {
+
+// Dispatcher + handlers. Stack comments: top is rightmost.
+constexpr std::string_view kSource = R"(
+; SmartCrowd registry contract (SCVM assembly).
+; Dispatch on the 4-byte selector in the calldata head.
+  PUSH1 0x00
+  CALLDATALOAD
+  PUSH1 0xe0
+  SHR                       ; [sel]
+
+  DUP1
+  PUSH4 0x53430000          ; init (constructor path)
+  EQ
+  PUSHL @init
+  JUMPI
+
+  DUP1
+  PUSH4 0x53430001          ; register_initial(H_R*)
+  EQ
+  PUSHL @register_initial
+  JUMPI
+
+  DUP1
+  PUSH4 0x53430002          ; submit_detailed(H_R*)
+  EQ
+  PUSHL @submit_detailed
+  JUMPI
+
+  DUP1
+  PUSH4 0x53430003          ; reclaim()
+  EQ
+  PUSHL @reclaim
+  JUMPI
+
+  DUP1
+  PUSH4 0x53430004          ; vuln_count() view
+  EQ
+  PUSHL @view_count
+  JUMPI
+
+  DUP1
+  PUSH4 0x53430005          ; bounty() view
+  EQ
+  PUSHL @view_bounty
+  JUMPI
+
+  DUP1
+  PUSH4 0x53430006          ; provider() view
+  EQ
+  PUSHL @view_provider
+  JUMPI
+
+  ; Unknown selector: revert.
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT
+
+; ---------------------------------------------------------------------------
+; init(bounty, system_hash, meta_count, meta...) — constructor, runs once.
+init:
+  JUMPDEST
+  POP                       ; drop selector
+  ; Guard: provider slot must be unset (prevents re-initialisation calls).
+  PUSH1 0x00
+  SLOAD
+  ISZERO
+  PUSHL @init_fresh
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT
+init_fresh:
+  JUMPDEST
+  CALLER
+  PUSH1 0x00
+  SSTORE                    ; slot0 = provider
+  PUSH1 0x04
+  CALLDATALOAD
+  PUSH1 0x01
+  SSTORE                    ; slot1 = bounty for HIGH-severity findings
+  PUSH1 0x24
+  CALLDATALOAD
+  PUSH1 0x08
+  SSTORE                    ; slot8 = bounty for MEDIUM-severity findings
+  PUSH1 0x44
+  CALLDATALOAD
+  PUSH1 0x09
+  SSTORE                    ; slot9 = bounty for LOW-severity findings
+  CALLVALUE
+  PUSH1 0x02
+  SSTORE                    ; slot2 = insurance escrowed
+  PUSH1 0x64
+  CALLDATALOAD
+  PUSH1 0x04
+  SSTORE                    ; slot4 = system hash
+  TIMESTAMP
+  PUSH1 0x05
+  SSTORE                    ; slot5 = release time
+  PUSH1 0x84
+  CALLDATALOAD
+  PUSH1 0x07
+  SSTORE                    ; slot7 = metadata word count
+
+  ; Copy metadata words: storage[0x100+i] = calldata[0xa4 + 32*i].
+  PUSH1 0x84
+  CALLDATALOAD              ; [count]
+  PUSH1 0x00                ; [count, i]
+init_loop:
+  JUMPDEST
+  DUP2
+  DUP2                      ; [count, i, count, i]
+  LT                        ; i < count ?
+  ISZERO
+  PUSHL @init_done
+  JUMPI
+  DUP1
+  PUSH1 0x20
+  MUL
+  PUSH1 0xa4
+  ADD
+  CALLDATALOAD              ; [count, i, word]
+  DUP2
+  PUSH2 0x0100
+  ADD                       ; [count, i, word, 0x100+i]
+  SSTORE                    ; [count, i]
+  PUSH1 0x01
+  ADD
+  PUSHL @init_loop
+  JUMP
+init_done:
+  JUMPDEST
+  POP
+  POP
+  STOP
+
+; ---------------------------------------------------------------------------
+; register_initial(H_R*) — Phase I: bind keccak(caller || H_R*) as a pending
+; commitment. Rejects duplicates (a plagiarist re-posting someone's H_R*
+; creates a DIFFERENT key because the caller differs, and reveals nothing).
+register_initial:
+  JUMPDEST
+  POP
+  PUSH1 0x06
+  SLOAD
+  ISZERO
+  PUSHL @ri_open
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT                    ; contract closed
+ri_open:
+  JUMPDEST
+  CALLER
+  PUSH1 0x00
+  MSTORE
+  PUSH1 0x04
+  CALLDATALOAD
+  PUSH1 0x20
+  MSTORE
+  PUSH1 0x40
+  PUSH1 0x00
+  KECCAK                    ; [key]
+  DUP1
+  SLOAD
+  ISZERO
+  PUSHL @ri_fresh
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT                    ; duplicate commitment
+ri_fresh:
+  JUMPDEST                  ; [key]
+  DUP1                      ; [key, key]
+  PUSH1 0x01                ; [key, key, 1]
+  SWAP1                     ; [key, 1, key]
+  SSTORE                    ; storage[key] = 1 ; [key]
+  PUSH1 0x00
+  MSTORE                    ; mem[0] = key
+  PUSH1 0x01                ; topic kTopicCommitted
+  PUSH1 0x20
+  PUSH1 0x00
+  LOG1
+  STOP
+
+; ---------------------------------------------------------------------------
+; submit_detailed(H_R*) — Phase II: require a prior commitment by the same
+; caller, mark it paid, bump the vulnerability count, and pay μ out of the
+; escrow to the caller. Automated incentive allocation (Eq. 7's per-vuln μ).
+submit_detailed:
+  JUMPDEST
+  POP
+  PUSH1 0x06
+  SLOAD
+  ISZERO
+  PUSHL @sd_open
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT
+sd_open:
+  JUMPDEST
+  CALLER
+  PUSH1 0x00
+  MSTORE
+  PUSH1 0x04
+  CALLDATALOAD
+  PUSH1 0x20
+  MSTORE
+  PUSH1 0x40
+  PUSH1 0x00
+  KECCAK                    ; [key]
+  DUP1
+  SLOAD
+  PUSH1 0x01
+  EQ
+  PUSHL @sd_committed
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT                    ; no (or already-paid) commitment
+sd_committed:
+  JUMPDEST                  ; [key]
+  PUSH1 0x02
+  SWAP1
+  SSTORE                    ; storage[key] = 2 (paid)
+  PUSH1 0x03
+  SLOAD
+  PUSH1 0x01
+  ADD
+  PUSH1 0x03
+  SSTORE                    ; ++vuln_count
+  ; Tiered payout: the severity word (calldata 0x24, verified off-chain by
+  ; AutoVerif before the tx is admitted) selects the bounty slot.
+  PUSH1 0x24
+  CALLDATALOAD              ; [sev]  (0 low, 1 medium, 2 high)
+  DUP1
+  PUSH1 0x02
+  EQ
+  PUSHL @sd_high
+  JUMPI
+  DUP1
+  PUSH1 0x01
+  EQ
+  PUSHL @sd_medium
+  JUMPI
+  POP
+  PUSH1 0x09                ; low-tier bounty slot
+  PUSHL @sd_pay
+  JUMP
+sd_high:
+  JUMPDEST
+  POP
+  PUSH1 0x01
+  PUSHL @sd_pay
+  JUMP
+sd_medium:
+  JUMPDEST
+  POP
+  PUSH1 0x08
+  PUSHL @sd_pay
+  JUMP
+sd_pay:
+  JUMPDEST                  ; [slot]
+  SLOAD                     ; [bounty]
+  DUP1                      ; [bounty, bounty]
+  CALLER                    ; [bounty, bounty, caller]
+  TRANSFER                  ; escrow -> detector wallet ; [bounty]
+  PUSH1 0x00
+  MSTORE
+  PUSH1 0x02                ; topic kTopicPaid
+  PUSH1 0x20
+  PUSH1 0x00
+  LOG1
+  STOP
+
+; ---------------------------------------------------------------------------
+; reclaim() — provider recovers the escrow ONLY if no vulnerability was
+; confirmed; otherwise the insurance is forfeited (the paper's "insurance
+; that will not be refunded once any vulnerability is detected").
+reclaim:
+  JUMPDEST
+  POP
+  CALLER
+  PUSH1 0x00
+  SLOAD
+  EQ
+  PUSHL @rc_auth
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT                    ; not the provider
+rc_auth:
+  JUMPDEST
+  PUSH1 0x03
+  SLOAD
+  ISZERO
+  PUSHL @rc_clean
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT                    ; vulnerabilities confirmed: escrow forfeited
+rc_clean:
+  JUMPDEST
+  PUSH1 0x01
+  PUSH1 0x06
+  SSTORE                    ; closed = 1
+  SELFBALANCE
+  PUSH1 0x00
+  SLOAD                     ; [balance, provider]
+  TRANSFER
+  PUSH1 0x00
+  PUSH1 0x00
+  MSTORE
+  PUSH1 0x03                ; topic kTopicReclaimed
+  PUSH1 0x20
+  PUSH1 0x00
+  LOG1
+  STOP
+
+; ---------------------------------------------------------------------------
+view_count:
+  JUMPDEST
+  POP
+  PUSH1 0x03
+  SLOAD
+  PUSH1 0x00
+  MSTORE
+  PUSH1 0x20
+  PUSH1 0x00
+  RETURN
+
+view_bounty:
+  JUMPDEST
+  POP
+  PUSH1 0x01
+  SLOAD
+  PUSH1 0x00
+  MSTORE
+  PUSH1 0x20
+  PUSH1 0x00
+  RETURN
+
+view_provider:
+  JUMPDEST
+  POP
+  PUSH1 0x00
+  SLOAD
+  PUSH1 0x00
+  MSTORE
+  PUSH1 0x20
+  PUSH1 0x00
+  RETURN
+)";
+
+void append_word(util::Bytes& out, const U256& v) {
+  std::uint8_t buf[32];
+  v.to_be_bytes(buf);
+  util::append(out, {buf, 32});
+}
+
+util::Bytes selector_bytes(std::uint32_t sel) {
+  return {static_cast<std::uint8_t>(sel >> 24), static_cast<std::uint8_t>(sel >> 16),
+          static_cast<std::uint8_t>(sel >> 8), static_cast<std::uint8_t>(sel)};
+}
+
+U256 read_slot(const chain::WorldState& state, const Address& contract,
+               std::uint64_t slot) {
+  return state.get_storage(contract, U256{slot});
+}
+
+}  // namespace
+
+std::string_view contract_source() { return kSource; }
+
+const util::Bytes& contract_bytecode() {
+  static const util::Bytes code = [] {
+    const vm::AssembleResult r = vm::assemble(kSource);
+    assert(r.ok() && "SmartCrowd contract source must assemble");
+    return r.code;
+  }();
+  return code;
+}
+
+util::Bytes pack_metadata(std::string_view name, std::string_view version,
+                          std::string_view download_link) {
+  // Length-prefixed concatenation, zero-padded up to whole 32-byte words.
+  util::Writer w;
+  w.str(name);
+  w.str(version);
+  w.str(download_link);
+  util::Bytes raw = std::move(w).take();
+  while (raw.size() % 32 != 0) raw.push_back(0);
+  return raw;
+}
+
+util::Bytes ctor_calldata(const BountySchedule& bounty, const Hash256& system_hash,
+                          const util::Bytes& metadata_words) {
+  util::Bytes out = selector_bytes(kSelInit);
+  append_word(out, U256{bounty.high});
+  append_word(out, U256{bounty.medium});
+  append_word(out, U256{bounty.low});
+  append_word(out, U256::from_hash(system_hash));
+  append_word(out, U256{metadata_words.size() / 32});
+  util::append(out, metadata_words);
+  return out;
+}
+
+util::Bytes ctor_calldata(Amount bounty, const Hash256& system_hash,
+                          const util::Bytes& metadata_words) {
+  return ctor_calldata(BountySchedule::uniform(bounty), system_hash, metadata_words);
+}
+
+util::Bytes register_initial_calldata(const Hash256& detailed_hash) {
+  util::Bytes out = selector_bytes(kSelRegisterInitial);
+  util::append(out, detailed_hash.span());
+  return out;
+}
+
+util::Bytes submit_detailed_calldata(const Hash256& detailed_hash,
+                                     std::uint8_t severity_tier) {
+  util::Bytes out = selector_bytes(kSelSubmitDetailed);
+  util::append(out, detailed_hash.span());
+  append_word(out, U256{severity_tier});
+  return out;
+}
+
+util::Bytes reclaim_calldata() { return selector_bytes(kSelReclaim); }
+
+util::Bytes view_calldata(Selector sel) { return selector_bytes(sel); }
+
+U256 commitment_key(const Address& detector, const Hash256& detailed_hash) {
+  // Mirrors the contract: keccak(address-as-32-byte-word || H_R*).
+  util::Bytes preimage(32, 0);
+  std::copy(detector.bytes.begin(), detector.bytes.end(), preimage.begin() + 12);
+  util::append(preimage, detailed_hash.span());
+  return U256::from_hash(crypto::keccak256(preimage));
+}
+
+Address provider_of(const chain::WorldState& state, const Address& contract) {
+  std::uint8_t buf[32];
+  read_slot(state, contract, 0).to_be_bytes(buf);
+  Address a;
+  std::copy(buf + 12, buf + 32, a.bytes.begin());
+  return a;
+}
+
+Amount bounty_of(const chain::WorldState& state, const Address& contract) {
+  return read_slot(state, contract, 1).low64();
+}
+
+BountySchedule bounty_schedule_of(const chain::WorldState& state,
+                                  const Address& contract) {
+  return {read_slot(state, contract, 1).low64(),
+          read_slot(state, contract, 8).low64(),
+          read_slot(state, contract, 9).low64()};
+}
+
+Amount initial_insurance_of(const chain::WorldState& state, const Address& contract) {
+  return read_slot(state, contract, 2).low64();
+}
+
+std::uint64_t vuln_count_of(const chain::WorldState& state, const Address& contract) {
+  return read_slot(state, contract, 3).low64();
+}
+
+bool is_closed(const chain::WorldState& state, const Address& contract) {
+  return !read_slot(state, contract, 6).is_zero();
+}
+
+Hash256 system_hash_of(const chain::WorldState& state, const Address& contract) {
+  return read_slot(state, contract, 4).to_hash();
+}
+
+std::uint64_t commitment_state(const chain::WorldState& state, const Address& contract,
+                               const Address& detector, const Hash256& detailed_hash) {
+  return state.get_storage(contract, commitment_key(detector, detailed_hash)).low64();
+}
+
+chain::Transaction make_deploy_tx(std::uint64_t nonce, Amount insurance,
+                                  const BountySchedule& bounty,
+                                  const Hash256& system_hash,
+                                  const util::Bytes& metadata_words,
+                                  chain::Gas gas_limit, Amount gas_price) {
+  chain::Transaction tx;
+  tx.kind = chain::TxKind::kDeploy;
+  tx.nonce = nonce;
+  tx.value = insurance;
+  tx.gas_limit = gas_limit;
+  tx.gas_price = gas_price;
+  tx.data = contract_bytecode();
+  tx.ctor_calldata = ctor_calldata(bounty, system_hash, metadata_words);
+  return tx;  // caller signs
+}
+
+chain::Transaction make_deploy_tx(std::uint64_t nonce, Amount insurance, Amount bounty,
+                                  const Hash256& system_hash,
+                                  const util::Bytes& metadata_words,
+                                  chain::Gas gas_limit, Amount gas_price) {
+  return make_deploy_tx(nonce, insurance, BountySchedule::uniform(bounty),
+                        system_hash, metadata_words, gas_limit, gas_price);
+}
+
+}  // namespace sc::contracts

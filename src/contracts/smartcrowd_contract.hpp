@@ -1,0 +1,137 @@
+// The SmartCrowd registry contract and its host-side ABI.
+//
+// This is the on-chain half of the protocol — the analogue of the paper's
+// 350-line Solidity contract (Section VII). One instance is deployed per SRA;
+// it escrows the provider's insurance I_i, records two-phase report
+// commitments, pays the bounty μ per confirmed vulnerability straight out of
+// the escrow (decentralized, automated incentives — no provider cooperation
+// needed, defeating the "repudiating incentives" attack of Section IV-B),
+// and lets the provider reclaim the escrow only if no vulnerability was ever
+// confirmed.
+//
+// Storage layout:
+//   slot 0x00  provider address (set once by the constructor; acts as the
+//              initialisation guard)
+//   slot 0x01  bounty μ in neth
+//   slot 0x02  initial insurance (informational; live escrow = balance)
+//   slot 0x03  confirmed vulnerability count
+//   slot 0x04  system hash U_h
+//   slot 0x05  release timestamp
+//   slot 0x06  closed flag
+//   slot 0x07  metadata word count
+//   slot 0x100+i  SRA metadata words (name/version/download-link chunks —
+//              kept on-chain so the deploy cost matches the paper's ~0.095 eth)
+//   keccak(detector || H_R*)  commitment state: 0 none, 1 committed, 2 paid
+#pragma once
+
+#include <string_view>
+
+#include "chain/state.hpp"
+#include "chain/transaction.hpp"
+#include "chain/types.hpp"
+#include "crypto/hash_types.hpp"
+#include "crypto/uint256.hpp"
+#include "util/bytes.hpp"
+
+namespace sc::contracts {
+
+using chain::Address;
+using chain::Amount;
+using crypto::Hash256;
+using crypto::U256;
+
+/// Function selectors (first 4 calldata bytes, big-endian).
+enum Selector : std::uint32_t {
+  kSelInit = 0x53430000,
+  kSelRegisterInitial = 0x53430001,
+  kSelSubmitDetailed = 0x53430002,
+  kSelReclaim = 0x53430003,
+  kSelVulnCount = 0x53430004,
+  kSelBounty = 0x53430005,
+  kSelProvider = 0x53430006,
+};
+
+/// Log topics emitted by the contract.
+inline constexpr std::uint64_t kTopicCommitted = 1;
+inline constexpr std::uint64_t kTopicPaid = 2;
+inline constexpr std::uint64_t kTopicReclaimed = 3;
+
+/// Per-severity bounty tiers (paper Table I's High/Medium/Low risk levels).
+/// The severity of a claim is established off-chain by AutoVerif (strict
+/// mode rejects severity inflation) before providers admit the reveal; the
+/// contract then pays the matching tier.
+struct BountySchedule {
+  Amount high = 0;
+  Amount medium = 0;
+  Amount low = 0;
+
+  static BountySchedule uniform(Amount mu) { return {mu, mu, mu}; }
+  /// Tier lookup: 0 = low, 1 = medium, 2 = high (matches detect::Severity).
+  /// Anything else falls through to low, mirroring the contract's dispatch.
+  Amount tier(std::uint8_t severity) const {
+    return severity == 2 ? high : severity == 1 ? medium : low;
+  }
+};
+
+/// Assembly source of the registry contract (assembled on first use).
+std::string_view contract_source();
+/// Assembled runtime bytecode (cached).
+const util::Bytes& contract_bytecode();
+
+/// SRA metadata packed into 32-byte words for on-chain storage.
+util::Bytes pack_metadata(std::string_view name, std::string_view version,
+                          std::string_view download_link);
+
+// -- Calldata builders -------------------------------------------------------
+
+/// Constructor calldata:
+/// selector | μ_high | μ_medium | μ_low | system_hash | meta_count | meta…
+util::Bytes ctor_calldata(const BountySchedule& bounty, const Hash256& system_hash,
+                          const util::Bytes& metadata_words);
+/// Uniform-μ convenience.
+util::Bytes ctor_calldata(Amount bounty, const Hash256& system_hash,
+                          const util::Bytes& metadata_words);
+/// Phase-I commitment: selector | H_R* (the initial report's hash pledge).
+util::Bytes register_initial_calldata(const Hash256& detailed_hash);
+/// Phase-II reveal: selector | H_R* | severity_tier; pays the tier's μ to
+/// the caller. Tier: 0 low, 1 medium, 2 high (default high for uniform
+/// schedules, where all tiers pay the same).
+util::Bytes submit_detailed_calldata(const Hash256& detailed_hash,
+                                     std::uint8_t severity_tier = 2);
+util::Bytes reclaim_calldata();
+util::Bytes view_calldata(Selector sel);
+
+// -- State readers (host side; used by tests, analytics and consumers) ------
+
+/// Storage key for a detector's commitment on H_R*.
+U256 commitment_key(const Address& detector, const Hash256& detailed_hash);
+
+Address provider_of(const chain::WorldState& state, const Address& contract);
+/// High-tier bounty (slot 1); for uniform schedules this is THE bounty.
+Amount bounty_of(const chain::WorldState& state, const Address& contract);
+/// Full tier schedule as stored on chain.
+BountySchedule bounty_schedule_of(const chain::WorldState& state,
+                                  const Address& contract);
+Amount initial_insurance_of(const chain::WorldState& state, const Address& contract);
+std::uint64_t vuln_count_of(const chain::WorldState& state, const Address& contract);
+bool is_closed(const chain::WorldState& state, const Address& contract);
+Hash256 system_hash_of(const chain::WorldState& state, const Address& contract);
+/// 0 = none, 1 = committed, 2 = paid.
+std::uint64_t commitment_state(const chain::WorldState& state, const Address& contract,
+                               const Address& detector, const Hash256& detailed_hash);
+
+/// Builds a ready-to-sign deploy transaction for an SRA release.
+chain::Transaction make_deploy_tx(std::uint64_t nonce, Amount insurance,
+                                  const BountySchedule& bounty,
+                                  const Hash256& system_hash,
+                                  const util::Bytes& metadata_words,
+                                  chain::Gas gas_limit = 2'000'000,
+                                  Amount gas_price = chain::kDefaultGasPrice);
+/// Uniform-μ convenience.
+chain::Transaction make_deploy_tx(std::uint64_t nonce, Amount insurance, Amount bounty,
+                                  const Hash256& system_hash,
+                                  const util::Bytes& metadata_words,
+                                  chain::Gas gas_limit = 2'000'000,
+                                  Amount gas_price = chain::kDefaultGasPrice);
+
+}  // namespace sc::contracts

@@ -1,0 +1,285 @@
+#include "core/attacks.hpp"
+
+#include "chain/executor.hpp"
+#include "contracts/smartcrowd_contract.hpp"
+#include "crypto/sha256.hpp"
+#include "detect/autoverif.hpp"
+#include "util/rng.hpp"
+
+namespace sc::core::attacks {
+
+namespace {
+
+crypto::KeyPair key_from(util::Rng& rng) { return crypto::KeyPair::generate(rng); }
+
+Sra benign_sra(const crypto::KeyPair& provider) {
+  Sra sra;
+  sra.name = "victim-firmware";
+  sra.version = "3.0.1";
+  sra.system_hash = crypto::Sha256::digest(util::as_bytes("victim image"));
+  sra.download_link = "https://victim.example/fw.bin";
+  sra.insurance = 1000 * chain::kEther;
+  sra.bounty = 10 * chain::kEther;
+  sra.finalize(provider);
+  return sra;
+}
+
+}  // namespace
+
+SpoofingOutcome run_sra_spoofing(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto victim = key_from(rng);
+  const auto attacker = key_from(rng);
+  SpoofingOutcome outcome;
+
+  // 1. The attacker announces a (vulnerable) system in the victim's name,
+  //    signing with its own key: P_Sign fails against Δ_id.
+  Sra forged = benign_sra(victim);
+  forged.download_link = "https://attacker.example/backdoored.bin";
+  forged.id = forged.compute_id();
+  forged.signature = attacker.sign(forged.id);
+  outcome.forged_signature_verdict = verify_sra(forged);
+
+  // 2. The attacker also swaps in its own public key: signature verifies but
+  //    the key does not own the claimed provider address.
+  forged.provider_pubkey = attacker.public_key();
+  outcome.stolen_identity_verdict = verify_sra(forged);
+
+  // 3. The attacker announces under its own identity but refuses to escrow
+  //    insurance (making spoofing free): rejected outright.
+  Sra uninsured = benign_sra(attacker);
+  uninsured.insurance = 0;
+  uninsured.finalize(attacker);
+  outcome.uninsured_verdict = verify_sra(uninsured);
+
+  outcome.any_accepted = outcome.forged_signature_verdict == Verdict::kOk ||
+                         outcome.stolen_identity_verdict == Verdict::kOk ||
+                         outcome.uninsured_verdict == Verdict::kOk;
+  return outcome;
+}
+
+ForgedReportOutcome run_forged_report(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto provider = key_from(rng);
+  const auto cheater = key_from(rng);
+
+  // A real system with real ground truth the forged claim is NOT part of.
+  detect::Corpus corpus(seed);
+  const detect::IoTSystem system = corpus.make_system("target", "1.0", 3);
+
+  Sra sra = benign_sra(provider);
+  sra.system_hash = system.image_hash;
+  sra.finalize(provider);
+
+  DetailedReport forged;
+  forged.sra_id = sra.id;
+  forged.description = {{999999, detect::Severity::kHigh, "imaginary bug"}};
+  forged.finalize(cheater);
+  const InitialReport initial = InitialReport::commit_to(forged, cheater);
+
+  ForgedReportOutcome outcome;
+  outcome.verdict = verify_detailed_report(
+      forged, initial, [&](const DetailedReport& r) {
+        return detect::auto_verify(system, r.description).accepted;
+      });
+  outcome.accepted = outcome.verdict == Verdict::kOk;
+  return outcome;
+}
+
+PlagiarismOutcome run_plagiarism_race(std::uint64_t seed, bool two_phase,
+                                      std::uint32_t trials,
+                                      double frontrun_probability) {
+  util::Rng rng(seed);
+  PlagiarismOutcome outcome;
+  outcome.trials = trials;
+
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const auto victim = key_from(rng);
+    const auto attacker = key_from(rng);
+
+    detect::Corpus corpus(seed ^ (t + 1));
+    const detect::IoTSystem system = corpus.make_system("race-target", "1.0", 1);
+    const detect::Finding finding{system.ground_truth[0].id,
+                                  system.ground_truth[0].severity,
+                                  system.ground_truth[0].description};
+
+    Sra sra;
+    sra.name = system.name;
+    sra.version = system.version;
+    sra.system_hash = system.image_hash;
+    sra.download_link = "sim://race";
+    sra.insurance = 100 * chain::kEther;
+    sra.bounty = chain::kEther;
+    sra.finalize(key_from(rng));
+
+    DetailedReport genuine;
+    genuine.sra_id = sra.id;
+    genuine.description = {finding};
+    genuine.finalize(victim);
+
+    const auto auto_verif = [&](const DetailedReport& r) {
+      return detect::auto_verify(system, r.description).accepted;
+    };
+
+    if (!two_phase) {
+      // Single-shot ablation: the victim broadcasts the full R* immediately.
+      // The attacker copies the content, re-signs as itself, and wins the
+      // propagation race with `frontrun_probability` (it spams providers the
+      // moment it hears the report). The copied content is REAL, so
+      // AutoVerif passes and the first arrival is recorded.
+      DetailedReport stolen = genuine;
+      stolen.finalize(attacker);
+      const InitialReport attacker_commit = InitialReport::commit_to(stolen, attacker);
+      const bool verifies =
+          verify_detailed_report(stolen, attacker_commit, auto_verif) == Verdict::kOk;
+      if (verifies && rng.bernoulli(frontrun_probability)) ++outcome.attacker_wins;
+      continue;
+    }
+
+    // Two-phase: before the victim's R† is confirmed the attacker only sees
+    // H_R* — an opaque digest. It can commit to the same digest, but at
+    // reveal time it must produce bytes hashing to H_R*: only the victim's
+    // exact R* does, and that R* names the victim as detector/payee, so the
+    // attacker's reveal fails Algorithm 1 (commitment/identity mismatch).
+    DetailedReport replayed = genuine;  // the attacker's best move: replay bytes
+    InitialReport attacker_commit;
+    attacker_commit.sra_id = sra.id;
+    attacker_commit.detailed_hash = genuine.content_hash();
+    attacker_commit.finalize(attacker);
+    const Verdict verdict =
+        verify_detailed_report(replayed, attacker_commit, auto_verif);
+    // kOk here would mean the attacker got paid for the victim's work — but
+    // the reveal's detector field is the victim's, so identity checks fail.
+    if (verdict == Verdict::kOk) ++outcome.attacker_wins;
+
+    // Alternative attacker move: rewrite the identity and re-sign; then the
+    // content hash no longer matches the pledged H_R*.
+    DetailedReport rewritten = genuine;
+    rewritten.finalize(attacker);
+    if (verify_detailed_report(rewritten, attacker_commit, auto_verif) == Verdict::kOk)
+      ++outcome.attacker_wins;
+  }
+  return outcome;
+}
+
+TamperOutcome run_report_tampering(std::uint64_t seed, std::uint32_t mutations) {
+  util::Rng rng(seed);
+  const auto detector = key_from(rng);
+  const auto provider = key_from(rng);
+
+  const Sra sra = benign_sra(provider);
+  DetailedReport genuine;
+  genuine.sra_id = sra.id;
+  genuine.description = {{7, detect::Severity::kMedium, "stack smash in OTA path"}};
+  genuine.finalize(detector);
+  const InitialReport initial = InitialReport::commit_to(genuine, detector);
+
+  TamperOutcome outcome;
+  outcome.mutations = mutations;
+  for (std::uint32_t i = 0; i < mutations; ++i) {
+    util::Bytes wire = genuine.serialize();
+    // Flip one random byte anywhere in the serialized report.
+    wire[rng.uniform(wire.size())] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    const auto mutated = DetailedReport::deserialize(wire);
+    if (!mutated) {
+      ++outcome.detected;  // structural corruption caught at decode
+      continue;
+    }
+    const Verdict verdict = verify_detailed_report(*mutated, initial, nullptr);
+    if (verdict != Verdict::kOk) ++outcome.detected;
+  }
+  return outcome;
+}
+
+CollusionOutcome run_collusion_fork_race(std::uint64_t seed, double adversary_share,
+                                         double window_seconds, std::uint32_t trials,
+                                         std::uint64_t confirmations) {
+  util::Rng rng(seed);
+  CollusionOutcome outcome;
+  outcome.adversary_hash_share = adversary_share;
+  outcome.trials = trials;
+
+  // Honest providers reject the forged-record block, so the colluders mine a
+  // private fork. Block arrivals on each side are Poisson with rates
+  // proportional to hashing shares. A *sustained* takeover requires the fork
+  // to (a) carry at least `confirmations` blocks so the forged report pays
+  // out, and (b) still be the longest chain at the end of the window — a
+  // momentary lead is reorged away as the honest majority keeps extending,
+  // which is exactly why sub-50% collusion fails (Section VI-A).
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    double now = 0.0;
+    std::int64_t adversary_blocks = 0, honest_blocks = 0;
+    while (now < window_seconds) {
+      now += rng.exponential(chain::kTargetBlockTime);
+      if (rng.bernoulli(adversary_share)) {
+        ++adversary_blocks;
+      } else {
+        ++honest_blocks;
+      }
+    }
+    const bool fork_won =
+        adversary_blocks >= static_cast<std::int64_t>(confirmations) &&
+        adversary_blocks > honest_blocks;
+    if (fork_won) ++outcome.fork_won;
+  }
+  return outcome;
+}
+
+RepudiationOutcome run_repudiation(std::uint64_t seed) {
+  util::Rng rng(seed);
+  RepudiationOutcome outcome;
+
+  const auto provider = key_from(rng);
+  const auto detector = key_from(rng);
+  const crypto::Hash256 report_hash =
+      crypto::Sha256::digest(util::as_bytes("valid detection"));
+
+  chain::WorldState state;
+  state.add_balance(provider.address(), 5000 * chain::kEther);
+  state.add_balance(detector.address(), 10 * chain::kEther);
+  chain::BlockEnv env;
+  env.timestamp = 100;
+  env.number = 1;
+
+  // WITH escrow: deploy the registry contract; the provider then goes silent.
+  {
+    chain::Transaction deploy = contracts::make_deploy_tx(
+        0, 1000 * chain::kEther, 10 * chain::kEther,
+        crypto::Sha256::digest(util::as_bytes("img")),
+        contracts::pack_metadata("sys", "1.0", "sim://x"));
+    deploy.sign_with(provider);
+    const chain::Receipt dr = chain::apply_transaction(state, env, deploy);
+    if (dr.ok()) {
+      auto call = [&](util::Bytes data) {
+        chain::Transaction tx;
+        tx.kind = chain::TxKind::kCall;
+        tx.nonce = state.nonce(detector.address());
+        tx.to = dr.contract_address;
+        tx.gas_limit = 300000;
+        tx.data = std::move(data);
+        tx.sign_with(detector);
+        return chain::apply_transaction(state, env, tx);
+      };
+      const chain::Amount before = state.balance(detector.address());
+      call(contracts::register_initial_calldata(report_hash));
+      call(contracts::submit_detailed_calldata(report_hash));
+      // The provider took no action, yet the detector was paid from escrow.
+      outcome.paid_with_escrow = state.balance(detector.address()) > before;
+    }
+  }
+
+  // WITHOUT escrow (ablation): the provider merely *promises* to pay after
+  // a confirmed report. A misbehaving provider simply never sends the
+  // transfer — there is no mechanism to force it.
+  {
+    const chain::Amount before = state.balance(detector.address());
+    const bool provider_cooperates = false;  // the whole point of the attack
+    if (provider_cooperates) {
+      state.transfer(provider.address(), detector.address(), 10 * chain::kEther);
+    }
+    outcome.paid_without_escrow = state.balance(detector.address()) > before;
+  }
+  return outcome;
+}
+
+}  // namespace sc::core::attacks

@@ -1,0 +1,92 @@
+// Attack harness: executable versions of the adversary scenarios from
+// Sections III-A / IV-B, and the security arguments of Section VI-A.
+//
+// Each scenario is a pure function of a seed (plus knobs) returning a
+// structured outcome, so the security analysis is testable and benchable:
+//   - SRA spoofing / framing of benign providers,
+//   - forged detection reports (no actual work),
+//   - plagiarized reports, with and without the two-phase submission
+//     (the ablation for DESIGN.md §4.1),
+//   - tampering with other detectors' reports,
+//   - provider-detector collusion → fork race vs the honest majority,
+//   - incentive repudiation, with and without the insurance escrow
+//     (the ablation for DESIGN.md §4.2).
+#pragma once
+
+#include <cstdint>
+
+#include "core/messages.hpp"
+
+namespace sc::core::attacks {
+
+/// An adversary fakes an SRA in a benign provider's name (free announcements
+/// would allow framing). Reports whether the decentralized verification of
+/// Section V-A accepts it at any stage.
+struct SpoofingOutcome {
+  Verdict forged_signature_verdict;   ///< Attacker signs with own key.
+  Verdict stolen_identity_verdict;    ///< Attacker embeds own pubkey too.
+  Verdict uninsured_verdict;          ///< Attacker skips the insurance.
+  bool any_accepted = false;
+};
+SpoofingOutcome run_sra_spoofing(std::uint64_t seed);
+
+/// A compromised detector declares a vulnerability that does not exist.
+struct ForgedReportOutcome {
+  Verdict verdict;        ///< Expected kAutoVerifFailed.
+  bool accepted = false;
+};
+ForgedReportOutcome run_forged_report(std::uint64_t seed);
+
+/// Plagiarism race: the attacker copies a benign detector's report content
+/// and tries to get paid for it. `two_phase` toggles the commit-then-reveal
+/// protocol (the SmartCrowd design) versus naive single-shot submission
+/// (the ablation baseline, where whoever reaches the providers first wins).
+struct PlagiarismOutcome {
+  std::uint32_t trials = 0;
+  std::uint32_t attacker_wins = 0;   ///< Attacker collected the bounty.
+  double attacker_win_rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(attacker_wins) / trials;
+  }
+};
+PlagiarismOutcome run_plagiarism_race(std::uint64_t seed, bool two_phase,
+                                      std::uint32_t trials = 200,
+                                      double frontrun_probability = 0.5);
+
+/// A compromised party tampers with a benign detector's in-flight reports to
+/// frame it for "incorrect detection". Algorithm 1 must flag every mutation.
+struct TamperOutcome {
+  std::uint32_t mutations = 0;
+  std::uint32_t detected = 0;   ///< Verdict != kOk.
+  bool all_detected() const { return detected == mutations; }
+};
+TamperOutcome run_report_tampering(std::uint64_t seed, std::uint32_t mutations = 50);
+
+/// Collusion: a provider mines blocks containing its accomplice's forged
+/// reports on a private fork while honest providers (who reject those
+/// records) extend the public chain. Returns the empirical probability the
+/// adversarial fork overtakes within the window — negligible below 50 %
+/// hashing power, near-certain above (the 51 %-attack boundary of
+/// Section VIII).
+struct CollusionOutcome {
+  double adversary_hash_share = 0.0;
+  std::uint32_t trials = 0;
+  std::uint32_t fork_won = 0;
+  double success_rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(fork_won) / trials;
+  }
+};
+CollusionOutcome run_collusion_fork_race(std::uint64_t seed, double adversary_share,
+                                         double window_seconds = 600.0,
+                                         std::uint32_t trials = 400,
+                                         std::uint64_t confirmations = 6);
+
+/// Repudiation: a misbehaving provider refuses to pay detectors. With the
+/// escrowed insurance the contract pays regardless; without it (ablation)
+/// payment requires provider cooperation and never arrives.
+struct RepudiationOutcome {
+  bool paid_with_escrow = false;
+  bool paid_without_escrow = false;
+};
+RepudiationOutcome run_repudiation(std::uint64_t seed);
+
+}  // namespace sc::core::attacks

@@ -1,0 +1,95 @@
+#include "core/baselines.hpp"
+
+#include <set>
+
+#include "detect/autoverif.hpp"
+#include "detect/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace sc::core::baselines {
+
+namespace {
+
+/// Measures one round's DC_T: fraction of injected vulnerabilities that at
+/// least one ACTIVE detector finds, averaged over `trials` fresh releases.
+double measure_round_coverage(const std::vector<detect::Scanner>& engines,
+                              const std::vector<bool>& active,
+                              std::uint32_t trials, detect::Corpus& corpus,
+                              util::Rng& rng) {
+  std::uint64_t found = 0, total = 0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    const detect::IoTSystem system =
+        corpus.make_system("baseline", std::to_string(t), 4);
+    total += system.ground_truth.size();
+    std::set<std::uint64_t> detected;
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      if (!active[i]) continue;
+      for (const detect::Finding& f : engines[i].scan(system, rng))
+        if (!f.is_false_positive()) detected.insert(f.vuln_id);
+    }
+    found += detected.size();
+  }
+  return total == 0 ? 0.0 : static_cast<double>(found) / static_cast<double>(total);
+}
+
+CoverageTrajectory run_scheme(const std::vector<detect::ScannerProfile>& profiles,
+                              std::uint32_t rounds, std::uint32_t trials,
+                              double retention, double floor, std::uint64_t seed) {
+  util::Rng rng(seed);
+  detect::Corpus corpus(seed ^ 0xba5e11beULL);
+  std::vector<detect::Scanner> engines;
+  engines.reserve(profiles.size());
+  for (const auto& p : profiles) engines.emplace_back(p);
+  std::vector<bool> active(engines.size(), true);
+
+  CoverageTrajectory out;
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    out.coverage_per_round.push_back(
+        measure_round_coverage(engines, active, trials, corpus, rng));
+    std::size_t active_count = 0;
+    for (bool a : active) active_count += a ? 1 : 0;
+    out.participation_per_round.push_back(
+        engines.empty() ? 0.0
+                        : static_cast<double>(active_count) /
+                              static_cast<double>(engines.size()));
+
+    // Churn for the next round.
+    const std::size_t min_active =
+        static_cast<std::size_t>(floor * static_cast<double>(engines.size()) + 0.5);
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (active[i] && !rng.bernoulli(retention)) {
+        std::size_t remaining = 0;
+        for (bool a : active) remaining += a ? 1 : 0;
+        if (remaining > min_active) active[i] = false;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CoverageTrajectory centralized_service(const detect::ScannerProfile& service,
+                                       std::uint32_t rounds, std::uint32_t trials,
+                                       std::uint64_t seed) {
+  // A centralized service does not churn; its weakness is single-engine
+  // coverage, not participation.
+  return run_scheme({service}, rounds, trials, /*retention=*/1.0, /*floor=*/1.0,
+                    seed);
+}
+
+CoverageTrajectory nversion_without_incentives(
+    const std::vector<detect::ScannerProfile>& detectors, std::uint32_t rounds,
+    std::uint32_t trials, const ParticipationModel& model, std::uint64_t seed) {
+  return run_scheme(detectors, rounds, trials, model.unpaid_retention, model.floor,
+                    seed);
+}
+
+CoverageTrajectory smartcrowd_with_incentives(
+    const std::vector<detect::ScannerProfile>& detectors, std::uint32_t rounds,
+    std::uint32_t trials, const ParticipationModel& model, std::uint64_t seed) {
+  return run_scheme(detectors, rounds, trials, model.paid_retention, model.floor,
+                    seed);
+}
+
+}  // namespace sc::core::baselines

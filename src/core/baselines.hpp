@@ -1,0 +1,57 @@
+// Baselines the paper positions SmartCrowd against (Sections I, IX):
+//
+//  1. A centralized third-party detection service — one scanner's coverage,
+//    the Table-I situation where results are incomplete and inconsistent.
+//  2. CloudAV/Vigilante-style N-version detection WITHOUT incentives —
+//    complementary coverage, but participation decays because detection has
+//    real cost and no compensation.
+//  3. SmartCrowd — N-version detection where the per-vulnerability bounty
+//    keeps expected detector profit positive, sustaining participation.
+//
+// Coverage is measured as DC_T (Eq. 11): the probability a vulnerability in
+// a fresh release gets detected and recorded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/scanner.hpp"
+
+namespace sc::core::baselines {
+
+/// Per-round coverage trajectory of a detection scheme.
+struct CoverageTrajectory {
+  std::vector<double> coverage_per_round;   ///< DC_T each round.
+  std::vector<double> participation_per_round;  ///< Fraction of detectors active.
+
+  double final_coverage() const {
+    return coverage_per_round.empty() ? 0.0 : coverage_per_round.back();
+  }
+};
+
+/// How unpaid detectors drop out: each round an active detector stays with
+/// probability `retention` (detection costs are pure loss); paid detectors
+/// stay while profitable.
+struct ParticipationModel {
+  double unpaid_retention = 0.85;
+  double paid_retention = 1.0;
+  double floor = 0.0;   ///< Altruistic remnant that never leaves.
+};
+
+/// Single centralized service scanning every release.
+CoverageTrajectory centralized_service(const detect::ScannerProfile& service,
+                                       std::uint32_t rounds, std::uint32_t trials,
+                                       std::uint64_t seed);
+
+/// N-version detection without incentives: detectors churn out over time.
+CoverageTrajectory nversion_without_incentives(
+    const std::vector<detect::ScannerProfile>& detectors, std::uint32_t rounds,
+    std::uint32_t trials, const ParticipationModel& model, std::uint64_t seed);
+
+/// SmartCrowd: same detector pool, participation sustained by bounties
+/// (expected bounty > report cost keeps paid_retention in force).
+CoverageTrajectory smartcrowd_with_incentives(
+    const std::vector<detect::ScannerProfile>& detectors, std::uint32_t rounds,
+    std::uint32_t trials, const ParticipationModel& model, std::uint64_t seed);
+
+}  // namespace sc::core::baselines

@@ -1,0 +1,38 @@
+#include "core/economics.hpp"
+
+#include <algorithm>
+
+namespace sc::core {
+
+double solve_vpb(const IncentiveParams& p, double zeta, double insurance) {
+  if (insurance <= 0.0) return 0.0;
+  const double income_per_release =
+      zeta * provider_incentive_per_block(p) * p.theta / p.vartheta;
+  const double vpb = (income_per_release - p.cp) / insurance;
+  return std::clamp(vpb, 0.0, 1.0);
+}
+
+std::vector<double> vpb_by_hash_power(const IncentiveParams& p,
+                                      const std::vector<double>& hash_powers,
+                                      double insurance) {
+  const std::vector<double> shares = normalized_shares(hash_powers);
+  std::vector<double> out;
+  out.reserve(shares.size());
+  for (double zeta : shares) out.push_back(solve_vpb(p, zeta, insurance));
+  return out;
+}
+
+double balance_at_vp_offset(const IncentiveParams& p, double zeta, double insurance,
+                            double t, double vp_offset) {
+  const double vpb = solve_vpb(p, zeta, insurance);
+  const double vp = std::clamp(vpb + vp_offset, 0.0, 1.0);
+  return provider_balance(p, zeta, t, vp, insurance);
+}
+
+double expected_punishment(const IncentiveParams& p, double vp, double insurance,
+                           double t) {
+  const double releases = t / p.theta;
+  return releases * (p.cp + vp * insurance);
+}
+
+}  // namespace sc::core

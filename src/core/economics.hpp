@@ -1,0 +1,36 @@
+// Balance analytics: the VP-baseline (VPB) solver and balance curves used by
+// Figs. 4, 5 and 6 of the paper.
+//
+// VPB is the vulnerability proportion at which a provider's mining income
+// exactly offsets its release punishments (insurance forfeits + deploy
+// costs) — the paper's break-even knob (Fig. 5a). The closed form follows
+// from Eq. 14: income(t) = ζ·(χν+ψω)·t/ϑ, punishment(t) = (t/θ)·(cp + VP·I),
+// so VPB = (ζ·(χν+ψω)·θ/ϑ − cp) / I.
+#pragma once
+
+#include <vector>
+
+#include "core/incentives.hpp"
+
+namespace sc::core {
+
+/// Closed-form VPB for one provider. Clamped to [0, 1]; 0 means the provider
+/// cannot break even at any VP (income below the per-release fixed cost).
+double solve_vpb(const IncentiveParams& p, double zeta, double insurance);
+
+/// VPB sweep across providers (Fig. 5a's x-axis is hashing power).
+std::vector<double> vpb_by_hash_power(const IncentiveParams& p,
+                                      const std::vector<double>& hash_powers,
+                                      double insurance);
+
+/// Provider balance at a VP offset from its VPB (Fig. 5b evaluates
+/// VPB-0.01 / VPB / VPB+0.01 over a 10-minute period).
+double balance_at_vp_offset(const IncentiveParams& p, double zeta, double insurance,
+                            double t, double vp_offset);
+
+/// Punishment-vs-VP line for Fig. 4b: expected punishment over `t` seconds
+/// at vulnerability proportion `vp` with the given insurance.
+double expected_punishment(const IncentiveParams& p, double vp, double insurance,
+                           double t);
+
+}  // namespace sc::core

@@ -1,0 +1,86 @@
+#include "core/incentives.hpp"
+
+#include <numeric>
+
+namespace sc::core {
+
+double detector_incentive(const IncentiveParams& p, double n_vulns, double rho) {
+  return p.mu * n_vulns * rho;
+}
+
+double provider_incentive_per_block(const IncentiveParams& p) {
+  return p.chi * p.nu + p.psi * p.omega;
+}
+
+double provider_punishment(const IncentiveParams& p,
+                           const std::vector<double>& n_times_rho) {
+  const double paid =
+      std::accumulate(n_times_rho.begin(), n_times_rho.end(), 0.0);
+  return p.mu * paid + p.cp;
+}
+
+double detector_cost(const IncentiveParams& p, double n_vulns, double rho) {
+  return n_vulns * (p.c + rho * p.psi);
+}
+
+double total_detection_capability(const std::vector<double>& dc,
+                                  const std::vector<double>& rho) {
+  double total = 0.0;
+  const std::size_t n = std::min(dc.size(), rho.size());
+  for (std::size_t i = 0; i < n; ++i) total += dc[i] * rho[i];
+  return total;
+}
+
+double detector_balance(const IncentiveParams& p, double n_avg_vulns, double xi,
+                        double rho, double t) {
+  return n_avg_vulns * xi * t * (rho * (p.mu - p.psi) - p.c) / p.theta;
+}
+
+double provider_balance(const IncentiveParams& p, double zeta, double t, double vp,
+                        double insurance) {
+  const double income = zeta * provider_incentive_per_block(p) * t / p.vartheta;
+  const double releases = t / p.theta;
+  const double outgo = releases * (p.cp + vp * insurance);
+  return income - outgo;
+}
+
+std::vector<double> normalized_shares(const std::vector<double>& hash_powers) {
+  const double total =
+      std::accumulate(hash_powers.begin(), hash_powers.end(), 0.0);
+  std::vector<double> shares(hash_powers.size(), 0.0);
+  if (total <= 0.0) return shares;
+  for (std::size_t i = 0; i < hash_powers.size(); ++i)
+    shares[i] = hash_powers[i] / total;
+  return shares;
+}
+
+std::vector<double> capability_proportions(const std::vector<double>& dc) {
+  return normalized_shares(dc);
+}
+
+std::vector<double> expected_rho(const std::vector<double>& dc) {
+  // First-reporter-wins race: for one vulnerability found by a random subset
+  // S (each detector i independently in S with probability DC_i), detector
+  // i's report is recorded iff i ∈ S and i wins the race within S. We model
+  // race odds proportional to capability, and approximate the expectation
+  // with the dominant term: ρ_i ≈ DC_i · ξ_i-normalisation over finders.
+  // A full enumeration is exponential; the simulation measures the true
+  // value, and tests check this approximation tracks it.
+  std::vector<double> xi = capability_proportions(dc);
+  std::vector<double> rho(dc.size(), 0.0);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < dc.size(); ++i) {
+    rho[i] = dc[i] * xi[i];
+    norm += rho[i];
+  }
+  if (norm > 0.0) {
+    // Scale so Σρ equals the probability at least one detector finds it.
+    double miss = 1.0;
+    for (double d : dc) miss *= (1.0 - d);
+    const double hit = 1.0 - miss;
+    for (double& r : rho) r *= hit / norm;
+  }
+  return rho;
+}
+
+}  // namespace sc::core

@@ -1,0 +1,74 @@
+// Closed-form incentive model — Eqs. 7-14 of the paper (Sections V-D, VI-B).
+//
+// These are the analytical counterparts of what the platform simulation
+// measures empirically; tests assert the two agree, which is the repo's
+// executable version of the paper's theoretical analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chain/types.hpp"
+
+namespace sc::core {
+
+using chain::Amount;
+
+/// Protocol-level economic parameters (symbols follow the paper).
+struct IncentiveParams {
+  double mu = 0.0;        ///< μ: reward per confirmed vulnerability (ether).
+  double nu = 5.0;        ///< ν: value of one mining reward unit (ether).
+  double chi = 1.0;       ///< χ: reward units per mined block.
+  double psi = 0.011;     ///< ψ: transaction fee per recorded report (ether).
+  double omega = 0.0;     ///< ω: reports recorded per block (average).
+  double c = 0.0;         ///< c: submission cost per report, ex-fee (ether).
+  double cp = 0.095;      ///< cp: contract deployment cost per SRA (ether).
+  double theta = 600.0;   ///< θ: average SRA period (seconds).
+  double vartheta = 15.0; ///< ϑ: average block time (seconds).
+};
+
+/// Eq. 7 — detector incentive for one SRA: in† = μ·n·ρ.
+double detector_incentive(const IncentiveParams& p, double n_vulns, double rho);
+
+/// Eq. 8 — provider incentive per mined block: in* = χ·ν + ψ·ω.
+double provider_incentive_per_block(const IncentiveParams& p);
+
+/// Eq. 9 — provider punishment for one vulnerable SRA:
+/// pu = μ·Σ_i n_i·ρ_i + cp.
+double provider_punishment(const IncentiveParams& p,
+                           const std::vector<double>& n_times_rho);
+
+/// Eq. 10 — detector cost for one SRA: co = n·(c + ρ·ψ).
+double detector_cost(const IncentiveParams& p, double n_vulns, double rho);
+
+/// Eq. 11 — total detection capability: DC_T = Σ DC_i·ρ_i.
+double total_detection_capability(const std::vector<double>& dc,
+                                  const std::vector<double>& rho);
+
+/// Eq. 13 — detector balance over time t:
+/// bd = N·ξ·t·[ρ(μ−ψ) − c]/θ.
+double detector_balance(const IncentiveParams& p, double n_avg_vulns, double xi,
+                        double rho, double t);
+
+/// Eq. 14 — provider balance over time t:
+/// bp = (ζ·in* − pu_rate)·t/ϑ, with the punishment term expressed per block.
+/// We evaluate the more explicit form used by the evaluation section:
+/// bp(t) = ζ·(χν + ψω)·t/ϑ − (t/θ)·(cp + VP·I),
+/// where a vulnerable release forfeits the full insurance I (the escrow).
+double provider_balance(const IncentiveParams& p, double zeta, double t, double vp,
+                        double insurance);
+
+/// First-moment share split: given hash powers, the expected fraction of
+/// blocks each provider mines (ζ_i).
+std::vector<double> normalized_shares(const std::vector<double>& hash_powers);
+
+/// Detection-capability proportions ξ_i = DC_i / Σ DC_j (Section VI-B).
+std::vector<double> capability_proportions(const std::vector<double>& dc);
+
+/// Expected ρ_i under first-reporter-wins racing: detectors race to report a
+/// vulnerability; the probability detector i's result is the one recorded is
+/// its capability share among those who found it. With independent discovery
+/// this approaches ξ_i for large fields (Section VI-B's Σρ→1 argument).
+std::vector<double> expected_rho(const std::vector<double>& dc);
+
+}  // namespace sc::core

@@ -1,0 +1,123 @@
+// SmartCrowd protocol messages: the SRA Δ (Eq. 1-2), the initial report R†
+// (Eq. 3-4), the detailed report R* (Eq. 5), and the Algorithm-1 verifier.
+//
+// Identifiers are Keccak-256 over the canonical serialization of the listed
+// fields, exactly mirroring the paper's H(·||·) constructions; signatures are
+// secp256k1/ECDSA over the identifier. Every verifier returns a typed error
+// so callers (mempool gates, the attack harness, tests) can assert *why* a
+// message was rejected.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/types.hpp"
+#include "crypto/keys.hpp"
+#include "detect/vulnerability.hpp"
+#include "util/bytes.hpp"
+
+namespace sc::core {
+
+using chain::Address;
+using chain::Amount;
+using crypto::Hash256;
+
+/// System release announcement Δ = {Δ_id, P_i, U_n, U_v, U_h, U_l, I_i, P_Sign}.
+struct Sra {
+  Hash256 id;                    ///< Δ_id = H(P_i||U_n||U_v||U_h||U_l||I_i).
+  Address provider;              ///< P_i.
+  std::string name;              ///< U_n.
+  std::string version;           ///< U_v.
+  Hash256 system_hash;           ///< U_h — hash of the released image.
+  std::string download_link;     ///< U_l.
+  Amount insurance = 0;          ///< I_i escrowed in the registry contract.
+  Amount bounty = 0;             ///< μ for HIGH-severity findings.
+  Amount bounty_medium = 0;      ///< μ for MEDIUM-severity findings.
+  Amount bounty_low = 0;         ///< μ for LOW-severity findings.
+  Address contract;              ///< Deployed registry address.
+
+  /// Bounty for a severity tier (0 low, 1 medium, 2 high — detect::Severity;
+  /// unknown tiers pay low, mirroring the registry contract's dispatch).
+  Amount bounty_for_tier(std::uint8_t tier) const {
+    return tier == 2 ? bounty : tier == 1 ? bounty_medium : bounty_low;
+  }
+  crypto::secp256k1::AffinePoint provider_pubkey;
+  crypto::secp256k1::Signature signature;  ///< P_Sign = Sign_sk(Δ_id).
+
+  Hash256 compute_id() const;
+  /// Sets provider/id from the key and signs.
+  void finalize(const crypto::KeyPair& provider_key);
+  util::Bytes serialize() const;
+  static std::optional<Sra> deserialize(util::ByteSpan data);
+};
+
+/// Detailed report R* = {ID*, Δ, D_i, W_D, Des, D*_Sign}.
+struct DetailedReport {
+  Hash256 id;                    ///< ID* = H(Δ||D_i||W_D||Des).
+  Hash256 sra_id;                ///< The Δ this report targets.
+  Address detector;              ///< D_i.
+  Address wallet;                ///< W_D — payee address.
+  std::vector<detect::Finding> description;  ///< Des.
+  crypto::secp256k1::AffinePoint detector_pubkey;
+  crypto::secp256k1::Signature signature;
+
+  Hash256 compute_id() const;
+  /// Hash of the full serialized report — the H_R* pledged in R†.
+  Hash256 content_hash() const;
+  void finalize(const crypto::KeyPair& detector_key);
+  util::Bytes serialize() const;
+  static std::optional<DetailedReport> deserialize(util::ByteSpan data);
+};
+
+/// Initial report R† = {ID†, Δ, D_i, H_R*, W_D, D†_Sign}.
+struct InitialReport {
+  Hash256 id;                    ///< ID† = H(Δ||D_i||H_R*||W_D).
+  Hash256 sra_id;
+  Address detector;
+  Hash256 detailed_hash;         ///< H_R* — commitment to the detailed report.
+  Address wallet;
+  crypto::secp256k1::AffinePoint detector_pubkey;
+  crypto::secp256k1::Signature signature;
+
+  Hash256 compute_id() const;
+  void finalize(const crypto::KeyPair& detector_key);
+  /// Builds the R† that commits to the given R*.
+  static InitialReport commit_to(const DetailedReport& detailed,
+                                 const crypto::KeyPair& detector_key);
+  util::Bytes serialize() const;
+  static std::optional<InitialReport> deserialize(util::ByteSpan data);
+};
+
+/// Algorithm-1 verdicts (plus SRA-specific cases).
+enum class Verdict {
+  kOk,
+  kMalformed,          ///< Undecodable wire data.
+  kBadIdentifier,      ///< Recomputed hash != embedded id.
+  kBadSignature,       ///< ECDSA check failed / key-address mismatch.
+  kUnknownCommitment,  ///< R* without a matching confirmed R†.
+  kHashMismatch,       ///< H(R*) != the H_R* pledged in R†.
+  kAutoVerifFailed,    ///< Eq. 6 engine rejected the claims.
+  kInsuranceMissing,   ///< SRA with zero insurance (spoof deterrence).
+};
+
+const char* verdict_name(Verdict v);
+
+/// Decentralized SRA verification (Section V-A): integrity (Δ_id), origin
+/// authenticity (P_Sign against P_i's address) and insurance presence.
+Verdict verify_sra(const Sra& sra);
+
+/// Algorithm 1, function VERIFICATION FOR R†: id + signature.
+Verdict verify_initial_report(const InitialReport& report);
+
+/// The AutoVerif oracle (Eq. 6) a provider plugs in — typically backed by
+/// detect::auto_verify against the downloaded image.
+using AutoVerifFn = std::function<bool(const DetailedReport&)>;
+
+/// Algorithm 1, function VERIFICATION FOR R*: id + signature + the
+/// H_R* binding against the prior R† + AutoVerif.
+Verdict verify_detailed_report(const DetailedReport& report,
+                               const InitialReport& initial,
+                               const AutoVerifFn& auto_verif);
+
+}  // namespace sc::core

@@ -1,0 +1,192 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+
+namespace sc::core {
+
+ConsensusNode::ConsensusNode(sim::Simulator& sim, sim::Network& net,
+                             const chain::GenesisConfig& genesis, std::string name,
+                             bool honest, RecordGate gate)
+    : sim_(sim),
+      net_(net),
+      name_(std::move(name)),
+      honest_(honest),
+      gate_(std::move(gate)),
+      chain_(genesis) {
+  net_id_ = net_.add_node([this](const sim::Message& msg) { on_message(msg); });
+}
+
+bool ConsensusNode::validate_records(const chain::Block& block) const {
+  if (!honest_ || !gate_) return true;
+  return std::all_of(block.transactions.begin(), block.transactions.end(), gate_);
+}
+
+bool ConsensusNode::mine_and_broadcast(const chain::Address& miner,
+                                       std::vector<chain::Transaction> txs) {
+  chain::Block block = chain_.build_block_template(
+      miner, static_cast<std::uint64_t>(sim_.now()), /*difficulty=*/1, std::move(txs));
+  if (!validate_records(block)) {
+    ++rejected_;
+    return false;
+  }
+  std::string why;
+  if (!chain_.submit_block(block, &why, /*skip_pow=*/true)) {
+    ++rejected_;
+    return false;
+  }
+  net_.broadcast(net_id_, "block", block.encode());
+  drain_orphans();
+  return true;
+}
+
+void ConsensusNode::on_message(const sim::Message& msg) {
+  if (msg.topic == "block") {
+    const auto block = chain::Block::decode(msg.payload);
+    if (!block) {
+      ++rejected_;
+      return;
+    }
+    last_sender_ = msg.from;
+    try_connect(*block, /*rebroadcast=*/true);
+    return;
+  }
+  if (msg.topic == "get_block") {
+    // Backfill service: a peer is missing one of our ancestors (gossip loss
+    // or a healed partition). Serve it from our store if we have it.
+    if (msg.payload.size() != 32) return;
+    const auto id = crypto::Hash256::from_span(msg.payload);
+    if (const chain::Block* block = chain_.block(id))
+      net_.unicast(net_id_, msg.from, "block", block->encode());
+    return;
+  }
+}
+
+void ConsensusNode::try_connect(const chain::Block& block, bool rebroadcast) {
+  if (chain_.block(block.id()) != nullptr) return;  // already known
+  if (!validate_records(block)) {
+    // A forged record inside: honest nodes refuse the whole block and will
+    // not build on it (Section V-C's fault-tolerant verification).
+    ++rejected_;
+    return;
+  }
+  if (chain_.block(block.header.prev_id) == nullptr) {
+    // Parent not yet seen — gossip reordering or a missed broadcast. Buffer
+    // the orphan and ask the sender to backfill the parent; the walk repeats
+    // until linkage reaches a known ancestor (or a block we reject).
+    ++orphans_seen_;
+    orphans_[block.header.prev_id].push_back(block);
+    net_.unicast(net_id_, last_sender_, "get_block",
+                 util::Bytes(block.header.prev_id.bytes.begin(),
+                             block.header.prev_id.bytes.end()));
+    return;
+  }
+  std::string why;
+  if (!chain_.submit_block(block, &why, /*skip_pow=*/true)) {
+    ++rejected_;
+    return;
+  }
+  if (rebroadcast) net_.broadcast(net_id_, "block", block.encode());
+  drain_orphans();
+}
+
+void ConsensusNode::drain_orphans() {
+  // Repeatedly adopt any orphan whose parent has just become known.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = orphans_.begin(); it != orphans_.end();) {
+      if (chain_.block(it->first) != nullptr) {
+        const std::vector<chain::Block> ready = std::move(it->second);
+        it = orphans_.erase(it);
+        for (const chain::Block& block : ready)
+          try_connect(block, /*rebroadcast=*/false);
+        progress = true;
+        break;  // iterator invalidated by recursive inserts; restart scan
+      }
+      ++it;
+    }
+  }
+}
+
+ConsensusCluster::ConsensusCluster(std::uint64_t seed,
+                                   const std::vector<NodeSpec>& specs,
+                                   const chain::GenesisConfig& genesis,
+                                   RecordGate gate, double mean_block_time,
+                                   sim::NetworkConfig net_config)
+    : sim_(seed),
+      net_(sim_, net_config),
+      race_([&] {
+        std::vector<double> hp;
+        for (const auto& spec : specs) hp.push_back(spec.hash_power);
+        return hp;
+      }(), mean_block_time),
+      gate_(gate) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    miner_keys_.push_back(crypto::KeyPair::generate(sim_.rng()));
+    nodes_.push_back(std::make_unique<ConsensusNode>(
+        sim_, net_, genesis, "provider-" + std::to_string(i), specs[i].honest,
+        gate));
+  }
+  schedule_next_block();
+}
+
+void ConsensusCluster::submit_transaction(chain::Transaction tx,
+                                          bool forged_only_for_dishonest) {
+  queue_.push_back({std::move(tx), forged_only_for_dishonest});
+}
+
+void ConsensusCluster::schedule_next_block() {
+  const sim::MiningRace::Outcome outcome = race_.next(sim_.rng());
+  sim_.after(outcome.interval, [this, winner = outcome.winner] {
+    ConsensusNode& node = *nodes_[winner];
+    // The winner packages the queued transactions it is willing to include:
+    // honest miners leave gate-failing (or dishonest-only) transactions in
+    // the queue rather than aborting their whole block on them.
+    std::vector<chain::Transaction> txs;
+    std::erase_if(queue_, [&](const QueuedTx& queued) {
+      if (node.honest() && (queued.dishonest_only || (gate_ && !gate_(queued.tx))))
+        return false;
+      txs.push_back(queued.tx);
+      return true;
+    });
+    if (node.mine_and_broadcast(miner_keys_[winner].address(), std::move(txs)))
+      ++blocks_mined_;
+    schedule_next_block();
+  });
+}
+
+void ConsensusCluster::run_for(double seconds) {
+  sim_.run_until(sim_.now() + seconds);
+}
+
+bool ConsensusCluster::honest_nodes_converged() const {
+  crypto::Hash256 head;
+  bool first = true;
+  for (const auto& node : nodes_) {
+    if (!node->honest()) continue;
+    if (first) {
+      head = node->chain().best_head();
+      first = false;
+    } else if (node->chain().best_head() != head) {
+      return false;
+    }
+  }
+  return true;
+}
+
+crypto::Hash256 ConsensusCluster::honest_head() const {
+  std::map<crypto::Hash256, int> votes;
+  for (const auto& node : nodes_)
+    if (node->honest()) ++votes[node->chain().best_head()];
+  crypto::Hash256 best;
+  int best_votes = -1;
+  for (const auto& [head, count] : votes) {
+    if (count > best_votes) {
+      best = head;
+      best_votes = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace sc::core

@@ -1,0 +1,42 @@
+#include "core/reputation.hpp"
+
+namespace sc::core {
+
+bool ReputationLedger::is_isolated(const chain::Address& detector) const {
+  const auto it = records_.find(detector);
+  return it != records_.end() && it->second.isolated;
+}
+
+void ReputationLedger::record_strike(const chain::Address& detector) {
+  DetectorRecord& record = records_[detector];
+  ++record.strikes;
+  if (record.strikes >= config_.isolation_threshold) record.isolated = true;
+}
+
+void ReputationLedger::record_confirmed(const chain::Address& detector) {
+  DetectorRecord& record = records_[detector];
+  ++record.confirmed;
+  if (config_.rehabilitation_rate > 0 && record.strikes > 0 &&
+      record.confirmed % config_.rehabilitation_rate == 0) {
+    --record.strikes;
+    if (record.strikes < config_.isolation_threshold) record.isolated = false;
+  }
+}
+
+void ReputationLedger::record_filtered(const chain::Address& detector) {
+  ++records_[detector].filtered;
+}
+
+const DetectorRecord* ReputationLedger::find(const chain::Address& detector) const {
+  const auto it = records_.find(detector);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::size_t ReputationLedger::isolated_count() const {
+  std::size_t count = 0;
+  for (const auto& [addr, record] : records_)
+    if (record.isolated) ++count;
+  return count;
+}
+
+}  // namespace sc::core

@@ -1,0 +1,60 @@
+// Detector reputation and isolation.
+//
+// Section V-C: "simply submitting a forged detection report will make
+// AutoVerif() output FALSE, where SmartCrowd can isolate a compromised
+// detector by enabling P_i to filter this detector's next reports."
+//
+// Providers keep a local ledger of per-detector verification outcomes; once
+// a detector accumulates `isolation_threshold` AutoVerif failures, its
+// future reports are dropped at the admission gate without running the
+// (comparatively expensive) verification engine at all. Honest rejections
+// that carry no malice signal — losing a first-reporter race, a duplicate
+// commitment — never count against reputation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "chain/types.hpp"
+
+namespace sc::core {
+
+struct ReputationConfig {
+  /// AutoVerif failures (or signature forgeries) before isolation.
+  std::uint32_t isolation_threshold = 3;
+  /// Confirmed reports needed to decay one strike (rehabilitation). 0 = never.
+  std::uint32_t rehabilitation_rate = 0;
+};
+
+struct DetectorRecord {
+  std::uint32_t confirmed = 0;   ///< Reports accepted and paid.
+  std::uint32_t strikes = 0;     ///< Malice signals (forged/tampered reports).
+  std::uint32_t filtered = 0;    ///< Reports dropped while isolated.
+  bool isolated = false;
+};
+
+/// A provider's local reputation ledger.
+class ReputationLedger {
+ public:
+  explicit ReputationLedger(ReputationConfig config = {}) : config_(config) {}
+
+  /// True if the detector's submissions should be dropped unexamined.
+  bool is_isolated(const chain::Address& detector) const;
+
+  /// Records a malice signal (AutoVerif failure, bad signature on a decoded
+  /// report, hash-binding violation). May flip the detector to isolated.
+  void record_strike(const chain::Address& detector);
+  /// Records a successful, confirmed report; may rehabilitate.
+  void record_confirmed(const chain::Address& detector);
+  /// Counts a dropped submission from an isolated detector.
+  void record_filtered(const chain::Address& detector);
+
+  const DetectorRecord* find(const chain::Address& detector) const;
+  std::size_t isolated_count() const;
+
+ private:
+  ReputationConfig config_;
+  std::map<chain::Address, DetectorRecord> records_;
+};
+
+}  // namespace sc::core

@@ -1,0 +1,72 @@
+// Fixed-width digest types used across the chain, VM and protocol layers.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/hex.hpp"
+
+namespace sc::crypto {
+
+/// A fixed-size digest (32 bytes for SHA-256/Keccak-256, 20 for RIPEMD-160
+/// and addresses). Value type with total ordering so it can key maps/sets.
+template <std::size_t N>
+struct Digest {
+  std::array<std::uint8_t, N> bytes{};
+
+  static constexpr std::size_t size() { return N; }
+
+  auto operator<=>(const Digest&) const = default;
+
+  util::ByteSpan span() const { return {bytes.data(), bytes.size()}; }
+  std::string hex() const { return util::to_hex(span()); }
+  std::string hex0x() const { return util::to_hex0x(span()); }
+  bool is_zero() const {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+
+  /// Builds a digest from exactly N bytes; excess/short input is a logic
+  /// error surfaced by the assert in from_span.
+  static Digest from_span(util::ByteSpan s) {
+    Digest d;
+    if (s.size() == N) {
+      for (std::size_t i = 0; i < N; ++i) d.bytes[i] = s[i];
+    }
+    return d;
+  }
+
+  /// First 8 bytes interpreted big-endian — handy for cheap sharding/seeding.
+  std::uint64_t prefix_u64() const {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8 && i < N; ++i) v = v << 8 | bytes[i];
+    return v;
+  }
+};
+
+using Hash256 = Digest<32>;
+using Hash160 = Digest<20>;
+
+/// 20-byte account address (Ethereum convention: low 20 bytes of
+/// Keccak-256 over the uncompressed public key — see keys.hpp).
+using Address = Hash160;
+
+}  // namespace sc::crypto
+
+namespace std {
+template <std::size_t N>
+struct hash<sc::crypto::Digest<N>> {
+  std::size_t operator()(const sc::crypto::Digest<N>& d) const noexcept {
+    // Digests are uniformly distributed; the first word is a fine hash.
+    std::size_t v = 0;
+    for (std::size_t i = 0; i < sizeof(std::size_t) && i < N; ++i)
+      v = v << 8 | d.bytes[i];
+    return v;
+  }
+};
+}  // namespace std

@@ -1,0 +1,31 @@
+#include "crypto/hmac.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sc::crypto {
+
+Hash256 hmac_sha256(util::ByteSpan key, util::ByteSpan msg) {
+  std::uint8_t k[64] = {0};
+  if (key.size() > 64) {
+    const Hash256 kh = Sha256::digest(key);
+    std::memcpy(k, kh.bytes.data(), 32);
+  } else {
+    if (!key.empty()) std::memcpy(k, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update({ipad, 64}).update(msg);
+  const Hash256 inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update({opad, 64}).update(inner_digest.span());
+  return outer.finish();
+}
+
+}  // namespace sc::crypto

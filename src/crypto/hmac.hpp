@@ -1,0 +1,12 @@
+// HMAC-SHA256 (RFC 2104) — the PRF inside RFC-6979 deterministic ECDSA.
+#pragma once
+
+#include "crypto/hash_types.hpp"
+#include "util/bytes.hpp"
+
+namespace sc::crypto {
+
+/// Computes HMAC-SHA256(key, msg).
+Hash256 hmac_sha256(util::ByteSpan key, util::ByteSpan msg);
+
+}  // namespace sc::crypto

@@ -1,0 +1,40 @@
+#include "crypto/keys.hpp"
+
+#include "crypto/keccak.hpp"
+
+namespace sc::crypto {
+
+Address address_of(const secp256k1::AffinePoint& pub) {
+  const util::Bytes encoded = secp256k1::encode_public(pub);
+  const Hash256 digest = keccak256(encoded);
+  Address addr;
+  std::copy(digest.bytes.begin() + 12, digest.bytes.end(), addr.bytes.begin());
+  return addr;
+}
+
+KeyPair KeyPair::generate(util::Rng& rng) {
+  for (;;) {
+    util::Bytes raw;
+    rng.fill(raw, 32);
+    const U256 d = U256::from_be_bytes(raw);
+    if (secp256k1::is_valid_private_key(d)) {
+      return KeyPair(d, secp256k1::derive_public(d));
+    }
+  }
+}
+
+std::optional<KeyPair> KeyPair::from_private(const U256& d) {
+  if (!secp256k1::is_valid_private_key(d)) return std::nullopt;
+  return KeyPair(d, secp256k1::derive_public(d));
+}
+
+secp256k1::Signature KeyPair::sign(const Hash256& digest) const {
+  return secp256k1::sign(priv_, digest);
+}
+
+bool verify_signature(const secp256k1::AffinePoint& pub, const Hash256& digest,
+                      const secp256k1::Signature& sig) {
+  return secp256k1::verify(pub, digest, sig);
+}
+
+}  // namespace sc::crypto

@@ -1,0 +1,49 @@
+// Key pairs and addresses for SmartCrowd entities.
+//
+// Every IoT entity (provider, detector, consumer) holds a long-lived
+// secp256k1 key pair (Section V-A of the paper). Addresses follow the
+// Ethereum convention: the low 20 bytes of Keccak-256 over the uncompressed
+// public key — this is the payee wallet address W_D carried in reports.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/hash_types.hpp"
+#include "crypto/secp256k1.hpp"
+#include "util/rng.hpp"
+
+namespace sc::crypto {
+
+/// Derives the address of a public key (Keccak-256 of X||Y, low 20 bytes).
+Address address_of(const secp256k1::AffinePoint& pub);
+
+/// An entity key pair. Construction validates the private scalar.
+class KeyPair {
+ public:
+  /// Generates a fresh key pair from the given deterministic RNG.
+  static KeyPair generate(util::Rng& rng);
+  /// Builds from a known private scalar; returns nullopt if out of range.
+  static std::optional<KeyPair> from_private(const U256& d);
+
+  const U256& private_key() const { return priv_; }
+  const secp256k1::AffinePoint& public_key() const { return pub_; }
+  const Address& address() const { return addr_; }
+
+  /// Signs a 32-byte digest (deterministic RFC-6979).
+  secp256k1::Signature sign(const Hash256& digest) const;
+
+ private:
+  KeyPair(const U256& priv, const secp256k1::AffinePoint& pub)
+      : priv_(priv), pub_(pub), addr_(address_of(pub)) {}
+
+  U256 priv_;
+  secp256k1::AffinePoint pub_;
+  Address addr_;
+};
+
+/// Verifies `sig` over `digest` against `pub`.
+bool verify_signature(const secp256k1::AffinePoint& pub, const Hash256& digest,
+                      const secp256k1::Signature& sig);
+
+}  // namespace sc::crypto

@@ -1,0 +1,64 @@
+#include "crypto/merkle.hpp"
+
+#include "crypto/sha256.hpp"
+#include "util/serialize.hpp"
+
+namespace sc::crypto {
+
+namespace {
+
+Hash256 hash_pair(const Hash256& left, const Hash256& right) {
+  util::Bytes preimage;
+  preimage.reserve(64);
+  util::append(preimage, left.span());
+  util::append(preimage, right.span());
+  return Sha256::double_digest(preimage);
+}
+
+/// Reduces one tree level in place (duplicating a trailing odd node).
+std::vector<Hash256> next_level(const std::vector<Hash256>& level) {
+  std::vector<Hash256> out;
+  out.reserve((level.size() + 1) / 2);
+  for (std::size_t i = 0; i < level.size(); i += 2) {
+    const Hash256& left = level[i];
+    const Hash256& right = i + 1 < level.size() ? level[i + 1] : level[i];
+    out.push_back(hash_pair(left, right));
+  }
+  return out;
+}
+
+}  // namespace
+
+Hash256 merkle_root(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return Hash256{};
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) level = next_level(level);
+  return level[0];
+}
+
+MerkleProof merkle_proof(const std::vector<Hash256>& leaves, std::size_t index) {
+  MerkleProof proof;
+  if (index >= leaves.size()) return proof;
+  std::vector<Hash256> level = leaves;
+  std::size_t pos = index;
+  while (level.size() > 1) {
+    const std::size_t sibling = pos % 2 == 0 ? pos + 1 : pos - 1;
+    const Hash256& sib =
+        sibling < level.size() ? level[sibling] : level[pos];  // odd duplication
+    proof.push_back({sib, pos % 2 == 0});
+    level = next_level(level);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool merkle_verify(const Hash256& leaf, const MerkleProof& proof, const Hash256& root) {
+  Hash256 acc = leaf;
+  for (const MerkleStep& step : proof) {
+    acc = step.sibling_on_right ? hash_pair(acc, step.sibling)
+                                : hash_pair(step.sibling, acc);
+  }
+  return acc == root;
+}
+
+}  // namespace sc::crypto

@@ -1,0 +1,36 @@
+// Merkle tree over detection-result digests.
+//
+// SmartCrowd blocks organise their ω_i detection results in a Merkle tree
+// "like the transaction organization in Bitcoin" (Section V-C / Fig. 2). We
+// follow Bitcoin's construction — pairwise double-SHA-256 with the last node
+// duplicated on odd levels — and additionally provide inclusion proofs so
+// lightweight detectors can check their report landed in a confirmed block
+// without holding the chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash_types.hpp"
+
+namespace sc::crypto {
+
+/// One step of an inclusion proof: the sibling digest and its side.
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_on_right = false;
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Root of the given leaves. Empty input hashes to the all-zero digest;
+/// a single leaf is its own root (Bitcoin convention).
+Hash256 merkle_root(const std::vector<Hash256>& leaves);
+
+/// Builds an inclusion proof for `index` (must be < leaves.size()).
+MerkleProof merkle_proof(const std::vector<Hash256>& leaves, std::size_t index);
+
+/// Verifies that `leaf` is included under `root` via `proof`.
+bool merkle_verify(const Hash256& leaf, const MerkleProof& proof, const Hash256& root);
+
+}  // namespace sc::crypto

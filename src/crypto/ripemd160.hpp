@@ -1,0 +1,19 @@
+// RIPEMD-160 (Dobbertin, Bosselaers, Preneel 1996).
+//
+// The paper cites RIPEMD-160 alongside SHA-256 as the address-derivation
+// hashes of the underlying ledger (Section II); we provide it for the
+// Bitcoin-style address path and test it against the original test vectors.
+#pragma once
+
+#include "crypto/hash_types.hpp"
+#include "util/bytes.hpp"
+
+namespace sc::crypto {
+
+/// One-shot RIPEMD-160.
+Hash160 ripemd160(util::ByteSpan data);
+
+/// Bitcoin-style HASH160 = RIPEMD160(SHA256(x)).
+Hash160 hash160(util::ByteSpan data);
+
+}  // namespace sc::crypto

@@ -1,0 +1,325 @@
+#include "crypto/secp256k1.hpp"
+
+#include "crypto/hmac.hpp"
+#include "util/serialize.hpp"
+
+namespace sc::crypto::secp256k1 {
+
+namespace {
+
+const U256 kP = U256::from_hex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const U256 kN = U256::from_hex(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+const U256 kGx = U256::from_hex(
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+const U256 kGy = U256::from_hex(
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+
+}  // namespace
+
+const U256& field_prime() { return kP; }
+const U256& group_order() { return kN; }
+
+const PrimeField& Fp() {
+  static const PrimeField f(kP, U256::zero() - kP);  // c = 2^256 - p (wrapping)
+  return f;
+}
+
+const PrimeField& Fn() {
+  static const PrimeField f(kN, U256::zero() - kN);
+  return f;
+}
+
+U256 PrimeField::reduce(const U256& a) const {
+  U256 r = a;
+  while (r >= m_) r = r - m_;
+  return r;
+}
+
+U256 PrimeField::reduce512(const U512& t) const {
+  U512 acc = t;
+  // Fold 2^256 ≡ c (mod m) until the high half vanishes. For secp256k1's p
+  // (c ~ 2^33) this takes 2 iterations; for n (c ~ 2^129) at most 3.
+  while (!acc.high_is_zero()) {
+    const U512 folded = U256::mul_wide(acc.high(), c_);
+    acc = U512::add(U512::from_parts(acc.low(), U256::zero()), folded);
+  }
+  return reduce(acc.low());
+}
+
+U256 PrimeField::add(const U256& a, const U256& b) const {
+  U256 out;
+  const bool carry = U256::add_with_carry(a, b, out);
+  if (carry) out = out + c_;  // 2^256 ≡ c, and a+b < 2m keeps this carry-free.
+  return reduce(out);
+}
+
+U256 PrimeField::sub(const U256& a, const U256& b) const {
+  U256 out;
+  const bool borrow = U256::sub_with_borrow(a, b, out);
+  if (borrow) out = out + m_;
+  return out;
+}
+
+U256 PrimeField::neg(const U256& a) const {
+  return a.is_zero() ? a : m_ - a;
+}
+
+U256 PrimeField::mul(const U256& a, const U256& b) const {
+  return reduce512(U256::mul_wide(a, b));
+}
+
+U256 PrimeField::pow(const U256& base, const U256& exp) const {
+  U256 result = U256::one();
+  U256 acc = reduce(base);
+  const unsigned bits = exp.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mul(result, acc);
+    acc = mul(acc, acc);
+  }
+  return result;
+}
+
+U256 PrimeField::inv(const U256& a) const {
+  // Fermat: a^(m-2) mod m for prime m.
+  return pow(a, m_ - U256{2});
+}
+
+bool AffinePoint::is_on_curve() const {
+  if (infinity) return true;
+  const auto& f = Fp();
+  const U256 lhs = f.sqr(y);
+  const U256 rhs = f.add(f.mul(f.sqr(x), x), U256{7});
+  return lhs == rhs;
+}
+
+JacobianPoint JacobianPoint::from_affine(const AffinePoint& p) {
+  if (p.infinity) return identity();
+  return {p.x, p.y, U256::one()};
+}
+
+AffinePoint JacobianPoint::to_affine() const {
+  if (is_identity()) return {U256::zero(), U256::zero(), true};
+  const auto& f = Fp();
+  const U256 zinv = f.inv(z);
+  const U256 zinv2 = f.sqr(zinv);
+  const U256 zinv3 = f.mul(zinv2, zinv);
+  return {f.mul(x, zinv2), f.mul(y, zinv3), false};
+}
+
+JacobianPoint JacobianPoint::doubled() const {
+  if (is_identity()) return *this;
+  const auto& f = Fp();
+  if (y.is_zero()) return identity();
+  // dbl-2007-bl for a=0: S = 4XY^2, M = 3X^2, X' = M^2-2S,
+  // Y' = M(S-X') - 8Y^4, Z' = 2YZ.
+  const U256 y2 = f.sqr(y);
+  const U256 s = f.mul(U256{4}, f.mul(x, y2));
+  const U256 m = f.mul(U256{3}, f.sqr(x));
+  const U256 x3 = f.sub(f.sqr(m), f.add(s, s));
+  const U256 y3 = f.sub(f.mul(m, f.sub(s, x3)), f.mul(U256{8}, f.sqr(y2)));
+  const U256 z3 = f.mul(U256{2}, f.mul(y, z));
+  return {x3, y3, z3};
+}
+
+JacobianPoint JacobianPoint::add(const JacobianPoint& o) const {
+  if (is_identity()) return o;
+  if (o.is_identity()) return *this;
+  const auto& f = Fp();
+  const U256 z1z1 = f.sqr(z);
+  const U256 z2z2 = f.sqr(o.z);
+  const U256 u1 = f.mul(x, z2z2);
+  const U256 u2 = f.mul(o.x, z1z1);
+  const U256 s1 = f.mul(y, f.mul(z2z2, o.z));
+  const U256 s2 = f.mul(o.y, f.mul(z1z1, z));
+  if (u1 == u2) {
+    if (s1 == s2) return doubled();
+    return identity();
+  }
+  const U256 h = f.sub(u2, u1);
+  const U256 r = f.sub(s2, s1);
+  const U256 h2 = f.sqr(h);
+  const U256 h3 = f.mul(h2, h);
+  const U256 u1h2 = f.mul(u1, h2);
+  const U256 x3 = f.sub(f.sub(f.sqr(r), h3), f.add(u1h2, u1h2));
+  const U256 y3 = f.sub(f.mul(r, f.sub(u1h2, x3)), f.mul(s1, h3));
+  const U256 z3 = f.mul(h, f.mul(z, o.z));
+  return {x3, y3, z3};
+}
+
+JacobianPoint JacobianPoint::add_affine(const AffinePoint& o) const {
+  return add(JacobianPoint::from_affine(o));
+}
+
+const AffinePoint& generator() {
+  static const AffinePoint g{kGx, kGy, false};
+  return g;
+}
+
+JacobianPoint scalar_mul(const U256& k, const AffinePoint& p) {
+  JacobianPoint acc = JacobianPoint::identity();
+  const unsigned bits = k.bit_length();
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    acc = acc.doubled();
+    if (k.bit(static_cast<unsigned>(i))) acc = acc.add_affine(p);
+  }
+  return acc;
+}
+
+JacobianPoint scalar_mul_base(const U256& k) { return scalar_mul(k, generator()); }
+
+util::Bytes Signature::encode() const {
+  util::Bytes out(64);
+  r.to_be_bytes(out.data());
+  s.to_be_bytes(out.data() + 32);
+  return out;
+}
+
+std::optional<Signature> Signature::decode(util::ByteSpan data) {
+  if (data.size() != 64) return std::nullopt;
+  Signature sig;
+  sig.r = U256::from_be_bytes(data.subspan(0, 32));
+  sig.s = U256::from_be_bytes(data.subspan(32, 32));
+  return sig;
+}
+
+bool is_valid_private_key(const U256& d) { return !d.is_zero() && d < kN; }
+
+AffinePoint derive_public(const U256& d) { return scalar_mul_base(d).to_affine(); }
+
+U256 rfc6979_nonce(const U256& d, const Hash256& z, std::uint32_t extra) {
+  // RFC 6979 §3.2 with SHA-256. qlen == hlen == 256 bits, so bits2int is the
+  // identity and bits2octets is reduction mod n.
+  std::uint8_t d_oct[32];
+  d.to_be_bytes(d_oct);
+  const U256 z_mod_n = Fn().reduce(U256::from_hash(z));
+  std::uint8_t z_oct[32];
+  z_mod_n.to_be_bytes(z_oct);
+
+  Hash256 v_hash;
+  Hash256 k_hash;
+  v_hash.bytes.fill(0x01);
+  k_hash.bytes.fill(0x00);
+
+  auto build = [&](std::uint8_t sep) {
+    util::Writer w;
+    w.raw(v_hash.span());
+    w.u8(sep);
+    w.raw({d_oct, 32});
+    w.raw({z_oct, 32});
+    // `extra` gives distinct nonce streams when a retry is needed (never in
+    // practice for secp256k1, but required for completeness).
+    if (extra != 0) {
+      std::uint8_t e[4] = {
+          static_cast<std::uint8_t>(extra >> 24), static_cast<std::uint8_t>(extra >> 16),
+          static_cast<std::uint8_t>(extra >> 8), static_cast<std::uint8_t>(extra)};
+      w.raw({e, 4});
+    }
+    return std::move(w).take();
+  };
+
+  k_hash = hmac_sha256(k_hash.span(), build(0x00));
+  v_hash = hmac_sha256(k_hash.span(), v_hash.span());
+  k_hash = hmac_sha256(k_hash.span(), build(0x01));
+  v_hash = hmac_sha256(k_hash.span(), v_hash.span());
+
+  for (;;) {
+    v_hash = hmac_sha256(k_hash.span(), v_hash.span());
+    const U256 k = U256::from_hash(v_hash);
+    if (is_valid_private_key(k)) return k;
+    const util::Bytes retry = util::concat({v_hash.span(), util::ByteSpan{}});
+    util::Bytes retry_msg = retry;
+    retry_msg.push_back(0x00);
+    k_hash = hmac_sha256(k_hash.span(), retry_msg);
+    v_hash = hmac_sha256(k_hash.span(), v_hash.span());
+  }
+}
+
+Signature sign(const U256& d, const Hash256& z) {
+  const auto& fn = Fn();
+  const U256 z_scalar = fn.reduce(U256::from_hash(z));
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const U256 k = rfc6979_nonce(d, z, attempt);
+    const AffinePoint point = scalar_mul_base(k).to_affine();
+    const U256 r = fn.reduce(point.x);
+    if (r.is_zero()) continue;
+    U256 s = fn.mul(fn.inv(k), fn.add(z_scalar, fn.mul(r, d)));
+    if (s.is_zero()) continue;
+    // Low-s normalisation: (r, s) and (r, n-s) are both valid; pick the
+    // canonical one so signatures are unique (malleability defence).
+    const U256 half_n = kN >> 1;
+    if (s > half_n) s = kN - s;
+    return {r, s};
+  }
+}
+
+bool verify(const AffinePoint& pub, const Hash256& z, const Signature& sig) {
+  if (pub.infinity || !pub.is_on_curve()) return false;
+  if (sig.r.is_zero() || sig.r >= kN || sig.s.is_zero() || sig.s >= kN) return false;
+  const auto& fn = Fn();
+  const U256 z_scalar = fn.reduce(U256::from_hash(z));
+  const U256 w = fn.inv(sig.s);
+  const U256 u1 = fn.mul(z_scalar, w);
+  const U256 u2 = fn.mul(sig.r, w);
+  const JacobianPoint sum = scalar_mul_base(u1).add(scalar_mul(u2, pub));
+  if (sum.is_identity()) return false;
+  const AffinePoint point = sum.to_affine();
+  return fn.reduce(point.x) == sig.r;
+}
+
+util::Bytes encode_public(const AffinePoint& pub) {
+  util::Bytes out(64);
+  pub.x.to_be_bytes(out.data());
+  pub.y.to_be_bytes(out.data() + 32);
+  return out;
+}
+
+std::optional<AffinePoint> decode_public(util::ByteSpan data) {
+  if (data.size() != 64) return std::nullopt;
+  AffinePoint p;
+  p.x = U256::from_be_bytes(data.subspan(0, 32));
+  p.y = U256::from_be_bytes(data.subspan(32, 32));
+  p.infinity = false;
+  if (!p.is_on_curve()) return std::nullopt;
+  return p;
+}
+
+std::optional<U256> sqrt_mod_p(const U256& a) {
+  const auto& f = Fp();
+  const U256 reduced = f.reduce(a);
+  if (reduced.is_zero()) return U256::zero();
+  // (p+1)/4: since p ≡ 3 (mod 4) the candidate is a^((p+1)/4).
+  const U256 exponent = (kP + U256::one()) >> 2;
+  const U256 candidate = f.pow(reduced, exponent);
+  if (f.sqr(candidate) != reduced) return std::nullopt;  // non-residue
+  return candidate;
+}
+
+util::Bytes encode_public_compressed(const AffinePoint& pub) {
+  util::Bytes out(33);
+  out[0] = pub.y.bit(0) ? 0x03 : 0x02;
+  pub.x.to_be_bytes(out.data() + 1);
+  return out;
+}
+
+std::optional<AffinePoint> decode_public_compressed(util::ByteSpan data) {
+  if (data.size() != 33) return std::nullopt;
+  if (data[0] != 0x02 && data[0] != 0x03) return std::nullopt;
+  const auto& f = Fp();
+  const U256 x = U256::from_be_bytes(data.subspan(1, 32));
+  if (x >= kP) return std::nullopt;
+  // y^2 = x^3 + 7; pick the root whose parity matches the tag.
+  const U256 rhs = f.add(f.mul(f.sqr(x), x), U256{7});
+  const auto y = sqrt_mod_p(rhs);
+  if (!y) return std::nullopt;
+  const bool want_odd = data[0] == 0x03;
+  AffinePoint p;
+  p.x = x;
+  p.y = y->bit(0) == want_odd ? *y : f.neg(*y);
+  p.infinity = false;
+  if (!p.is_on_curve()) return std::nullopt;
+  return p;
+}
+
+}  // namespace sc::crypto::secp256k1

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-2), implemented from the specification.
+//
+// Used for the PoW digest (double-SHA-256, Bitcoin-style, Section V-C of the
+// paper) and as the compression function inside HMAC/RFC-6979.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hash_types.hpp"
+#include "util/bytes.hpp"
+
+namespace sc::crypto {
+
+/// Incremental SHA-256 context. Reusable after reset().
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(util::ByteSpan data);
+  /// Finalizes into a digest; the context must be reset() before reuse.
+  Hash256 finish();
+
+  /// One-shot convenience.
+  static Hash256 digest(util::ByteSpan data);
+  /// Bitcoin-style double hash, used as the SmartCrowd PoW function.
+  static Hash256 double_digest(util::ByteSpan data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace sc::crypto

@@ -1,0 +1,26 @@
+#include "detect/autoverif.hpp"
+
+namespace sc::detect {
+
+VerifResult auto_verify(const IoTSystem& system, const std::vector<Finding>& claims,
+                        bool strict) {
+  VerifResult result;
+  for (const Finding& claim : claims) {
+    const Vulnerability* truth = system.find_vulnerability(claim.vuln_id);
+    if (truth != nullptr && truth->severity == claim.severity) {
+      ++result.valid_claims;
+    } else {
+      ++result.invalid_claims;
+    }
+  }
+  if (result.valid_claims == 0) {
+    result.accepted = false;  // nothing verifiable (includes empty reports)
+  } else if (strict) {
+    result.accepted = result.invalid_claims == 0;
+  } else {
+    result.accepted = result.valid_claims > result.invalid_claims;
+  }
+  return result;
+}
+
+}  // namespace sc::detect

@@ -1,0 +1,32 @@
+// AutoVerif — the automatic correctness oracle of Eq. 6.
+//
+// The paper assumes providers run a machine verification engine (CloudAV's
+// analysis engines / Vigilante's SCA verification) that, given a claimed
+// vulnerability description, replays or re-analyses the system and outputs
+// TRUE/FALSE. Our engine checks each claimed finding against the corpus
+// ground truth (the simulated analogue of re-running the exploit):
+//   - claims whose vuln id exists in the system with the right severity pass,
+//   - forged ids, severity inflation and false positives fail,
+//   - an empty claim list fails (nothing to verify).
+#pragma once
+
+#include <vector>
+
+#include "detect/corpus.hpp"
+#include "detect/vulnerability.hpp"
+
+namespace sc::detect {
+
+struct VerifResult {
+  bool accepted = false;
+  std::size_t valid_claims = 0;
+  std::size_t invalid_claims = 0;
+};
+
+/// Verifies a batch of claimed findings against one system's ground truth.
+/// `strict` rejects the whole report on any invalid claim (the default,
+/// mirroring SCA verification); non-strict accepts if a majority verifies.
+VerifResult auto_verify(const IoTSystem& system, const std::vector<Finding>& claims,
+                        bool strict = true);
+
+}  // namespace sc::detect

@@ -1,0 +1,64 @@
+#include "detect/corpus.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sc::detect {
+
+const Vulnerability* IoTSystem::find_vulnerability(std::uint64_t id) const {
+  for (const Vulnerability& v : ground_truth)
+    if (v.id == id) return &v;
+  return nullptr;
+}
+
+Vulnerability Corpus::make_vulnerability(const SeverityMix& mix) {
+  Vulnerability v;
+  v.id = next_vuln_id_++;
+  const double total = mix.high + mix.medium + mix.low;
+  const double pick = rng_.uniform01() * total;
+  if (pick < mix.high) {
+    v.severity = Severity::kHigh;
+    v.detectability = 0.5 + 0.4 * rng_.uniform01();   // subtle but critical
+  } else if (pick < mix.high + mix.medium) {
+    v.severity = Severity::kMedium;
+    v.detectability = 0.6 + 0.35 * rng_.uniform01();
+  } else {
+    v.severity = Severity::kLow;
+    v.detectability = 0.7 + 0.3 * rng_.uniform01();   // lint-level, easy to spot
+  }
+  v.description = std::string("SIM-VULN-") + std::to_string(v.id) + " (" +
+                  severity_name(v.severity) + ")";
+  return v;
+}
+
+IoTSystem Corpus::make_system(std::string name, std::string version,
+                              std::size_t vuln_count, const SeverityMix& mix) {
+  IoTSystem sys;
+  sys.name = std::move(name);
+  sys.version = std::move(version);
+  // Synthesize a firmware image: random bytes sized 4-16 KiB, so image
+  // hashes, download checks and tamper tests operate on genuine content.
+  rng_.fill(sys.image, 4096 + rng_.uniform(12288));
+  for (std::size_t i = 0; i < vuln_count; ++i)
+    sys.ground_truth.push_back(make_vulnerability(mix));
+  sys.image_hash = crypto::Sha256::digest(sys.image);
+  systems_.push_back(sys);
+  return sys;
+}
+
+IoTSystem Corpus::make_release(std::string name, std::string version, double vp,
+                               double mean_vulns, const SeverityMix& mix) {
+  std::size_t count = 0;
+  if (rng_.bernoulli(vp)) {
+    count = 1;
+    if (mean_vulns > 1.0) count += rng_.poisson(mean_vulns - 1.0);
+  }
+  return make_system(std::move(name), std::move(version), count, mix);
+}
+
+const IoTSystem* Corpus::find(const crypto::Hash256& image_hash) const {
+  for (const IoTSystem& sys : systems_)
+    if (sys.image_hash == image_hash) return &sys;
+  return nullptr;
+}
+
+}  // namespace sc::detect

@@ -1,0 +1,66 @@
+// Synthetic IoT system corpus with injected ground-truth vulnerabilities.
+//
+// Substitute for the real firmware/apps the paper scans (Samsung Connect /
+// Smart Home, Table I): each generated system carries an opaque binary image
+// (so U_h and download verification are real hashes over real bytes) plus a
+// hidden ground-truth vulnerability list that scanners sample from and
+// AutoVerif checks against.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/hash_types.hpp"
+#include "detect/vulnerability.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace sc::detect {
+
+struct IoTSystem {
+  std::string name;
+  std::string version;
+  util::Bytes image;            ///< The "firmware binary" detectors download.
+  crypto::Hash256 image_hash;   ///< U_h in the SRA.
+  std::vector<Vulnerability> ground_truth;
+
+  const Vulnerability* find_vulnerability(std::uint64_t id) const;
+  bool is_vulnerable() const { return !ground_truth.empty(); }
+};
+
+/// Severity mix for vulnerability injection.
+struct SeverityMix {
+  double high = 0.2;
+  double medium = 0.4;
+  double low = 0.4;
+};
+
+/// Generates IoT systems with reproducible ids and ground truth.
+class Corpus {
+ public:
+  explicit Corpus(std::uint64_t seed) : rng_(seed) {}
+
+  /// Creates a system with exactly `vuln_count` injected vulnerabilities.
+  IoTSystem make_system(std::string name, std::string version,
+                        std::size_t vuln_count, const SeverityMix& mix = {});
+
+  /// Creates a system that is vulnerable with probability `vp`; when it is,
+  /// the vulnerability count is 1 + Poisson(mean_vulns - 1). This is the
+  /// "vulnerability proportion" knob of Figs. 4b/5/6.
+  IoTSystem make_release(std::string name, std::string version, double vp,
+                         double mean_vulns, const SeverityMix& mix = {});
+
+  /// Registered lookup across everything generated so far.
+  const IoTSystem* find(const crypto::Hash256& image_hash) const;
+  const std::vector<IoTSystem>& systems() const { return systems_; }
+
+ private:
+  Vulnerability make_vulnerability(const SeverityMix& mix);
+
+  util::Rng rng_;
+  std::uint64_t next_vuln_id_ = 1;
+  std::vector<IoTSystem> systems_;
+};
+
+}  // namespace sc::detect

@@ -1,0 +1,98 @@
+#include "detect/description.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <vector>
+
+#include "crypto/keccak.hpp"
+#include "util/bytes.hpp"
+
+namespace sc::detect {
+
+namespace {
+
+constexpr std::array kStopWords = {
+    "a",  "an",  "and", "at",  "by", "for", "in", "into",
+    "is", "of",  "on",  "or",  "the", "to", "via", "with",
+};
+
+bool is_stop_word(const std::string& token) {
+  return std::find(kStopWords.begin(), kStopWords.end(), token) != kStopWords.end();
+}
+
+std::vector<std::string> tokenize_normalized(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty() && !is_stop_word(current)) tokens.push_back(current);
+    current.clear();
+  };
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+}  // namespace
+
+std::string normalize_description(std::string_view description) {
+  const std::vector<std::string> tokens = tokenize_normalized(description);
+  std::string out;
+  for (const std::string& token : tokens) {
+    if (!out.empty()) out.push_back(' ');
+    out += token;
+  }
+  return out;
+}
+
+crypto::Hash256 description_fingerprint(std::string_view description) {
+  return crypto::keccak256(util::as_bytes(normalize_description(description)));
+}
+
+bool same_vulnerability_description(std::string_view a, std::string_view b) {
+  return description_fingerprint(a) == description_fingerprint(b);
+}
+
+std::string vary_wording(util::Rng& rng, std::string_view description) {
+  // Tokenize WITHOUT canonicalization (keep original casing), then apply
+  // scanner-style noise: shuffle order, randomize case, sprinkle stop-words
+  // and punctuation.
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : description) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  rng.shuffle(tokens);
+
+  std::string out;
+  for (std::string& token : tokens) {
+    if (!out.empty()) out += rng.bernoulli(0.2) ? ", " : " ";
+    if (rng.bernoulli(0.3)) {
+      // A connective that canonicalization strips.
+      out += std::string(kStopWords[rng.uniform(kStopWords.size())]) + " ";
+    }
+    for (char& c : token) {
+      if (rng.bernoulli(0.3))
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    out += token;
+  }
+  if (rng.bernoulli(0.5)) out += rng.bernoulli(0.5) ? "!" : ".";
+  return out;
+}
+
+}  // namespace sc::detect

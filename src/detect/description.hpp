@@ -1,0 +1,36 @@
+// Canonicalization of vulnerability descriptions — the "N-version
+// vulnerability descriptions" problem (paper Section VIII).
+//
+// Different detectors word the same vulnerability differently ("Heap buffer
+// overflow in OTA parser" vs "buffer-overflow (heap) in the OTA parser!").
+// The paper defers to Vigilante's common description language / CloudAV's
+// aggregation; we implement the aggregation side: a canonical fingerprint
+// that is invariant under casing, punctuation, token order and stop-words,
+// so providers can dedup same-vulnerability reports even without shared
+// ground-truth identifiers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "crypto/hash_types.hpp"
+#include "util/rng.hpp"
+
+namespace sc::detect {
+
+/// Canonical form: lowercase, alphanumeric tokens only, stop-words removed,
+/// tokens sorted and deduplicated, single-space joined.
+std::string normalize_description(std::string_view description);
+
+/// Keccak-256 over the canonical form.
+crypto::Hash256 description_fingerprint(std::string_view description);
+
+/// True when two wordings canonicalize to the same fingerprint.
+bool same_vulnerability_description(std::string_view a, std::string_view b);
+
+/// Produces a reworded variant of a description (case shuffling, token
+/// permutation, punctuation noise, stop-word injection) — a test generator
+/// simulating how independent scanners phrase the same finding.
+std::string vary_wording(util::Rng& rng, std::string_view description);
+
+}  // namespace sc::detect

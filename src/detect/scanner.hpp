@@ -1,0 +1,56 @@
+// Scanner models: third-party detection services and detector engines.
+//
+// Table I's message is that independent services have wildly different,
+// partially-overlapping coverage (two find nothing, one floods low-risk
+// findings). We model a scanner as a biased sampler over the ground truth:
+// per-severity coverage multipliers × overall capability, plus a false-
+// positive stream. Profiles mimicking the six services in Table I ship as
+// presets; the detector economy (Fig. 6) uses thread-scaled capability.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/corpus.hpp"
+#include "detect/vulnerability.hpp"
+#include "util/rng.hpp"
+
+namespace sc::detect {
+
+struct ScannerProfile {
+  std::string name;
+  double capability = 1.0;      ///< Overall multiplier on detectability.
+  double high_bias = 1.0;       ///< Per-severity coverage multipliers.
+  double medium_bias = 1.0;
+  double low_bias = 1.0;
+  double false_positive_rate = 0.0;  ///< Expected FPs per scan (Poisson mean).
+};
+
+class Scanner {
+ public:
+  explicit Scanner(ScannerProfile profile) : profile_(std::move(profile)) {}
+
+  const ScannerProfile& profile() const { return profile_; }
+
+  /// Scans a system: each ground-truth vulnerability is found independently
+  /// with probability min(1, detectability · capability · severity_bias);
+  /// false positives are appended per the profile.
+  std::vector<Finding> scan(const IoTSystem& system, util::Rng& rng) const;
+
+  /// Effective detection capability DC_i against an average vulnerability
+  /// (the probability model of Section VI-B).
+  double detection_capability() const;
+
+ private:
+  ScannerProfile profile_;
+};
+
+/// The six third-party profiles calibrated to Table I's qualitative shape
+/// (two silent services, one heavy-tail service, three moderate ones).
+std::vector<ScannerProfile> table1_service_profiles();
+
+/// A detector whose capability scales with its allocated threads, as in the
+/// paper's Fig. 6 testbed (threads 1..8).
+ScannerProfile thread_scaled_profile(unsigned threads, unsigned max_threads = 8);
+
+}  // namespace sc::detect

@@ -1,0 +1,38 @@
+#include "sim/mining.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace sc::sim {
+
+MiningRace::MiningRace(std::vector<double> hash_powers, double mean_block_time)
+    : weights_(std::move(hash_powers)), mean_block_time_(mean_block_time) {
+  assert(!weights_.empty());
+  total_ = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+  assert(total_ > 0.0);
+}
+
+MiningRace::Outcome MiningRace::next(util::Rng& rng) const {
+  Outcome out;
+  out.interval = rng.exponential(mean_block_time_);
+  // Categorical draw proportional to hashing power.
+  double pick = rng.uniform01() * total_;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    pick -= weights_[i];
+    if (pick <= 0.0) {
+      out.winner = i;
+      return out;
+    }
+  }
+  out.winner = weights_.size() - 1;  // float round-off fallback
+  return out;
+}
+
+double MiningRace::share_of(std::size_t i) const { return weights_[i] / total_; }
+
+void MiningRace::set_hash_power(std::size_t i, double weight) {
+  total_ += weight - weights_[i];
+  weights_[i] = weight;
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,53 @@
+#include "sim/network.hpp"
+
+namespace sc::sim {
+
+NodeId Network::add_node(MessageHandler handler) {
+  handlers_.push_back(std::move(handler));
+  return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+bool Network::severed(NodeId a, NodeId b) const {
+  return (part_a_.contains(a) && part_b_.contains(b)) ||
+         (part_a_.contains(b) && part_b_.contains(a));
+}
+
+double Network::sample_latency() {
+  double latency = config_.base_latency;
+  if (config_.latency_jitter > 0.0)
+    latency += sim_.rng().exponential(config_.latency_jitter);
+  return latency;
+}
+
+void Network::unicast(NodeId from, NodeId to, std::string topic, util::Bytes payload) {
+  if (to >= handlers_.size()) return;
+  ++sent_;
+  if (severed(from, to) || sim_.rng().bernoulli(config_.drop_rate)) {
+    ++dropped_;
+    return;
+  }
+  Message msg{from, std::move(topic), std::move(payload)};
+  sim_.after(sample_latency(), [this, to, msg = std::move(msg)] {
+    ++delivered_;
+    handlers_[to](msg);
+  });
+}
+
+void Network::broadcast(NodeId from, std::string topic, util::Bytes payload) {
+  for (NodeId to = 0; to < handlers_.size(); ++to) {
+    if (to == from) continue;
+    unicast(from, to, topic, payload);
+  }
+}
+
+void Network::partition(std::set<NodeId> group_a, std::set<NodeId> group_b) {
+  part_a_ = std::move(group_a);
+  part_b_ = std::move(group_b);
+}
+
+void Network::heal_partition() {
+  part_a_.clear();
+  part_b_.clear();
+}
+
+}  // namespace sc::sim

@@ -1,0 +1,33 @@
+#include "sim/simulator.hpp"
+
+namespace sc::sim {
+
+void Simulator::at(double when, EventFn fn) {
+  if (when < now_) when = now_;
+  queue_.push({when, seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // The queue is const-top; move out via const_cast on the function — the
+  // element is popped immediately after, so no observer sees the moved-from
+  // state.
+  Scheduled next = std::move(const_cast<Scheduled&>(queue_.top()));
+  queue_.pop();
+  now_ = next.time;
+  ++executed_;
+  next.fn();
+  return true;
+}
+
+void Simulator::run(std::uint64_t limit) {
+  for (std::uint64_t i = 0; i < limit && step(); ++i) {
+  }
+}
+
+void Simulator::run_until(double t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace sc::sim

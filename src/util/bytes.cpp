@@ -1,0 +1,25 @@
+#include "util/bytes.hpp"
+
+namespace sc::util {
+
+void append(Bytes& dst, ByteSpan src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+void append(Bytes& dst, std::string_view src) { append(dst, as_bytes(src)); }
+
+Bytes concat(std::initializer_list<ByteSpan> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) append(out, p);
+  return out;
+}
+
+bool ct_equal(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+}  // namespace sc::util

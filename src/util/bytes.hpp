@@ -1,0 +1,37 @@
+// Byte-buffer primitives shared by every SmartCrowd module.
+//
+// `Bytes` is the canonical owning buffer for wire data (hash preimages,
+// serialized records, VM code). Helpers here are deliberately small and
+// allocation-transparent; hot paths (hashing, VM) operate on spans.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, ByteSpan src);
+
+/// Appends the raw bytes of a string (no terminator).
+void append(Bytes& dst, std::string_view src);
+
+/// Concatenates any number of byte spans into a fresh buffer.
+Bytes concat(std::initializer_list<ByteSpan> parts);
+
+/// Returns the bytes of a string_view as a span (no copy).
+inline ByteSpan as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Constant-time equality for secret-adjacent comparisons (signatures, MACs).
+bool ct_equal(ByteSpan a, ByteSpan b);
+
+}  // namespace sc::util

@@ -1,0 +1,21 @@
+// Hex encoding/decoding for addresses, hashes and debug output.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace sc::util {
+
+/// Lower-case hex without prefix, e.g. "deadbeef".
+std::string to_hex(ByteSpan data);
+
+/// "0x"-prefixed lower-case hex (Ethereum display convention).
+std::string to_hex0x(ByteSpan data);
+
+/// Decodes hex (with or without "0x" prefix, any case).
+/// Returns nullopt on odd length or non-hex characters.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+}  // namespace sc::util

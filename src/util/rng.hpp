@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every experiment in the benchmark harness must be reproducible from a seed,
+// so all stochastic components (mining races, detection draws, network
+// latency) draw from an explicitly seeded Rng instance — never from global
+// state or the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace sc::util {
+
+/// SplitMix64: used to expand a single seed into stream state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+  /// Uniform in [0, bound) without modulo bias (bound > 0).
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi);
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+  /// Standard normal via Box–Muller.
+  double normal(double mean, double stddev);
+  /// Poisson-distributed count (Knuth for small mean, normal approx for large).
+  std::uint64_t poisson(double mean);
+  /// Fills a buffer with random bytes (for key generation in tests/sims).
+  void fill(Bytes& out, std::size_t n);
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sc::util

@@ -1,0 +1,63 @@
+// Canonical binary serialization used for every hashed/signed structure.
+//
+// SmartCrowd identifiers are hashes over serialized message bodies
+// (Δ_id = H(P_i || U_n || ...), Eq. 1/3/5 of the paper), so the encoding must
+// be deterministic and unambiguous. We use little-endian fixed-width integers
+// and length-prefixed byte strings (u32 length), matching across all modules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace sc::util {
+
+/// Appends primitives to an owned buffer in canonical form.
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Length-prefixed (u32) byte string.
+  void bytes(ByteSpan v);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view v);
+  /// Raw bytes with NO length prefix (fixed-width fields like hashes).
+  void raw(ByteSpan v);
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Cursor-based reader; every accessor returns nullopt on truncation, so
+/// decoders surface malformed wire data instead of reading garbage.
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<Bytes> bytes();
+  std::optional<std::string> str();
+  /// Reads exactly `n` raw bytes.
+  std::optional<Bytes> raw(std::size_t n);
+
+  bool empty() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sc::util

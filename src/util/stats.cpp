@@ -1,0 +1,48 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sc::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(sample.size())));
+  return sample[rank == 0 ? 0 : rank - 1];
+}
+
+Histogram::Histogram(double lo_in, double hi_in, std::size_t bins)
+    : lo(lo_in), hi(hi_in), counts(bins, 0) {}
+
+void Histogram::add(double x) {
+  const double width = (hi - lo) / static_cast<double>(counts.size());
+  auto idx = static_cast<std::int64_t>((x - lo) / width);
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts.size()) - 1);
+  ++counts[static_cast<std::size_t>(idx)];
+  ++total;
+}
+
+}  // namespace sc::util

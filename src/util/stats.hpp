@@ -1,0 +1,45 @@
+// Small statistics helpers for the benchmark harness and analytics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sc::util {
+
+/// Online accumulator for mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (nearest-rank on a copy; input left untouched).
+double percentile(std::vector<double> sample, double p);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// clamp into the end buckets. Used for the block-time plot (Fig. 3b).
+struct Histogram {
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x);
+
+  double lo, hi;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total = 0;
+};
+
+}  // namespace sc::util

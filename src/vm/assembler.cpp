@@ -1,0 +1,191 @@
+#include "vm/assembler.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "crypto/uint256.hpp"
+#include "util/hex.hpp"
+#include "vm/opcode.hpp"
+
+namespace sc::vm {
+
+namespace {
+
+struct Token {
+  std::size_t line;
+  std::string text;
+};
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  std::size_t line_no = 1;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back({line_no, current});
+      current.clear();
+    }
+  };
+  bool in_comment = false;
+  for (char c : source) {
+    if (c == '\n') {
+      flush();
+      in_comment = false;
+      ++line_no;
+      continue;
+    }
+    if (in_comment) continue;
+    if (c == ';' || c == '#') {
+      flush();
+      in_comment = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == ',') {
+      flush();
+      continue;
+    }
+    current.push_back(c);
+  }
+  flush();
+  return tokens;
+}
+
+/// Parses "0x..." hex or decimal into a U256; nullopt on garbage.
+std::optional<crypto::U256> parse_immediate(const std::string& s) {
+  if (s.starts_with("0x") || s.starts_with("0X")) {
+    const std::string_view hex = std::string_view(s).substr(2);
+    if (hex.empty() || hex.size() > 64) return std::nullopt;
+    for (char c : hex)
+      if (!std::isxdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    return crypto::U256::from_hex(hex);
+  }
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return crypto::U256{v};
+}
+
+/// Minimum bytes needed to represent the value (at least 1).
+unsigned immediate_width(const crypto::U256& v) {
+  const unsigned bits = v.bit_length();
+  return bits == 0 ? 1 : (bits + 7) / 8;
+}
+
+void emit_push(util::Bytes& code, const crypto::U256& v, unsigned width) {
+  code.push_back(static_cast<std::uint8_t>(0x60 + width - 1));
+  std::uint8_t be[32];
+  v.to_be_bytes(be);
+  for (unsigned i = 0; i < width; ++i) code.push_back(be[32 - width + i]);
+}
+
+}  // namespace
+
+AssembleResult assemble(std::string_view source) {
+  AssembleResult result;
+  const std::vector<Token> tokens = tokenize(source);
+
+  std::map<std::string, std::size_t> labels;
+  struct Fixup {
+    std::size_t code_offset;  ///< Position of the 2 offset bytes.
+    std::string label;
+    std::size_t line;
+  };
+  std::vector<Fixup> fixups;
+  util::Bytes& code = result.code;
+
+  auto fail = [&](std::size_t line, std::string msg) {
+    result.code.clear();
+    result.error = AssembleError{line, std::move(msg)};
+    return result;
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const auto& [line, text] = tokens[i];
+
+    if (text.ends_with(':')) {
+      const std::string name = text.substr(0, text.size() - 1);
+      if (name.empty()) return fail(line, "empty label name");
+      if (labels.count(name)) return fail(line, "duplicate label '" + name + "'");
+      labels[name] = code.size();
+      continue;
+    }
+
+    if (text == "PUSHL") {
+      if (i + 1 >= tokens.size()) return fail(line, "PUSHL needs @label operand");
+      const std::string& operand = tokens[++i].text;
+      if (!operand.starts_with('@')) return fail(line, "PUSHL operand must be @label");
+      code.push_back(0x61);  // PUSH2
+      fixups.push_back({code.size(), operand.substr(1), line});
+      code.push_back(0);
+      code.push_back(0);
+      continue;
+    }
+
+    if (text == "PUSH") {  // auto-sized
+      if (i + 1 >= tokens.size()) return fail(line, "PUSH needs an immediate");
+      const auto value = parse_immediate(tokens[++i].text);
+      if (!value) return fail(line, "bad immediate '" + tokens[i].text + "'");
+      emit_push(code, *value, immediate_width(*value));
+      continue;
+    }
+
+    const auto opcode = op_from_name(text);
+    if (!opcode) return fail(line, "unknown mnemonic '" + text + "'");
+
+    if (is_push(*opcode)) {
+      const unsigned width = push_size(*opcode);
+      if (i + 1 >= tokens.size()) return fail(line, text + " needs an immediate");
+      const auto value = parse_immediate(tokens[++i].text);
+      if (!value) return fail(line, "bad immediate '" + tokens[i].text + "'");
+      if (immediate_width(*value) > width)
+        return fail(line, "immediate too wide for " + text);
+      emit_push(code, *value, width);
+      continue;
+    }
+
+    code.push_back(*opcode);
+  }
+
+  for (const Fixup& fixup : fixups) {
+    const auto it = labels.find(fixup.label);
+    if (it == labels.end())
+      return fail(fixup.line, "undefined label '" + fixup.label + "'");
+    if (it->second > 0xffff) return fail(fixup.line, "label offset exceeds PUSH2");
+    code[fixup.code_offset] = static_cast<std::uint8_t>(it->second >> 8);
+    code[fixup.code_offset + 1] = static_cast<std::uint8_t>(it->second);
+  }
+
+  return result;
+}
+
+std::string disassemble(util::ByteSpan code) {
+  std::ostringstream out;
+  for (std::size_t pc = 0; pc < code.size();) {
+    const std::uint8_t byte = code[pc];
+    out << pc << ": ";
+    const auto name = op_name(byte);
+    if (!name) {
+      out << "INVALID(0x" << util::to_hex({&byte, 1}) << ")\n";
+      ++pc;
+      continue;
+    }
+    out << *name;
+    if (is_push(byte)) {
+      const unsigned n = push_size(byte);
+      out << " 0x";
+      for (unsigned i = 0; i < n && pc + 1 + i < code.size(); ++i) {
+        const std::uint8_t imm = code[pc + 1 + i];
+        out << util::to_hex({&imm, 1});
+      }
+      pc += 1 + n;
+    } else {
+      ++pc;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sc::vm

@@ -1,0 +1,41 @@
+// Two-pass assembler for SCVM bytecode.
+//
+// The SmartCrowd registry contract ships as assembly text (mirroring the
+// paper's 350-line Solidity contract); this assembler turns it into
+// executable bytecode. Grammar, one statement per line:
+//
+//   ; comment                      -- ';' or '#' to end of line
+//   label:                         -- define a jump target (emits nothing)
+//   JUMPDEST                       -- must follow a label to be jumpable
+//   PUSH1 0xff / PUSH4 1234        -- sized push with hex or decimal immediate
+//   PUSH 0x1234                    -- auto-sized to the smallest PUSHn
+//   PUSHL @label                   -- PUSH2 of a label's byte offset (pass 2)
+//   ADD, SSTORE, ...               -- any bare opcode mnemonic
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace sc::vm {
+
+struct AssembleError {
+  std::size_t line = 0;  ///< 1-based source line.
+  std::string message;
+};
+
+struct AssembleResult {
+  util::Bytes code;
+  std::optional<AssembleError> error;
+
+  bool ok() const { return !error.has_value(); }
+};
+
+/// Assembles source text; on error, `code` is empty and `error` set.
+AssembleResult assemble(std::string_view source);
+
+/// Disassembles bytecode to one-instruction-per-line text (debug aid).
+std::string disassemble(util::ByteSpan code);
+
+}  // namespace sc::vm

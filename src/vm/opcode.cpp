@@ -1,0 +1,81 @@
+#include "vm/opcode.hpp"
+
+#include <array>
+#include <charconv>
+#include <string>
+
+namespace sc::vm {
+
+namespace {
+
+struct Entry {
+  std::uint8_t byte;
+  std::string_view name;
+};
+
+constexpr Entry kFixedOps[] = {
+    {0x00, "STOP"},     {0x01, "ADD"},      {0x02, "MUL"},         {0x03, "SUB"},
+    {0x04, "DIV"},      {0x05, "SDIV"},     {0x06, "MOD"},         {0x07, "SMOD"},
+    {0x0a, "EXP"},      {0x0b, "SIGNEXTEND"},
+    {0x10, "LT"},       {0x11, "GT"},       {0x12, "SLT"},         {0x13, "SGT"},
+    {0x14, "EQ"},       {0x15, "ISZERO"},   {0x16, "AND"},
+    {0x17, "OR"},       {0x18, "XOR"},      {0x19, "NOT"},         {0x1a, "BYTE"},
+    {0x1b, "SHL"},      {0x1c, "SHR"},      {0x20, "KECCAK"},      {0x30, "ADDRESS"},
+    {0x31, "BALANCE"},  {0x33, "CALLER"},   {0x34, "CALLVALUE"},
+    {0x35, "CALLDATALOAD"}, {0x36, "CALLDATASIZE"}, {0x37, "CALLDATACOPY"},
+    {0x42, "TIMESTAMP"},{0x43, "NUMBER"},   {0x47, "SELFBALANCE"}, {0x50, "POP"},
+    {0x51, "MLOAD"},    {0x52, "MSTORE"},   {0x53, "MSTORE8"},     {0x54, "SLOAD"},
+    {0x55, "SSTORE"},   {0x56, "JUMP"},     {0x57, "JUMPI"},       {0x5a, "GAS"},
+    {0x5b, "JUMPDEST"}, {0xa0, "LOG0"},     {0xa1, "LOG1"},        {0xa2, "LOG2"},
+    {0xf0, "CALL"},     {0xf1, "TRANSFER"}, {0xf3, "RETURN"},      {0xfd, "REVERT"},
+};
+
+}  // namespace
+
+std::optional<std::string_view> op_name(std::uint8_t byte) {
+  for (const auto& e : kFixedOps)
+    if (e.byte == byte) return e.name;
+  // PUSH/DUP/SWAP families render through static storage tables built once.
+  static const std::array<std::string, 32> push_names = [] {
+    std::array<std::string, 32> a;
+    for (unsigned i = 0; i < 32; ++i) a[i] = "PUSH" + std::to_string(i + 1);
+    return a;
+  }();
+  static const std::array<std::string, 16> dup_names = [] {
+    std::array<std::string, 16> a;
+    for (unsigned i = 0; i < 16; ++i) a[i] = "DUP" + std::to_string(i + 1);
+    return a;
+  }();
+  static const std::array<std::string, 16> swap_names = [] {
+    std::array<std::string, 16> a;
+    for (unsigned i = 0; i < 16; ++i) a[i] = "SWAP" + std::to_string(i + 1);
+    return a;
+  }();
+  if (is_push(byte)) return push_names[push_size(byte) - 1];
+  if (is_dup(byte)) return dup_names[byte - 0x80];
+  if (is_swap(byte)) return swap_names[byte - 0x90];
+  return std::nullopt;
+}
+
+std::optional<std::uint8_t> op_from_name(std::string_view name) {
+  for (const auto& e : kFixedOps)
+    if (e.name == name) return e.byte;
+
+  auto parse_family = [&](std::string_view prefix, std::uint8_t base,
+                          unsigned max_n) -> std::optional<std::uint8_t> {
+    if (!name.starts_with(prefix)) return std::nullopt;
+    const std::string_view num = name.substr(prefix.size());
+    unsigned n = 0;
+    const auto [ptr, ec] = std::from_chars(num.data(), num.data() + num.size(), n);
+    if (ec != std::errc{} || ptr != num.data() + num.size()) return std::nullopt;
+    if (n < 1 || n > max_n) return std::nullopt;
+    return static_cast<std::uint8_t>(base + n - 1);
+  };
+
+  if (auto p = parse_family("PUSH", 0x60, 32)) return p;
+  if (auto d = parse_family("DUP", 0x80, 16)) return d;
+  if (auto s = parse_family("SWAP", 0x90, 16)) return s;
+  return std::nullopt;
+}
+
+}  // namespace sc::vm

@@ -1,0 +1,137 @@
+// SCVM instruction set and gas schedule.
+//
+// A compact, Ethereum-flavoured stack machine. Opcode numbering follows the
+// EVM where a direct counterpart exists so readers can map the SmartCrowd
+// contract back to the paper's Solidity prototype; the gas schedule mirrors
+// Ethereum's (Istanbul-era) costs so contract-deployment and report-submission
+// costs land in the same regime the paper measured (~0.095 / ~0.011 ether,
+// Section VII).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sc::vm {
+
+enum class Op : std::uint8_t {
+  kStop = 0x00,
+  kAdd = 0x01,
+  kMul = 0x02,
+  kSub = 0x03,
+  kDiv = 0x04,
+  kSDiv = 0x05,
+  kMod = 0x06,
+  kSMod = 0x07,
+  kExp = 0x0a,
+  kSignExtend = 0x0b,
+
+  kLt = 0x10,
+  kGt = 0x11,
+  kSLt = 0x12,
+  kSGt = 0x13,
+  kEq = 0x14,
+  kIsZero = 0x15,
+  kAnd = 0x16,
+  kOr = 0x17,
+  kXor = 0x18,
+  kNot = 0x19,
+  kByte = 0x1a,
+  kShl = 0x1b,
+  kShr = 0x1c,
+
+  kKeccak = 0x20,
+
+  kBalance = 0x31,   ///< [addr] -> balance of addr (in µeth).
+  kCaller = 0x33,
+  kCallValue = 0x34,
+  kCallDataLoad = 0x35,
+  kCallDataSize = 0x36,
+  kCallDataCopy = 0x37,
+  kTimestamp = 0x42,
+  kNumber = 0x43,
+  kSelfBalance = 0x47,
+  kSelfAddress = 0x30,
+
+  kPop = 0x50,
+  kMLoad = 0x51,
+  kMStore = 0x52,
+  kMStore8 = 0x53,
+  kSLoad = 0x54,
+  kSStore = 0x55,
+  kJump = 0x56,
+  kJumpI = 0x57,
+  kGas = 0x5a,
+  kJumpDest = 0x5b,
+
+  kPush1 = 0x60,  // ... through kPush32 = 0x7f
+  kPush32 = 0x7f,
+  kDup1 = 0x80,  // ... through kDup16 = 0x8f
+  kDup16 = 0x8f,
+  kSwap1 = 0x90,  // ... through kSwap16 = 0x9f
+  kSwap16 = 0x9f,
+
+  kLog0 = 0xa0,
+  kLog1 = 0xa1,
+  kLog2 = 0xa2,
+
+  kCall = 0xf0,      ///< Inter-contract call, see vm.cpp for operand layout.
+  kTransfer = 0xf1,  ///< [to_addr, amount] value transfer out of the contract.
+  kReturn = 0xf3,
+  kRevert = 0xfd,
+};
+
+/// Gas costs (Ethereum Istanbul-flavoured).
+namespace gas {
+inline constexpr std::uint64_t kTxBase = 21000;
+inline constexpr std::uint64_t kTxDataZeroByte = 4;
+inline constexpr std::uint64_t kTxDataNonZeroByte = 16;
+inline constexpr std::uint64_t kCodeDepositPerByte = 200;
+
+inline constexpr std::uint64_t kVeryLow = 3;     // arith/logic, push/dup/swap, mload/mstore
+inline constexpr std::uint64_t kLow = 5;         // mul/div/mod
+inline constexpr std::uint64_t kMid = 8;         // jump
+inline constexpr std::uint64_t kHigh = 10;       // jumpi
+inline constexpr std::uint64_t kBase = 2;        // pop, env reads
+inline constexpr std::uint64_t kJumpDest = 1;
+inline constexpr std::uint64_t kKeccakBase = 30;
+inline constexpr std::uint64_t kKeccakPerWord = 6;
+inline constexpr std::uint64_t kBalanceOp = 700;
+inline constexpr std::uint64_t kSLoad = 800;
+inline constexpr std::uint64_t kSStoreSet = 20000;    // zero -> non-zero
+inline constexpr std::uint64_t kSStoreReset = 5000;   // non-zero -> any
+inline constexpr std::uint64_t kSStoreClearRefund = 15000;  // non-zero -> zero
+inline constexpr std::uint64_t kLogBase = 375;
+inline constexpr std::uint64_t kLogPerTopic = 375;
+inline constexpr std::uint64_t kLogPerByte = 8;
+inline constexpr std::uint64_t kTransferOp = 9000;
+inline constexpr std::uint64_t kMemoryPerWord = 3;
+inline constexpr std::uint64_t kCallOp = 700;      // base cost of CALL
+inline constexpr std::uint64_t kCallValueExtra = 9000;  // when value > 0
+inline constexpr std::uint64_t kExpBase = 10;
+inline constexpr std::uint64_t kExpPerByte = 50;   // per byte of exponent
+inline constexpr std::uint64_t kCopyPerWord = 3;   // calldatacopy payload
+}  // namespace gas
+
+/// Mnemonic for disassembly/assembler; nullopt for undefined bytes.
+std::optional<std::string_view> op_name(std::uint8_t byte);
+/// Parses a mnemonic (e.g. "PUSH4", "SSTORE"); nullopt if unknown.
+std::optional<std::uint8_t> op_from_name(std::string_view name);
+
+inline bool is_push(std::uint8_t b) {
+  return b >= static_cast<std::uint8_t>(Op::kPush1) &&
+         b <= static_cast<std::uint8_t>(Op::kPush32);
+}
+inline unsigned push_size(std::uint8_t b) {
+  return b - static_cast<std::uint8_t>(Op::kPush1) + 1;
+}
+inline bool is_dup(std::uint8_t b) {
+  return b >= static_cast<std::uint8_t>(Op::kDup1) &&
+         b <= static_cast<std::uint8_t>(Op::kDup16);
+}
+inline bool is_swap(std::uint8_t b) {
+  return b >= static_cast<std::uint8_t>(Op::kSwap1) &&
+         b <= static_cast<std::uint8_t>(Op::kSwap16);
+}
+
+}  // namespace sc::vm

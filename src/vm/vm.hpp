@@ -1,0 +1,108 @@
+// The SCVM interpreter: a gas-metered 256-bit stack machine.
+//
+// The chain's executor runs contract code through this VM; the host
+// abstraction below is the only channel through which code touches world
+// state, so the VM itself stays deterministic and side-effect free. Execution
+// either succeeds (possibly with return data), reverts (state changes must be
+// rolled back by the host layer), or fails with out-of-gas / invalid
+// operation (all gas consumed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/hash_types.hpp"
+#include "crypto/uint256.hpp"
+#include "util/bytes.hpp"
+#include "vm/opcode.hpp"
+
+namespace sc::vm {
+
+using crypto::Address;
+using crypto::U256;
+
+/// A log record emitted by LOG0..LOG2 (the contract's event channel; the
+/// SmartCrowd contract announces payouts through these).
+struct LogEntry {
+  Address contract;
+  std::vector<U256> topics;
+  util::Bytes data;
+};
+
+/// World-state access surface. The chain layer implements this over its
+/// account state; tests implement it over simple maps.
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  virtual U256 get_storage(const Address& contract, const U256& key) = 0;
+  virtual void set_storage(const Address& contract, const U256& key, const U256& value) = 0;
+  /// Account balance in µeth.
+  virtual std::uint64_t balance(const Address& account) = 0;
+  /// Moves value between accounts; false if `from` lacks funds.
+  virtual bool transfer(const Address& from, const Address& to, std::uint64_t amount) = 0;
+  virtual void emit_log(LogEntry entry) = 0;
+  /// Block environment.
+  virtual std::uint64_t block_timestamp() = 0;
+  virtual std::uint64_t block_number() = 0;
+
+  // -- Inter-contract calls (CALL opcode) ------------------------------------
+  /// Runtime code of an account (empty for EOAs). Default: no code anywhere,
+  /// which makes every CALL a plain value transfer.
+  virtual util::Bytes account_code(const Address&) { return {}; }
+  /// Checkpoints world state before a sub-call; `revert_to` undoes all
+  /// mutations made after the matching snapshot. Hosts that do not support
+  /// nesting may return 0 / ignore (fine when account_code is empty).
+  virtual std::uint64_t snapshot() { return 0; }
+  virtual void revert_to(std::uint64_t) {}
+};
+
+/// Call environment for one execution.
+struct Context {
+  Address contract;        ///< Account whose code runs / whose storage is touched.
+  Address caller;          ///< msg.sender.
+  std::uint64_t value = 0; ///< msg.value in µeth (already credited by executor).
+  util::Bytes calldata;
+  std::uint64_t gas_limit = 0;
+  std::size_t call_depth = 0;  ///< Incremented per nested CALL.
+};
+
+enum class Outcome {
+  kSuccess,
+  kRevert,        ///< Explicit REVERT: caller must roll back state.
+  kOutOfGas,
+  kInvalidOp,     ///< Undefined opcode, bad jump, stack under/overflow.
+  kTransferFailed ///< TRANSFER with insufficient contract balance.
+};
+
+struct ExecResult {
+  Outcome outcome = Outcome::kSuccess;
+  std::uint64_t gas_used = 0;
+  /// Accumulated storage-clearing refund (kSStoreClearRefund per cleared
+  /// slot). Only meaningful on success; the executor caps the credit at
+  /// gas_used/2 when settling the transaction (Ethereum semantics).
+  std::uint64_t gas_refund = 0;
+  util::Bytes return_data;
+  std::string error;  ///< Human-readable detail for non-success outcomes.
+
+  bool ok() const { return outcome == Outcome::kSuccess; }
+};
+
+/// Executes `code` in the given context against `host`.
+///
+/// The VM does not snapshot state; the caller (chain executor) wraps the call
+/// in a state checkpoint and rolls back on any non-success outcome.
+ExecResult execute(Host& host, const Context& ctx, util::ByteSpan code);
+
+/// Gas charged for a transaction's intrinsic cost (base + calldata bytes).
+std::uint64_t intrinsic_gas(util::ByteSpan calldata);
+
+/// Maximum stack depth (matching EVM).
+inline constexpr std::size_t kMaxStack = 1024;
+/// Hard cap on memory growth per execution, to bound simulation cost.
+inline constexpr std::size_t kMaxMemory = 1 << 20;
+/// Maximum CALL nesting depth.
+inline constexpr std::size_t kMaxCallDepth = 64;
+
+}  // namespace sc::vm

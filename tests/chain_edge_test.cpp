@@ -1,0 +1,293 @@
+// Chain edge cases: reorgs over protocol records, executor corner cases,
+// fee-market behaviour, state snapshots.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "chain/mempool.hpp"
+#include "chain/pow.hpp"
+#include "util/rng.hpp"
+#include "vm/assembler.hpp"
+
+namespace sc::chain {
+namespace {
+
+crypto::KeyPair key(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return crypto::KeyPair::generate(rng);
+}
+
+Transaction transfer(const crypto::KeyPair& from, const Address& to, Amount value,
+                     std::uint64_t nonce) {
+  Transaction tx;
+  tx.kind = TxKind::kTransfer;
+  tx.nonce = nonce;
+  tx.to = to;
+  tx.value = value;
+  tx.gas_limit = 21000;
+  tx.sign_with(from);
+  return tx;
+}
+
+TEST(ChainReorg, ProtocolRecordsFollowCanonicalChain) {
+  const auto alice = key(1);
+  const auto miner = key(2);
+  Blockchain chain(GenesisConfig{{{alice.address(), 100 * kEther}}, 0, 1});
+
+  // Branch A: one block with an SRA record.
+  Transaction sra_tx = transfer(alice, miner.address(), 1, 0);
+  sra_tx.protocol = ProtocolKind::kSra;
+  sra_tx.protocol_payload = util::Bytes{0xAA};
+  sra_tx.sign_with(alice);
+  Block branch_a = chain.build_block_template(miner.address(), 10, 1, {sra_tx});
+  branch_a.header.nonce = *mine(branch_a.header, 10000);
+  ASSERT_TRUE(chain.submit_block(branch_a));
+  ASSERT_EQ(chain.protocol_records(ProtocolKind::kSra).size(), 1u);
+
+  // Branch B: heavier fork from genesis WITHOUT the record.
+  Block branch_b;
+  branch_b.header.height = 1;
+  branch_b.header.prev_id = chain.genesis_id();
+  branch_b.header.timestamp = 11;
+  branch_b.header.difficulty = 16;
+  branch_b.header.miner = key(3).address();
+  branch_b.seal_merkle_root();
+  branch_b.header.nonce = *mine(branch_b.header, 1'000'000);
+  ASSERT_TRUE(chain.submit_block(branch_b));
+
+  // The reorg removed the SRA from the canonical view...
+  EXPECT_EQ(chain.best_head(), branch_b.id());
+  EXPECT_TRUE(chain.protocol_records(ProtocolKind::kSra).empty());
+  EXPECT_FALSE(chain.find_transaction(sra_tx.id()).has_value());
+
+  // ...and a re-reorg brings it back (records are never lost, only re-ranked).
+  Block extend_a = Block{};
+  extend_a.header.height = 2;
+  extend_a.header.prev_id = branch_a.id();
+  extend_a.header.timestamp = 12;
+  extend_a.header.difficulty = 32;
+  extend_a.header.miner = miner.address();
+  extend_a.seal_merkle_root();
+  extend_a.header.nonce = *mine(extend_a.header, 10'000'000);
+  ASSERT_TRUE(chain.submit_block(extend_a));
+  EXPECT_EQ(chain.protocol_records(ProtocolKind::kSra).size(), 1u);
+}
+
+TEST(ChainReorg, StateSnapshotsIsolatedPerBranch) {
+  const auto alice = key(4);
+  const auto bob = key(5);
+  const auto miner = key(6);
+  Blockchain chain(GenesisConfig{{{alice.address(), 100 * kEther}}, 0, 1});
+
+  Block spend = chain.build_block_template(miner.address(), 10, 1,
+                                           {transfer(alice, bob.address(), 7, 0)});
+  spend.header.nonce = *mine(spend.header, 10000);
+  ASSERT_TRUE(chain.submit_block(spend));
+  EXPECT_EQ(chain.best_state().balance(bob.address()), 7u);
+
+  // The parent's snapshot is untouched by the child's execution.
+  const WorldState* genesis_state = chain.state_of(chain.genesis_id());
+  ASSERT_NE(genesis_state, nullptr);
+  EXPECT_EQ(genesis_state->balance(bob.address()), 0u);
+  EXPECT_EQ(genesis_state->balance(alice.address()), 100 * kEther);
+}
+
+TEST(ExecutorEdge, GasRefundOnlyForUnusedGas) {
+  const auto alice = key(7);
+  WorldState state;
+  state.add_balance(alice.address(), kEther);
+  BlockEnv env;
+  env.miner = key(8).address();
+
+  Transaction tx = transfer(alice, key(9).address(), 100, 0);
+  tx.gas_limit = 90000;  // far above the 21000 needed
+  tx.sign_with(alice);
+  const Receipt r = apply_transaction(state, env, tx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.gas_used, 21000u);
+  // Only 21000 * price was ultimately charged.
+  EXPECT_EQ(state.balance(alice.address()),
+            kEther - 100 - 21000 * kDefaultGasPrice);
+}
+
+TEST(ExecutorEdge, IntrinsicGasAboveLimitConsumesAll) {
+  const auto alice = key(10);
+  WorldState state;
+  state.add_balance(alice.address(), kEther);
+  BlockEnv env;
+
+  Transaction tx;
+  tx.kind = TxKind::kCall;
+  tx.to = key(11).address();
+  tx.gas_limit = 21001;
+  tx.data = util::Bytes(1000, 0xff);  // intrinsic cost far above limit
+  tx.sign_with(alice);
+  const Receipt r = apply_transaction(state, env, tx);
+  EXPECT_EQ(r.status, TxStatus::kOutOfGas);
+  EXPECT_EQ(r.gas_used, 21001u);
+  EXPECT_EQ(state.nonce(alice.address()), 1u);  // nonce still consumed
+}
+
+TEST(ExecutorEdge, DeployAddressCollisionReverts) {
+  const auto alice = key(12);
+  WorldState state;
+  state.add_balance(alice.address(), 10 * kEther);
+  BlockEnv env;
+  const auto code = vm::assemble("STOP");
+
+  // Pre-install code at the address the deploy would use.
+  const Address predicted = contract_address(alice.address(), 0);
+  state.set_code(predicted, util::Bytes{0x00});
+
+  Transaction tx;
+  tx.kind = TxKind::kDeploy;
+  tx.gas_limit = 200000;
+  tx.data = code.code;
+  tx.sign_with(alice);
+  const Receipt r = apply_transaction(state, env, tx);
+  EXPECT_EQ(r.status, TxStatus::kReverted);
+  EXPECT_EQ(r.error, "address collision");
+}
+
+TEST(ExecutorEdge, ZeroValueTransferStillChargesGas) {
+  const auto alice = key(13);
+  WorldState state;
+  state.add_balance(alice.address(), kEther);
+  BlockEnv env;
+  const Receipt r =
+      apply_transaction(state, env, transfer(alice, key(14).address(), 0, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(state.balance(alice.address()), kEther - 21000 * kDefaultGasPrice);
+}
+
+TEST(ExecutorEdge, SelfTransferConservesBalanceMinusFee) {
+  const auto alice = key(15);
+  WorldState state;
+  state.add_balance(alice.address(), kEther);
+  BlockEnv env;
+  const Receipt r =
+      apply_transaction(state, env, transfer(alice, alice.address(), 500, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(state.balance(alice.address()), kEther - 21000 * kDefaultGasPrice);
+}
+
+TEST(ExecutorEdge, ExactBalanceSpendable) {
+  const auto alice = key(16);
+  WorldState state;
+  const Amount fee = 21000 * kDefaultGasPrice;
+  state.add_balance(alice.address(), 100 + fee);
+  BlockEnv env;
+  const Receipt r =
+      apply_transaction(state, env, transfer(alice, key(17).address(), 100, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(state.balance(alice.address()), 0u);
+}
+
+TEST(ExecutorEdge, FeePriorityOrderingAcrossSenders) {
+  // Higher gas price gets mined first even when submitted later.
+  const auto low = key(18);
+  const auto high = key(19);
+  WorldState state;
+  state.add_balance(low.address(), kEther);
+  state.add_balance(high.address(), kEther);
+
+  Mempool pool;
+  Transaction cheap = transfer(low, key(20).address(), 1, 0);
+  cheap.gas_price = 50;
+  cheap.sign_with(low);
+  Transaction rich = transfer(high, key(20).address(), 1, 0);
+  rich.gas_price = 500;
+  rich.sign_with(high);
+  ASSERT_TRUE(pool.add(cheap));
+  ASSERT_TRUE(pool.add(rich));
+  const auto picked = pool.select(state, 1);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0].id(), rich.id());
+}
+
+TEST(ExecutorEdge, StorageClearRefundReducesFee) {
+  const auto alice = key(30);
+  WorldState state;
+  state.add_balance(alice.address(), 10 * kEther);
+  BlockEnv env;
+
+  // Contract with "set" (selector byte 1) and "clear" (byte 2) on slot 5.
+  const auto code = vm::assemble(R"(
+    PUSH1 0x00
+    CALLDATALOAD
+    PUSH1 0xf8
+    SHR
+    PUSH1 0x01
+    EQ
+    PUSHL @set
+    JUMPI
+    PUSH1 0x00
+    PUSH1 0x05
+    SSTORE
+    STOP
+  set:
+    JUMPDEST
+    PUSH1 0x2a
+    PUSH1 0x05
+    SSTORE
+    STOP
+  )");
+  ASSERT_TRUE(code.ok());
+  Transaction deploy;
+  deploy.kind = TxKind::kDeploy;
+  deploy.gas_limit = 500000;
+  deploy.data = code.code;
+  deploy.sign_with(alice);
+  const Receipt dr = apply_transaction(state, env, deploy);
+  ASSERT_TRUE(dr.ok());
+
+  auto invoke = [&](std::uint8_t selector) {
+    Transaction tx;
+    tx.kind = TxKind::kCall;
+    tx.nonce = state.nonce(alice.address());
+    tx.to = dr.contract_address;
+    tx.gas_limit = 100000;
+    tx.data = util::Bytes{selector};
+    tx.sign_with(alice);
+    return apply_transaction(state, env, tx);
+  };
+
+  const Receipt set = invoke(1);
+  ASSERT_TRUE(set.ok());
+  ASSERT_EQ(state.get_storage(dr.contract_address, crypto::U256{5}),
+            crypto::U256{0x2a});
+  const Receipt clear = invoke(2);
+  ASSERT_TRUE(clear.ok());
+  EXPECT_TRUE(state.get_storage(dr.contract_address, crypto::U256{5}).is_zero());
+  // The clear's refund (capped at gas/2) makes it cheaper than the set
+  // despite both paying the SSTORE reset/set costs up front.
+  EXPECT_LT(clear.gas_used, set.gas_used);
+  // Refund is capped: the clear still costs at least half its raw gas.
+  EXPECT_GE(clear.gas_used, (21000 + 16) / 2u);
+}
+
+TEST(ExecutorEdge, TotalSupplyInvariantUnderFailures) {
+  // Failed txs move value only between sender and miner (fees) — never
+  // create or destroy it.
+  const auto alice = key(21);
+  WorldState state;
+  state.add_balance(alice.address(), kEther);
+  BlockEnv env;
+  env.miner = key(22).address();
+
+  const auto reverting = vm::assemble("PUSH1 0x00\nPUSH1 0x00\nREVERT");
+  Transaction deploy;
+  deploy.kind = TxKind::kDeploy;
+  deploy.gas_limit = 300000;
+  deploy.data = reverting.code;
+  deploy.ctor_calldata = util::Bytes{1};
+  deploy.sign_with(alice);
+
+  const Amount before = state.total_supply();
+  const auto receipts =
+      apply_block_body(state, env, {deploy}, kBlockReward);
+  EXPECT_EQ(receipts[0].status, TxStatus::kReverted);
+  EXPECT_EQ(state.total_supply(), before + kBlockReward);
+}
+
+}  // namespace
+}  // namespace sc::chain

@@ -1,0 +1,77 @@
+// Attack harness: every adversary scenario from Sections III/IV must be
+// defeated by the protocol, and the ablations must show the defence matters.
+#include <gtest/gtest.h>
+
+#include "core/attacks.hpp"
+
+namespace sc::core::attacks {
+namespace {
+
+TEST(Attacks, SraSpoofingDefeated) {
+  const SpoofingOutcome outcome = run_sra_spoofing(1);
+  EXPECT_FALSE(outcome.any_accepted);
+  EXPECT_EQ(outcome.forged_signature_verdict, Verdict::kBadSignature);
+  EXPECT_EQ(outcome.stolen_identity_verdict, Verdict::kBadSignature);
+  EXPECT_EQ(outcome.uninsured_verdict, Verdict::kInsuranceMissing);
+}
+
+TEST(Attacks, ForgedReportDefeatedByAutoVerif) {
+  const ForgedReportOutcome outcome = run_forged_report(2);
+  EXPECT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.verdict, Verdict::kAutoVerifFailed);
+}
+
+TEST(Attacks, PlagiarismWinsWithoutTwoPhase) {
+  // Ablation: single-shot submission lets a copier front-run roughly half
+  // the time (it verifies fine — the content is genuine).
+  const PlagiarismOutcome outcome =
+      run_plagiarism_race(3, /*two_phase=*/false, 400, 0.5);
+  EXPECT_GT(outcome.attacker_win_rate(), 0.35);
+  EXPECT_LT(outcome.attacker_win_rate(), 0.65);
+}
+
+TEST(Attacks, PlagiarismDefeatedByTwoPhase) {
+  const PlagiarismOutcome outcome = run_plagiarism_race(4, /*two_phase=*/true, 400);
+  EXPECT_EQ(outcome.attacker_wins, 0u);
+}
+
+TEST(Attacks, TamperingAlwaysDetected) {
+  const TamperOutcome outcome = run_report_tampering(5, 100);
+  EXPECT_TRUE(outcome.all_detected()) << outcome.detected << "/" << outcome.mutations;
+}
+
+TEST(Attacks, CollusionFailsBelowMajority) {
+  for (double share : {0.10, 0.25, 0.40}) {
+    const CollusionOutcome outcome = run_collusion_fork_race(6, share, 600.0, 300);
+    EXPECT_LT(outcome.success_rate(), 0.20) << "share " << share;
+  }
+}
+
+TEST(Attacks, CollusionSucceedsWithMajority) {
+  // The 51%-attack boundary: a majority adversary eventually overtakes.
+  const CollusionOutcome outcome = run_collusion_fork_race(7, 0.65, 1200.0, 300);
+  EXPECT_GT(outcome.success_rate(), 0.80);
+}
+
+TEST(Attacks, CollusionMonotonicInHashShare) {
+  const double low = run_collusion_fork_race(8, 0.20, 600.0, 400).success_rate();
+  const double mid = run_collusion_fork_race(8, 0.45, 600.0, 400).success_rate();
+  const double high = run_collusion_fork_race(8, 0.60, 600.0, 400).success_rate();
+  EXPECT_LE(low, mid + 0.05);
+  EXPECT_LT(mid, high);
+}
+
+TEST(Attacks, RepudiationDefeatedByEscrow) {
+  const RepudiationOutcome outcome = run_repudiation(9);
+  EXPECT_TRUE(outcome.paid_with_escrow);
+  EXPECT_FALSE(outcome.paid_without_escrow);  // the ablation shows the gap
+}
+
+TEST(Attacks, OutcomesAreSeedDeterministic) {
+  const auto a = run_plagiarism_race(42, false, 100);
+  const auto b = run_plagiarism_race(42, false, 100);
+  EXPECT_EQ(a.attacker_wins, b.attacker_wins);
+}
+
+}  // namespace
+}  // namespace sc::core::attacks

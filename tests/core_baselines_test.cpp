@@ -1,0 +1,62 @@
+// Baseline comparison: centralized service vs unpaid N-version vs SmartCrowd.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+
+namespace sc::core::baselines {
+namespace {
+
+std::vector<detect::ScannerProfile> pool() {
+  std::vector<detect::ScannerProfile> detectors;
+  for (unsigned t = 1; t <= 8; ++t)
+    detectors.push_back(detect::thread_scaled_profile(t));
+  return detectors;
+}
+
+TEST(Baselines, CentralizedCoverageIsFlatAndPartial) {
+  const auto result =
+      centralized_service(detect::thread_scaled_profile(4), 10, 30, 1);
+  ASSERT_EQ(result.coverage_per_round.size(), 10u);
+  for (double c : result.coverage_per_round) {
+    EXPECT_GT(c, 0.1);
+    EXPECT_LT(c, 0.75);  // a single engine can't cover everything
+  }
+  for (double p : result.participation_per_round) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(Baselines, NVersionStartsHighThenDecays) {
+  const auto result = nversion_without_incentives(pool(), 15, 30, {}, 2);
+  // Round 0: everyone participates, union coverage is high.
+  EXPECT_GT(result.coverage_per_round.front(), 0.85);
+  // Participation decays without pay...
+  EXPECT_LT(result.participation_per_round.back(),
+            result.participation_per_round.front());
+  // ...and coverage follows.
+  EXPECT_LT(result.final_coverage(), result.coverage_per_round.front());
+}
+
+TEST(Baselines, SmartCrowdSustainsCoverage) {
+  const auto paid = smartcrowd_with_incentives(pool(), 15, 30, {}, 3);
+  EXPECT_GT(paid.final_coverage(), 0.85);
+  EXPECT_DOUBLE_EQ(paid.participation_per_round.back(), 1.0);
+}
+
+TEST(Baselines, SmartCrowdBeatsBothBaselinesAtHorizon) {
+  const auto central =
+      centralized_service(detect::thread_scaled_profile(4), 15, 30, 4);
+  const auto unpaid = nversion_without_incentives(pool(), 15, 30, {}, 4);
+  const auto paid = smartcrowd_with_incentives(pool(), 15, 30, {}, 4);
+  EXPECT_GT(paid.final_coverage(), central.final_coverage());
+  EXPECT_GT(paid.final_coverage(), unpaid.final_coverage());
+}
+
+TEST(Baselines, ParticipationFloorHolds) {
+  ParticipationModel model;
+  model.unpaid_retention = 0.2;  // brutal churn
+  model.floor = 0.25;
+  const auto result = nversion_without_incentives(pool(), 30, 10, model, 5);
+  EXPECT_GE(result.participation_per_round.back(), 0.25 - 1e-9);
+}
+
+}  // namespace
+}  // namespace sc::core::baselines

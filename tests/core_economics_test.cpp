@@ -1,0 +1,216 @@
+// Incentive equations (Eq. 7-14) and the VPB solver, including the
+// closed-form vs simulation agreement checks.
+#include <gtest/gtest.h>
+
+#include "core/economics.hpp"
+#include "core/platform.hpp"
+
+namespace sc::core {
+namespace {
+
+using chain::kEther;
+
+IncentiveParams paper_params() {
+  IncentiveParams p;
+  p.mu = 10.0;
+  p.nu = 5.0;
+  p.chi = 1.0;
+  p.psi = 0.011;
+  p.omega = 4.0;
+  p.c = 0.0;
+  p.cp = 0.095;
+  p.theta = 600.0;
+  p.vartheta = 15.35;
+  return p;
+}
+
+TEST(Incentives, Eq7DetectorIncentive) {
+  EXPECT_DOUBLE_EQ(detector_incentive(paper_params(), 3.0, 0.5), 10.0 * 3.0 * 0.5);
+}
+
+TEST(Incentives, Eq8ProviderIncentivePerBlock) {
+  const auto p = paper_params();
+  EXPECT_DOUBLE_EQ(provider_incentive_per_block(p), 5.0 + 0.011 * 4.0);
+}
+
+TEST(Incentives, Eq9Punishment) {
+  const auto p = paper_params();
+  EXPECT_DOUBLE_EQ(provider_punishment(p, {1.0, 0.5}), 10.0 * 1.5 + 0.095);
+  EXPECT_DOUBLE_EQ(provider_punishment(p, {}), 0.095);  // clean release: cp only
+}
+
+TEST(Incentives, Eq10DetectorCost) {
+  auto p = paper_params();
+  p.c = 0.002;
+  EXPECT_DOUBLE_EQ(detector_cost(p, 4.0, 0.5), 4.0 * (0.002 + 0.5 * 0.011));
+}
+
+TEST(Incentives, Eq11TotalCapabilityBounds) {
+  // Σ DC_i·ρ_i with Σρ ≤ 1 and DC ≤ 1 must stay in [0, 1].
+  const double dct = total_detection_capability({0.9, 0.8, 0.7}, {0.5, 0.3, 0.2});
+  EXPECT_GT(dct, 0.0);
+  EXPECT_LE(dct, 1.0);
+  EXPECT_DOUBLE_EQ(total_detection_capability({}, {}), 0.0);
+}
+
+TEST(Incentives, Eq11MoreDetectorsMoreCapability) {
+  // Adding detectors (with renormalized ρ) raises DC_T toward 1 — the
+  // paper's "increased m introduces larger DC_T" claim.
+  std::vector<double> dc2{0.5, 0.5};
+  std::vector<double> dc8(8, 0.5);
+  const double dct2 = total_detection_capability(dc2, expected_rho(dc2));
+  const double dct8 = total_detection_capability(dc8, expected_rho(dc8));
+  EXPECT_GT(dct8, dct2);
+  EXPECT_LE(dct8, 1.0);
+}
+
+TEST(Incentives, Eq13DetectorBalanceSigns) {
+  auto p = paper_params();
+  // Profitable: μ >> ψ.
+  EXPECT_GT(detector_balance(p, 4.0, 0.25, 0.5, 3600.0), 0.0);
+  // Unprofitable when the bounty is below the fee.
+  p.mu = 0.005;
+  EXPECT_LT(detector_balance(p, 4.0, 0.25, 0.5, 3600.0), 0.0);
+}
+
+TEST(Incentives, Eq14ProviderBalanceMonotonicInVp) {
+  const auto p = paper_params();
+  const double b_low = provider_balance(p, 0.149, 600.0, 0.01, 1000.0);
+  const double b_high = provider_balance(p, 0.149, 600.0, 0.10, 1000.0);
+  EXPECT_GT(b_low, b_high);
+}
+
+TEST(Incentives, SharesNormalize) {
+  const auto shares = normalized_shares({26.30, 22.10, 14.90, 12.30, 10.10});
+  double sum = 0.0;
+  for (double s : shares) sum += s;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(shares[0], shares[4]);
+}
+
+TEST(Incentives, ExpectedRhoSumsBelowOne) {
+  const auto rho = expected_rho({0.125, 0.25, 0.5, 1.0});
+  double sum = 0.0;
+  for (double r : rho) sum += r;
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  // Capable detectors get larger recording shares.
+  EXPECT_GT(rho[3], rho[0]);
+}
+
+TEST(Economics, VpbZeroBalancePoint) {
+  const auto p = paper_params();
+  const double vpb = solve_vpb(p, 0.149, 1000.0);
+  // Balance at VPB is zero by construction.
+  EXPECT_NEAR(provider_balance(p, 0.149, 600.0, vpb, 1000.0), 0.0, 1e-9);
+  // Sanity: the paper's Fig. 5a example lands at 0.038 for 14.9% HP, 10 min,
+  // 1000 eth. With θ = one release per 10 minutes, our closed form gives the
+  // same order: ζ·5.044·(600/15.35)/1000 ≈ 0.029.
+  EXPECT_GT(vpb, 0.015);
+  EXPECT_LT(vpb, 0.06);
+}
+
+TEST(Economics, VpbGrowsWithHashPower) {
+  const auto p = paper_params();
+  const auto vpbs =
+      vpb_by_hash_power(p, {26.30, 22.10, 14.90, 12.30, 10.10}, 1000.0);
+  ASSERT_EQ(vpbs.size(), 5u);
+  for (std::size_t i = 1; i < vpbs.size(); ++i) EXPECT_GT(vpbs[i - 1], vpbs[i]);
+}
+
+TEST(Economics, VpbShrinksWithInsurance) {
+  const auto p = paper_params();
+  EXPECT_GT(solve_vpb(p, 0.149, 250.0), solve_vpb(p, 0.149, 1000.0));
+}
+
+TEST(Economics, VpbClampedToUnitInterval) {
+  auto p = paper_params();
+  p.cp = 1e9;  // hopeless economics
+  EXPECT_DOUBLE_EQ(solve_vpb(p, 0.149, 1000.0), 0.0);
+  p.cp = 0.0;
+  EXPECT_LE(solve_vpb(p, 1.0, 0.001), 1.0);
+}
+
+TEST(Economics, BalanceAtVpOffsetsBracketZero) {
+  // Fig. 5b: at VPB the balance is ~0; ±0.01 swings it by ~±10 ether
+  // (insurance 1000 → 0.01·1000·(t/θ) = 10 eth for one release).
+  const auto p = paper_params();
+  const double at = balance_at_vp_offset(p, 0.149, 1000.0, 600.0, 0.0);
+  const double above = balance_at_vp_offset(p, 0.149, 1000.0, 600.0, +0.01);
+  const double below = balance_at_vp_offset(p, 0.149, 1000.0, 600.0, -0.01);
+  EXPECT_NEAR(at, 0.0, 1e-9);
+  EXPECT_NEAR(above, -10.0, 1e-6);
+  EXPECT_NEAR(below, +10.0, 1e-6);
+}
+
+TEST(Economics, PunishmentLinearInVpAndInsurance) {
+  const auto p = paper_params();
+  const double base = expected_punishment(p, 0.0, 1000.0, 600.0);
+  EXPECT_NEAR(base, 0.095, 1e-12);  // cp only
+  const double p1 = expected_punishment(p, 0.05, 1000.0, 600.0);
+  const double p2 = expected_punishment(p, 0.10, 1000.0, 600.0);
+  EXPECT_NEAR(p2 - p1, p1 - base, 1e-9);  // linear in VP
+  EXPECT_GT(expected_punishment(p, 0.05, 1000.0, 600.0),
+            expected_punishment(p, 0.05, 250.0, 600.0));  // slope ∝ insurance
+}
+
+// Property sweep: VPB monotonicity and balance signs over a parameter grid.
+class EconomicsGrid
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(EconomicsGrid, VpbStructureHolds) {
+  const auto [zeta, insurance, theta] = GetParam();
+  auto p = paper_params();
+  p.theta = theta;
+  const double vpb = solve_vpb(p, zeta, insurance);
+  ASSERT_GE(vpb, 0.0);
+  ASSERT_LE(vpb, 1.0);
+  if (vpb > 0.0 && vpb < 1.0) {
+    // Exactly break-even at VPB; strictly ordered around it.
+    EXPECT_NEAR(provider_balance(p, zeta, theta, vpb, insurance), 0.0, 1e-6);
+    EXPECT_GT(provider_balance(p, zeta, theta, vpb * 0.5, insurance), 0.0);
+    EXPECT_LT(provider_balance(p, zeta, theta, std::min(1.0, vpb * 1.5), insurance),
+              0.0);
+  }
+  // More hashing power never lowers VPB; more insurance never raises it.
+  EXPECT_GE(solve_vpb(p, std::min(1.0, zeta * 1.2), insurance), vpb - 1e-12);
+  EXPECT_LE(solve_vpb(p, zeta, insurance * 2.0), vpb + 1e-12);
+  // Punishment is non-decreasing in VP across the whole range.
+  double prev = -1.0;
+  for (double vp = 0.0; vp <= 1.0; vp += 0.1) {
+    const double pun = expected_punishment(p, vp, insurance, theta);
+    EXPECT_GE(pun, prev);
+    prev = pun;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EconomicsGrid,
+    ::testing::Combine(::testing::Values(0.05, 0.149, 0.30, 0.50),
+                       ::testing::Values(250.0, 1000.0, 4000.0),
+                       ::testing::Values(300.0, 600.0, 1800.0)));
+
+TEST(Economics, ClosedFormTracksSimulatedMiningIncome) {
+  // Cross-check Eq. 14's income term against the platform simulation.
+  PlatformConfig config;
+  for (double hp : {26.30, 22.10, 14.90, 12.30, 10.10})
+    config.providers.push_back({hp, 100'000 * kEther});
+  config.seed = 99;
+  Platform platform(std::move(config));
+  const double horizon = 9000.0;  // ~600 blocks
+  platform.run_for(horizon);
+
+  IncentiveParams p = platform.measured_params();
+  p.theta = 1e18;  // no releases: income only
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double zeta =
+        normalized_shares({26.30, 22.10, 14.90, 12.30, 10.10})[i];
+    const double predicted = provider_balance(p, zeta, horizon, 0.0, 0.0);
+    const double simulated =
+        chain::to_ether(platform.provider_stats(i).incentives());
+    // Mining is stochastic; agree within 25% for the larger miners.
+    EXPECT_NEAR(simulated / predicted, 1.0, 0.25) << "provider " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sc::core

@@ -1,0 +1,146 @@
+// Detector reputation and isolation (Section V-C's compromised-detector
+// filtering), unit level and end-to-end through the platform.
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "core/reputation.hpp"
+
+namespace sc::core {
+namespace {
+
+using chain::kEther;
+
+chain::Address addr(std::uint8_t tag) {
+  chain::Address a;
+  a.bytes.fill(tag);
+  return a;
+}
+
+TEST(ReputationLedger, IsolatesAfterThreshold) {
+  ReputationLedger ledger({.isolation_threshold = 3});
+  const auto cheater = addr(1);
+  EXPECT_FALSE(ledger.is_isolated(cheater));
+  ledger.record_strike(cheater);
+  ledger.record_strike(cheater);
+  EXPECT_FALSE(ledger.is_isolated(cheater));
+  ledger.record_strike(cheater);
+  EXPECT_TRUE(ledger.is_isolated(cheater));
+  EXPECT_EQ(ledger.isolated_count(), 1u);
+}
+
+TEST(ReputationLedger, ConfirmationsDoNotIsolate) {
+  ReputationLedger ledger({.isolation_threshold = 1});
+  const auto honest = addr(2);
+  for (int i = 0; i < 100; ++i) ledger.record_confirmed(honest);
+  EXPECT_FALSE(ledger.is_isolated(honest));
+  EXPECT_EQ(ledger.find(honest)->confirmed, 100u);
+}
+
+TEST(ReputationLedger, RehabilitationDecaysStrikes) {
+  ReputationLedger ledger({.isolation_threshold = 2, .rehabilitation_rate = 5});
+  const auto detector = addr(3);
+  ledger.record_strike(detector);
+  ledger.record_strike(detector);
+  EXPECT_TRUE(ledger.is_isolated(detector));
+  // 5 confirmed reports decay one strike → back below threshold.
+  for (int i = 0; i < 5; ++i) ledger.record_confirmed(detector);
+  EXPECT_FALSE(ledger.is_isolated(detector));
+}
+
+TEST(ReputationLedger, NoRehabilitationByDefault) {
+  ReputationLedger ledger({.isolation_threshold = 1});
+  const auto detector = addr(4);
+  ledger.record_strike(detector);
+  for (int i = 0; i < 50; ++i) ledger.record_confirmed(detector);
+  EXPECT_TRUE(ledger.is_isolated(detector));  // permanent without policy
+}
+
+TEST(ReputationLedger, FilteredCounter) {
+  ReputationLedger ledger;
+  const auto detector = addr(5);
+  ledger.record_filtered(detector);
+  ledger.record_filtered(detector);
+  EXPECT_EQ(ledger.find(detector)->filtered, 2u);
+  EXPECT_EQ(ledger.find(addr(9)), nullptr);
+}
+
+class PlatformIsolationTest : public ::testing::Test {
+ protected:
+  PlatformConfig make_config() {
+    PlatformConfig config;
+    for (double hp : {26.30, 22.10, 14.90, 12.30, 10.10})
+      config.providers.push_back({hp, 100'000 * kEther});
+    config.detectors = {{8}, {8}};  // detector 0 honest, detector 1 cheater
+    config.seed = 81;
+    config.reputation.isolation_threshold = 3;
+    return config;
+  }
+};
+
+TEST_F(PlatformIsolationTest, ForgedRevealsStrikeAndIsolate) {
+  Platform platform(make_config());
+  const auto sra = platform.release_system(0, 1.0, 1000 * kEther, 10 * kEther);
+  platform.run_for(60.0);  // SRA on chain
+
+  // The cheater fabricates three claims; each reveal fails AutoVerif.
+  for (std::uint64_t i = 0; i < 3; ++i)
+    platform.submit_forged_report(1, sra, 900'000 + i);
+  platform.run_for(600.0);
+
+  const auto* record = platform.reputation().find(platform.detector_address(1));
+  ASSERT_NE(record, nullptr);
+  EXPECT_GE(record->strikes, 3u);
+  EXPECT_TRUE(platform.reputation().is_isolated(platform.detector_address(1)));
+  // No forged claim got paid.
+  EXPECT_EQ(platform.detector_stats(1).bounty_income,
+            platform.detector_stats(1).reports_confirmed * 10 * kEther);
+  // But the cheater DID burn gas on its commitments (the cost that makes
+  // spam uneconomical, Eq. 10).
+  EXPECT_GT(platform.detector_stats(1).gas_spent, 0u);
+}
+
+TEST_F(PlatformIsolationTest, IsolatedDetectorSubmissionsDropped) {
+  Platform platform(make_config());
+  const auto sra1 = platform.release_system(0, 1.0, 1000 * kEther, 10 * kEther);
+  platform.run_for(60.0);
+  for (std::uint64_t i = 0; i < 3; ++i)
+    platform.submit_forged_report(1, sra1, 910'000 + i);
+  platform.run_for(600.0);
+  ASSERT_TRUE(platform.reputation().is_isolated(platform.detector_address(1)));
+
+  // A second release: the isolated cheater now submits a GENUINE-LOOKING
+  // forged report — it is filtered before verification even runs.
+  const auto sra2 = platform.release_system(1, 1.0, 1000 * kEther, 10 * kEther);
+  platform.run_for(60.0);
+  platform.submit_forged_report(1, sra2, 920'000);
+  platform.run_for(600.0);
+  const auto* record = platform.reputation().find(platform.detector_address(1));
+  EXPECT_GT(record->filtered, 0u);
+
+  // Honest detector 0 is unaffected and still earns bounties.
+  EXPECT_FALSE(platform.reputation().is_isolated(platform.detector_address(0)));
+  EXPECT_GT(platform.detector_stats(0).bounty_income, 0u);
+}
+
+TEST_F(PlatformIsolationTest, HonestDetectorNeverIsolatedByRaces) {
+  // Losing first-reporter races or duplicate commits must not strike.
+  PlatformConfig config = make_config();
+  config.detectors = {{8}, {8}, {8}, {8}};  // heavy racing
+  Platform platform(std::move(config));
+  for (int r = 0; r < 3; ++r) {
+    platform.release_system(static_cast<std::size_t>(r), 1.0, 1000 * kEther,
+                            10 * kEther);
+    platform.run_for(700.0);
+  }
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_FALSE(platform.reputation().is_isolated(platform.detector_address(d)))
+        << "detector " << d;
+    const auto* record = platform.reputation().find(platform.detector_address(d));
+    if (record) {
+      EXPECT_EQ(record->strikes, 0u) << "detector " << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sc::core

@@ -1,0 +1,55 @@
+// HMAC-SHA256 against RFC 4231 test vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "util/hex.hpp"
+
+namespace sc::crypto {
+namespace {
+
+util::Bytes hex(const char* h) { return *util::from_hex(h); }
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const util::Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_sha256(key, util::as_bytes("Hi There")).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(hmac_sha256(util::as_bytes("Jefe"),
+                        util::as_bytes("what do ya want for nothing?"))
+                .hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const util::Bytes key(20, 0xaa);
+  const util::Bytes msg(50, 0xdd);
+  EXPECT_EQ(hmac_sha256(key, msg).hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case4) {
+  const util::Bytes key = hex("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  const util::Bytes msg(50, 0xcd);
+  EXPECT_EQ(hmac_sha256(key, msg).hex(),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const util::Bytes key(131, 0xaa);
+  EXPECT_EQ(hmac_sha256(key, util::as_bytes(
+                                 "Test Using Larger Than Block-Size Key - Hash Key First"))
+                .hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  const util::Bytes k1(32, 0x01);
+  const util::Bytes k2(32, 0x02);
+  const auto msg = util::as_bytes("same message");
+  EXPECT_NE(hmac_sha256(k1, msg), hmac_sha256(k2, msg));
+}
+
+}  // namespace
+}  // namespace sc::crypto

@@ -1,0 +1,74 @@
+// Keccak-256 (Ethereum) and SHA3-256 (FIPS 202) against published vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/keccak.hpp"
+#include "util/bytes.hpp"
+
+namespace sc::crypto {
+namespace {
+
+TEST(Keccak256, EmptyString) {
+  // The famous Ethereum empty hash.
+  EXPECT_EQ(keccak256({}).hex(),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak256, Abc) {
+  EXPECT_EQ(keccak256(util::as_bytes("abc")).hex(),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak256, QuickBrownFox) {
+  EXPECT_EQ(keccak256(util::as_bytes("The quick brown fox jumps over the lazy dog")).hex(),
+            "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15");
+}
+
+TEST(Sha3_256, EmptyString) {
+  EXPECT_EQ(sha3_256({}).hex(),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+}
+
+TEST(Sha3_256, Abc) {
+  EXPECT_EQ(sha3_256(util::as_bytes("abc")).hex(),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532");
+}
+
+TEST(Keccak, VariantsDiffer) {
+  EXPECT_NE(keccak256(util::as_bytes("x")), sha3_256(util::as_bytes("x")));
+}
+
+TEST(Keccak, IncrementalMatchesOneShot) {
+  const std::string msg(1000, 'k');
+  Keccak ctx(Keccak::Variant::kKeccak256);
+  for (std::size_t i = 0; i < msg.size(); i += 13)
+    ctx.update(util::as_bytes(std::string_view(msg).substr(i, 13)));
+  EXPECT_EQ(ctx.finish(), keccak256(util::as_bytes(msg)));
+}
+
+// Exercise rate-boundary lengths (rate = 136 bytes for 256-bit output).
+class KeccakRateBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KeccakRateBoundary, IncrementalEqualsOneShot) {
+  const std::size_t n = GetParam();
+  util::Bytes msg(n, 0x5a);
+  Keccak ctx;
+  for (std::size_t i = 0; i < n; i += 31)
+    ctx.update({msg.data() + i, std::min<std::size_t>(31, n - i)});
+  EXPECT_EQ(ctx.finish(), keccak256(msg)) << "length " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, KeccakRateBoundary,
+                         ::testing::Values(0, 1, 135, 136, 137, 271, 272, 273, 500));
+
+TEST(Keccak, DistinctInputsDistinctDigests) {
+  // Trivial collision smoke check over a small input family.
+  const Hash256 a = keccak256(util::as_bytes("report-1"));
+  const Hash256 b = keccak256(util::as_bytes("report-2"));
+  const Hash256 c = keccak256(util::as_bytes("report-12"));
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+}  // namespace
+}  // namespace sc::crypto

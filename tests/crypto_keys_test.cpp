@@ -1,0 +1,64 @@
+// KeyPair and address derivation tests.
+#include <gtest/gtest.h>
+
+#include "crypto/keccak.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace sc::crypto {
+namespace {
+
+TEST(Keys, GenerateProducesValidKey) {
+  util::Rng rng(100);
+  const KeyPair kp = KeyPair::generate(rng);
+  EXPECT_TRUE(secp256k1::is_valid_private_key(kp.private_key()));
+  EXPECT_TRUE(kp.public_key().is_on_curve());
+  EXPECT_FALSE(kp.address().is_zero());
+}
+
+TEST(Keys, FromPrivateRejectsInvalid) {
+  EXPECT_FALSE(KeyPair::from_private(U256::zero()).has_value());
+  EXPECT_FALSE(KeyPair::from_private(secp256k1::group_order()).has_value());
+  EXPECT_TRUE(KeyPair::from_private(U256::one()).has_value());
+}
+
+TEST(Keys, KnownAddressForPrivateKeyOne) {
+  // d=1 gives pub=G; the Ethereum address of G is a well-known constant:
+  // 0x7e5f4552091a69125d5dfcb7b8c2659029395bdf.
+  const auto kp = KeyPair::from_private(U256::one());
+  ASSERT_TRUE(kp.has_value());
+  EXPECT_EQ(kp->address().hex(), "7e5f4552091a69125d5dfcb7b8c2659029395bdf");
+}
+
+TEST(Keys, AddressIsLow20BytesOfKeccak) {
+  util::Rng rng(101);
+  const KeyPair kp = KeyPair::generate(rng);
+  const Hash256 digest = keccak256(secp256k1::encode_public(kp.public_key()));
+  for (int i = 0; i < 20; ++i)
+    EXPECT_EQ(kp.address().bytes[static_cast<std::size_t>(i)],
+              digest.bytes[static_cast<std::size_t>(12 + i)]);
+}
+
+TEST(Keys, DistinctSeedsDistinctAddresses) {
+  util::Rng a(1), b(2);
+  EXPECT_NE(KeyPair::generate(a).address(), KeyPair::generate(b).address());
+}
+
+TEST(Keys, SignVerifyThroughWrapper) {
+  util::Rng rng(102);
+  const KeyPair kp = KeyPair::generate(rng);
+  const Hash256 digest = Sha256::digest(util::as_bytes("wrapped"));
+  const auto sig = kp.sign(digest);
+  EXPECT_TRUE(verify_signature(kp.public_key(), digest, sig));
+  EXPECT_FALSE(verify_signature(kp.public_key(),
+                                Sha256::digest(util::as_bytes("other")), sig));
+}
+
+TEST(Keys, SameSeedReproducesKeys) {
+  util::Rng a(7), b(7);
+  EXPECT_EQ(KeyPair::generate(a).private_key(), KeyPair::generate(b).private_key());
+}
+
+}  // namespace
+}  // namespace sc::crypto

@@ -1,0 +1,104 @@
+// Merkle tree construction and inclusion proofs.
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace sc::crypto {
+namespace {
+
+std::vector<Hash256> make_leaves(std::size_t n, std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  std::vector<Hash256> leaves(n);
+  for (auto& leaf : leaves) {
+    util::Bytes raw;
+    rng.fill(raw, 32);
+    leaf = Hash256::from_span(raw);
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeIsZero) {
+  EXPECT_TRUE(merkle_root({}).is_zero());
+}
+
+TEST(Merkle, SingleLeafIsOwnRoot) {
+  const auto leaves = make_leaves(1);
+  EXPECT_EQ(merkle_root(leaves), leaves[0]);
+}
+
+TEST(Merkle, TwoLeavesMatchManualPairHash) {
+  const auto leaves = make_leaves(2);
+  util::Bytes pre;
+  util::append(pre, leaves[0].span());
+  util::append(pre, leaves[1].span());
+  EXPECT_EQ(merkle_root(leaves), Sha256::double_digest(pre));
+}
+
+TEST(Merkle, OddCountDuplicatesLast) {
+  // Bitcoin convention: [a, b, c] hashes as [(a,b), (c,c)].
+  const auto leaves = make_leaves(3);
+  const auto four = std::vector<Hash256>{leaves[0], leaves[1], leaves[2], leaves[2]};
+  EXPECT_EQ(merkle_root(leaves), merkle_root(four));
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  const Hash256 original = merkle_root(leaves);
+  std::swap(leaves[0], leaves[3]);
+  EXPECT_NE(merkle_root(leaves), original);
+}
+
+TEST(Merkle, RootDependsOnEveryLeaf) {
+  auto leaves = make_leaves(8);
+  const Hash256 original = merkle_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i].bytes[0] ^= 0xff;
+    EXPECT_NE(merkle_root(mutated), original) << "leaf " << i;
+  }
+}
+
+class MerkleProofSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofSweep, EveryLeafProves) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n, 42 + n);
+  const Hash256 root = merkle_root(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MerkleProof proof = merkle_proof(leaves, i);
+    EXPECT_TRUE(merkle_verify(leaves[i], proof, root)) << "leaf " << i << "/" << n;
+    // Proof must fail for a different leaf.
+    Hash256 wrong = leaves[i];
+    wrong.bytes[31] ^= 1;
+    EXPECT_FALSE(merkle_verify(wrong, proof, root));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 33, 100));
+
+TEST(Merkle, ProofForBadIndexIsEmpty) {
+  const auto leaves = make_leaves(4);
+  EXPECT_TRUE(merkle_proof(leaves, 4).empty());
+}
+
+TEST(Merkle, TamperedProofFails) {
+  const auto leaves = make_leaves(8);
+  const Hash256 root = merkle_root(leaves);
+  MerkleProof proof = merkle_proof(leaves, 3);
+  ASSERT_FALSE(proof.empty());
+  proof[0].sibling.bytes[0] ^= 1;
+  EXPECT_FALSE(merkle_verify(leaves[3], proof, root));
+}
+
+TEST(Merkle, ProofLengthIsLogarithmic) {
+  const auto leaves = make_leaves(16);
+  EXPECT_EQ(merkle_proof(leaves, 0).size(), 4u);
+  const auto leaves1k = make_leaves(1024);
+  EXPECT_EQ(merkle_proof(leaves1k, 512).size(), 10u);
+}
+
+}  // namespace
+}  // namespace sc::crypto

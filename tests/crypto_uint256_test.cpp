@@ -1,0 +1,162 @@
+// U256 arithmetic: identities, boundaries and randomised cross-checks
+// against __uint128 reference math.
+#include <gtest/gtest.h>
+
+#include "crypto/uint256.hpp"
+#include "util/rng.hpp"
+
+namespace sc::crypto {
+namespace {
+
+U256 rand_u256(util::Rng& rng) {
+  return {rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()};
+}
+
+TEST(U256, HexRoundTrip) {
+  const U256 v = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(v.hex(), "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+}
+
+TEST(U256, ShortHexLeftPads) {
+  const U256 v = U256::from_hex("ff");
+  EXPECT_EQ(v.low64(), 0xffu);
+  EXPECT_EQ(v.limb[1], 0u);
+}
+
+TEST(U256, BeBytesRoundTrip) {
+  const U256 v{0x1122334455667788ULL, 0x99aabbccddeeff00ULL, 0xdeadbeefcafebabeULL,
+               0x0123456789abcdefULL};
+  std::uint8_t buf[32];
+  v.to_be_bytes(buf);
+  EXPECT_EQ(U256::from_be_bytes({buf, 32}), v);
+  EXPECT_EQ(buf[0], 0x01);   // Most-significant byte first.
+  EXPECT_EQ(buf[31], 0x88);  // Least-significant byte last.
+}
+
+TEST(U256, Comparison) {
+  EXPECT_LT(U256{1}, U256{2});
+  EXPECT_LT(U256{~0ULL}, U256(0, 1, 0, 0));
+  EXPECT_GT(U256(0, 0, 0, 1), U256(~0ULL, ~0ULL, ~0ULL, 0));
+  EXPECT_EQ(U256::zero() <=> U256::zero(), std::strong_ordering::equal);
+}
+
+TEST(U256, AddCarryChain) {
+  U256 out;
+  const bool carry = U256::add_with_carry(U256::max_value(), U256::one(), out);
+  EXPECT_TRUE(carry);
+  EXPECT_TRUE(out.is_zero());
+}
+
+TEST(U256, SubBorrowChain) {
+  U256 out;
+  const bool borrow = U256::sub_with_borrow(U256::zero(), U256::one(), out);
+  EXPECT_TRUE(borrow);
+  EXPECT_EQ(out, U256::max_value());
+}
+
+TEST(U256, AddSubInverse) {
+  util::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const U256 a = rand_u256(rng);
+    const U256 b = rand_u256(rng);
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+TEST(U256, ShiftIdentities) {
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a = rand_u256(rng);
+    EXPECT_EQ(a << 0, a);
+    EXPECT_EQ(a >> 0, a);
+    EXPECT_EQ(a << 256, U256::zero());
+    EXPECT_EQ(a >> 256, U256::zero());
+    const unsigned n = static_cast<unsigned>(rng.uniform(255)) + 1;
+    // (a >> n) << n clears the low n bits only.
+    const U256 masked = (a >> n) << n;
+    for (unsigned bit = n; bit < 256; ++bit) EXPECT_EQ(masked.bit(bit), a.bit(bit));
+    for (unsigned bit = 0; bit < n; ++bit) EXPECT_FALSE(masked.bit(bit));
+  }
+}
+
+TEST(U256, ShiftAcrossLimbBoundaries) {
+  const U256 one = U256::one();
+  EXPECT_EQ((one << 64).limb[1], 1u);
+  EXPECT_EQ((one << 128).limb[2], 1u);
+  EXPECT_EQ((one << 255).limb[3], 1ULL << 63);
+  EXPECT_EQ((one << 255) >> 255, one);
+}
+
+TEST(U256, BitLength) {
+  EXPECT_EQ(U256::zero().bit_length(), 0u);
+  EXPECT_EQ(U256::one().bit_length(), 1u);
+  EXPECT_EQ(U256{0x80}.bit_length(), 8u);
+  EXPECT_EQ((U256::one() << 200).bit_length(), 201u);
+  EXPECT_EQ(U256::max_value().bit_length(), 256u);
+}
+
+TEST(U256, MulWideSmallValuesMatch128BitReference) {
+  util::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const U512 wide = U256::mul_wide(U256{a}, U256{b});
+    const __uint128_t ref = static_cast<__uint128_t>(a) * b;
+    EXPECT_EQ(wide.limb[0], static_cast<std::uint64_t>(ref));
+    EXPECT_EQ(wide.limb[1], static_cast<std::uint64_t>(ref >> 64));
+    EXPECT_TRUE(wide.high_is_zero());
+    EXPECT_EQ(wide.limb[2] | wide.limb[3], 0u);
+  }
+}
+
+TEST(U256, MulWideMaxValue) {
+  // (2^256-1)^2 = 2^512 - 2^257 + 1.
+  const U512 sq = U256::mul_wide(U256::max_value(), U256::max_value());
+  EXPECT_EQ(sq.limb[0], 1u);
+  EXPECT_EQ(sq.low(), U256{1});
+  EXPECT_EQ(sq.high(), U256::max_value() - U256{1});
+}
+
+TEST(U256, DivU64Exact) {
+  const U256 v = U256::from_hex("100000000000000000");  // 2^68
+  std::uint64_t rem = 0;
+  const U256 q = v.div_u64(16, &rem);
+  EXPECT_EQ(rem, 0u);
+  EXPECT_EQ(q, U256::one() << 64);
+}
+
+TEST(U256, DivU64WithRemainder) {
+  std::uint64_t rem = 0;
+  const U256 q = U256{1000}.div_u64(7, &rem);
+  EXPECT_EQ(q, U256{142});
+  EXPECT_EQ(rem, 6u);
+}
+
+TEST(U256, GeneralDivReconstruction) {
+  util::Rng rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a = rand_u256(rng);
+    U256 b = rand_u256(rng);
+    // Vary divisor magnitude to hit both div paths.
+    b = b >> static_cast<unsigned>(rng.uniform(200));
+    if (b.is_zero()) b = U256::one();
+    U256 rem;
+    const U256 q = U256::div(a, b, &rem);
+    EXPECT_LT(rem, b);
+    // a == q*b + rem (verify via wide multiply; product must fit 256 bits).
+    const U512 prod = U256::mul_wide(q, b);
+    EXPECT_TRUE(prod.high_is_zero());
+    EXPECT_EQ(prod.low() + rem, a);
+  }
+}
+
+TEST(U256, BitwiseOps) {
+  const U256 a = U256::from_hex("f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0f0");
+  const U256 b = U256::from_hex("0ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff0");
+  EXPECT_EQ((a & b) | (a ^ b), a | b);
+  EXPECT_EQ(~(~a), a);
+  EXPECT_EQ(a ^ a, U256::zero());
+}
+
+}  // namespace
+}  // namespace sc::crypto

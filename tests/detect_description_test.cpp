@@ -1,0 +1,74 @@
+// Description canonicalization: N-version wording dedup (Section VIII).
+#include <gtest/gtest.h>
+
+#include "detect/description.hpp"
+
+namespace sc::detect {
+namespace {
+
+TEST(Description, NormalizeBasics) {
+  EXPECT_EQ(normalize_description("Heap Buffer Overflow in the OTA Parser"),
+            "buffer heap ota overflow parser");
+  EXPECT_EQ(normalize_description(""), "");
+  EXPECT_EQ(normalize_description("the a an of"), "");  // all stop-words
+}
+
+TEST(Description, CaseAndPunctuationInvariant) {
+  EXPECT_TRUE(same_vulnerability_description(
+      "Heap buffer overflow in OTA parser",
+      "heap BUFFER overflow, in ota-parser!"));
+}
+
+TEST(Description, TokenOrderInvariant) {
+  EXPECT_TRUE(same_vulnerability_description(
+      "OTA parser heap overflow buffer",
+      "buffer overflow in the heap of OTA parser"));
+}
+
+TEST(Description, DifferentVulnsDiffer) {
+  EXPECT_FALSE(same_vulnerability_description(
+      "heap buffer overflow in OTA parser",
+      "stack buffer overflow in OTA parser"));
+  EXPECT_FALSE(same_vulnerability_description(
+      "use after free in session manager",
+      "double free in session manager"));
+}
+
+TEST(Description, DuplicateTokensCollapse) {
+  EXPECT_TRUE(same_vulnerability_description(
+      "overflow overflow overflow parser", "parser overflow"));
+}
+
+TEST(Description, FingerprintMatchesNormalizedKeccak) {
+  const auto fp = description_fingerprint("A b C");
+  const auto direct = description_fingerprint("b c");  // 'a' is a stop-word
+  EXPECT_EQ(fp, direct);
+}
+
+class WordingVariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WordingVariants, AllVariantsCanonicalizeTogether) {
+  util::Rng rng(GetParam());
+  const std::string_view originals[] = {
+      "heap buffer overflow in firmware update parser",
+      "hardcoded credentials found inside telnet daemon",
+      "command injection through unsanitized query parameter",
+      "missing certificate validation during cloud handshake",
+  };
+  for (const auto original : originals) {
+    const auto reference = description_fingerprint(original);
+    for (int i = 0; i < 25; ++i) {
+      const std::string variant = vary_wording(rng, original);
+      EXPECT_EQ(description_fingerprint(variant), reference)
+          << "'" << variant << "' diverged from '" << original << "'";
+    }
+  }
+  // Distinct vulnerabilities never collide even across variants.
+  EXPECT_NE(description_fingerprint(vary_wording(rng, originals[0])),
+            description_fingerprint(vary_wording(rng, originals[1])));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WordingVariants, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace sc::detect

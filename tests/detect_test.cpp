@@ -1,0 +1,239 @@
+// Detection substrate: corpus generation, scanner statistics, AutoVerif.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/sha256.hpp"
+#include "detect/autoverif.hpp"
+#include "detect/corpus.hpp"
+#include "detect/scanner.hpp"
+
+namespace sc::detect {
+namespace {
+
+TEST(Corpus, SystemHasConsistentHash) {
+  Corpus corpus(1);
+  const IoTSystem sys = corpus.make_system("cam-fw", "1.0", 3);
+  EXPECT_EQ(sys.image_hash, crypto::Sha256::digest(sys.image));
+  EXPECT_GE(sys.image.size(), 4096u);
+  EXPECT_EQ(sys.ground_truth.size(), 3u);
+}
+
+TEST(Corpus, VulnIdsAreUniqueAcrossSystems) {
+  Corpus corpus(2);
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    const IoTSystem sys = corpus.make_system("s", std::to_string(i), 5);
+    for (const auto& v : sys.ground_truth) {
+      EXPECT_TRUE(ids.insert(v.id).second) << "duplicate vuln id " << v.id;
+    }
+  }
+}
+
+TEST(Corpus, FindVulnerability) {
+  Corpus corpus(3);
+  const IoTSystem sys = corpus.make_system("s", "1", 2);
+  EXPECT_NE(sys.find_vulnerability(sys.ground_truth[0].id), nullptr);
+  EXPECT_EQ(sys.find_vulnerability(999999), nullptr);
+}
+
+TEST(Corpus, ReleaseRespectsVp) {
+  Corpus corpus(4);
+  int vulnerable = 0;
+  for (int i = 0; i < 500; ++i) {
+    const IoTSystem sys = corpus.make_release("r", std::to_string(i), 0.3, 4.0);
+    if (sys.is_vulnerable()) ++vulnerable;
+  }
+  EXPECT_NEAR(vulnerable / 500.0, 0.3, 0.07);
+}
+
+TEST(Corpus, VpZeroAndOneAreDeterministic) {
+  Corpus corpus(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(corpus.make_release("clean", std::to_string(i), 0.0, 4.0).is_vulnerable());
+    EXPECT_TRUE(corpus.make_release("dirty", std::to_string(i), 1.0, 4.0).is_vulnerable());
+  }
+}
+
+TEST(Corpus, LookupByHash) {
+  Corpus corpus(6);
+  const IoTSystem sys = corpus.make_system("find-me", "1", 1);
+  const IoTSystem* found = corpus.find(sys.image_hash);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->name, "find-me");
+  EXPECT_EQ(corpus.find(crypto::Hash256{}), nullptr);
+}
+
+TEST(Corpus, SeverityMixShapesGroundTruth) {
+  Corpus corpus(7);
+  SeverityMix all_high{1.0, 0.0, 0.0};
+  const IoTSystem sys = corpus.make_system("h", "1", 20, all_high);
+  for (const auto& v : sys.ground_truth) EXPECT_EQ(v.severity, Severity::kHigh);
+}
+
+TEST(Scanner, FullCapabilityFindsMost) {
+  Corpus corpus(8);
+  util::Rng rng(8);
+  const IoTSystem sys = corpus.make_system("s", "1", 50);
+  Scanner scanner({"perfect", 2.0, 1.0, 1.0, 1.0, 0.0});  // capability 2 → p≈1
+  const auto findings = scanner.scan(sys, rng);
+  EXPECT_GT(findings.size(), 45u);
+  for (const auto& f : findings) EXPECT_FALSE(f.is_false_positive());
+}
+
+TEST(Scanner, ZeroCapabilityFindsNothing) {
+  Corpus corpus(9);
+  util::Rng rng(9);
+  const IoTSystem sys = corpus.make_system("s", "1", 50);
+  Scanner scanner({"blind", 0.0, 1.0, 1.0, 1.0, 0.0});
+  EXPECT_TRUE(scanner.scan(sys, rng).empty());
+}
+
+TEST(Scanner, FalsePositiveStream) {
+  Corpus corpus(10);
+  util::Rng rng(10);
+  const IoTSystem sys = corpus.make_system("s", "1", 0);  // nothing real to find
+  Scanner noisy({"noisy", 1.0, 1.0, 1.0, 1.0, 5.0});
+  int fps = 0;
+  for (int i = 0; i < 100; ++i)
+    for (const auto& f : noisy.scan(sys, rng))
+      if (f.is_false_positive()) ++fps;
+  EXPECT_NEAR(fps / 100.0, 5.0, 1.0);
+}
+
+TEST(Scanner, CapabilityScalesWithThreads) {
+  const Scanner one(thread_scaled_profile(1));
+  const Scanner eight(thread_scaled_profile(8));
+  EXPECT_NEAR(eight.detection_capability() / one.detection_capability(), 8.0, 0.5);
+}
+
+TEST(Scanner, DetectionCapabilityBounded) {
+  for (unsigned t = 1; t <= 8; ++t) {
+    const Scanner s(thread_scaled_profile(t));
+    EXPECT_GE(s.detection_capability(), 0.0);
+    EXPECT_LE(s.detection_capability(), 1.0);
+  }
+}
+
+TEST(Scanner, Table1ProfilesHaveExpectedShape) {
+  const auto profiles = table1_service_profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  // Two silent services.
+  EXPECT_EQ(profiles[0].capability, 0.0);  // VirusTotal
+  EXPECT_EQ(profiles[2].capability, 0.0);  // Andrototal
+  // jaq.alibaba is the heavy-tail service.
+  double max_fp = 0.0;
+  std::string heaviest;
+  for (const auto& p : profiles) {
+    if (p.false_positive_rate > max_fp) {
+      max_fp = p.false_positive_rate;
+      heaviest = p.name;
+    }
+  }
+  EXPECT_EQ(heaviest, "jaq.alibaba");
+}
+
+TEST(AutoVerif, AcceptsTruthfulClaims) {
+  Corpus corpus(11);
+  const IoTSystem sys = corpus.make_system("s", "1", 3);
+  std::vector<Finding> claims;
+  for (const auto& v : sys.ground_truth)
+    claims.push_back({v.id, v.severity, v.description});
+  const VerifResult r = auto_verify(sys, claims);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(r.valid_claims, 3u);
+  EXPECT_EQ(r.invalid_claims, 0u);
+}
+
+TEST(AutoVerif, RejectsForgedIds) {
+  Corpus corpus(12);
+  const IoTSystem sys = corpus.make_system("s", "1", 2);
+  const VerifResult r =
+      auto_verify(sys, {{424242, Severity::kHigh, "made up"}});
+  EXPECT_FALSE(r.accepted);
+  EXPECT_EQ(r.invalid_claims, 1u);
+}
+
+TEST(AutoVerif, RejectsSeverityInflation) {
+  Corpus corpus(13);
+  SeverityMix all_low{0.0, 0.0, 1.0};
+  const IoTSystem sys = corpus.make_system("s", "1", 1, all_low);
+  // Claim the low-severity vuln as high to chase a bigger bounty.
+  const VerifResult r = auto_verify(
+      sys, {{sys.ground_truth[0].id, Severity::kHigh, "inflated"}});
+  EXPECT_FALSE(r.accepted);
+}
+
+TEST(AutoVerif, RejectsEmptyClaims) {
+  Corpus corpus(14);
+  const IoTSystem sys = corpus.make_system("s", "1", 3);
+  EXPECT_FALSE(auto_verify(sys, {}).accepted);
+}
+
+TEST(AutoVerif, StrictVsMajorityMode) {
+  Corpus corpus(15);
+  const IoTSystem sys = corpus.make_system("s", "1", 3);
+  std::vector<Finding> mixed;
+  for (const auto& v : sys.ground_truth)
+    mixed.push_back({v.id, v.severity, v.description});
+  mixed.push_back({999999, Severity::kLow, "one bad apple"});
+  EXPECT_FALSE(auto_verify(sys, mixed, /*strict=*/true).accepted);
+  EXPECT_TRUE(auto_verify(sys, mixed, /*strict=*/false).accepted);
+}
+
+TEST(Scanner, Table1OverlapShapeHolds) {
+  // Invariant form of the Table-I reproduction: over a rich app, the six
+  // calibrated services must show (a) two silent rows, (b) one service with
+  // far more findings than any other, (c) small pairwise overlap among the
+  // non-silent, non-flooding services.
+  Corpus corpus(2019);
+  const IoTSystem app = corpus.make_system("overlap-app", "1.0", 100);
+  util::Rng rng(2019);
+
+  std::vector<std::set<std::uint64_t>> found;
+  std::vector<std::size_t> totals;
+  for (const auto& profile : table1_service_profiles()) {
+    Scanner scanner(profile);
+    std::set<std::uint64_t> ids;
+    std::size_t total = 0;
+    for (const auto& f : scanner.scan(app, rng)) {
+      ++total;
+      if (!f.is_false_positive()) ids.insert(f.vuln_id);
+    }
+    found.push_back(std::move(ids));
+    totals.push_back(total);
+  }
+
+  // (a) Two silent services.
+  EXPECT_EQ(totals[0], 0u);  // VirusTotal
+  EXPECT_EQ(totals[2], 0u);  // Andrototal
+  // (b) jaq.alibaba (index 3) dominates every other service.
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    if (i != 3) {
+      EXPECT_GT(totals[3], totals[i]) << "service " << i;
+    }
+  }
+  // (c) Quixxi (1) vs htbridge (5): Jaccard below 0.5.
+  std::size_t inter = 0;
+  for (auto id : found[1])
+    if (found[5].contains(id)) ++inter;
+  const std::size_t uni = found[1].size() + found[5].size() - inter;
+  ASSERT_GT(uni, 0u);
+  EXPECT_LT(static_cast<double>(inter) / static_cast<double>(uni), 0.5);
+}
+
+TEST(Severity, CountsAndNames) {
+  std::vector<Finding> findings{{1, Severity::kHigh, ""},
+                                {2, Severity::kMedium, ""},
+                                {3, Severity::kMedium, ""},
+                                {4, Severity::kLow, ""}};
+  const SeverityCounts counts = count_by_severity(findings);
+  EXPECT_EQ(counts.high, 1u);
+  EXPECT_EQ(counts.medium, 2u);
+  EXPECT_EQ(counts.low, 1u);
+  EXPECT_EQ(counts.total(), 4u);
+  EXPECT_STREQ(severity_name(Severity::kHigh), "High");
+}
+
+}  // namespace
+}  // namespace sc::detect

@@ -1,0 +1,186 @@
+// Discrete-event simulator, network model and mining-race statistics.
+#include <gtest/gtest.h>
+
+#include "sim/mining.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace sc::sim {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) sim.at(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.after(1.0, chain);
+  };
+  sim.after(1.0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, PastSchedulesClampToNow) {
+  Simulator sim;
+  sim.run_until(10.0);
+  bool fired = false;
+  sim.at(5.0, [&] { fired = true; });  // in the past
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunLimitBoundsEvents) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.after(1.0, forever); };
+  sim.after(1.0, forever);
+  sim.run(100);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Network, DeliversWithLatency) {
+  Simulator sim(5);
+  Network net(sim, {.base_latency = 0.1, .latency_jitter = 0.0, .drop_rate = 0.0});
+  std::vector<std::string> received;
+  net.add_node([&](const Message& m) { received.push_back(m.topic); });
+  const NodeId sender = net.add_node([](const Message&) {});
+  net.unicast(sender, 0, "hello", {});
+  EXPECT_TRUE(received.empty());  // not yet delivered
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "hello");
+  EXPECT_DOUBLE_EQ(sim.now(), 0.1);
+}
+
+TEST(Network, BroadcastReachesAllButSender) {
+  Simulator sim(6);
+  Network net(sim, {.base_latency = 0.01, .latency_jitter = 0.0, .drop_rate = 0.0});
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 4; ++i)
+    net.add_node([&hits, i](const Message&) { ++hits[static_cast<std::size_t>(i)]; });
+  net.broadcast(2, "sra", {});
+  sim.run();
+  EXPECT_EQ(hits, (std::vector<int>{1, 1, 0, 1}));
+}
+
+TEST(Network, DropRateLosesMessages) {
+  Simulator sim(7);
+  Network net(sim, {.base_latency = 0.01, .latency_jitter = 0.0, .drop_rate = 1.0});
+  int delivered = 0;
+  net.add_node([&](const Message&) { ++delivered; });
+  const NodeId s = net.add_node([](const Message&) {});
+  for (int i = 0; i < 50; ++i) net.unicast(s, 0, "x", {});
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.messages_dropped(), 50u);
+}
+
+TEST(Network, PartitionBlocksCrossTraffic) {
+  Simulator sim(8);
+  Network net(sim, {.base_latency = 0.01, .latency_jitter = 0.0, .drop_rate = 0.0});
+  int a_received = 0, b_received = 0;
+  const NodeId a = net.add_node([&](const Message&) { ++a_received; });
+  const NodeId b = net.add_node([&](const Message&) { ++b_received; });
+  net.partition({a}, {b});
+  net.unicast(a, b, "blocked", {});
+  net.unicast(b, a, "blocked", {});
+  sim.run();
+  EXPECT_EQ(a_received, 0);
+  EXPECT_EQ(b_received, 0);
+  net.heal_partition();
+  net.unicast(a, b, "open", {});
+  sim.run();
+  EXPECT_EQ(b_received, 1);
+}
+
+TEST(Network, MessagePayloadIntact) {
+  Simulator sim(9);
+  Network net(sim, {.base_latency = 0.01, .latency_jitter = 0.0, .drop_rate = 0.0});
+  util::Bytes got;
+  NodeId got_from = 99;
+  net.add_node([&](const Message& m) {
+    got = m.payload;
+    got_from = m.from;
+  });
+  const NodeId s = net.add_node([](const Message&) {});
+  net.unicast(s, 0, "data", {1, 2, 3});
+  sim.run();
+  EXPECT_EQ(got, (util::Bytes{1, 2, 3}));
+  EXPECT_EQ(got_from, s);
+}
+
+TEST(MiningRace, MeanIntervalMatchesTarget) {
+  MiningRace race({1.0, 1.0, 1.0}, 15.0);
+  util::Rng rng(10);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(race.next(rng).interval);
+  EXPECT_NEAR(stats.mean(), 15.0, 0.3);
+}
+
+TEST(MiningRace, WinnerFrequencyTracksHashPower) {
+  // The paper's top-5 proportions.
+  MiningRace race({26.30, 22.10, 14.90, 12.30, 10.10}, 15.0);
+  util::Rng rng(11);
+  std::vector<int> wins(5, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++wins[race.next(rng).winner];
+  const double total_weight = 26.30 + 22.10 + 14.90 + 12.30 + 10.10;
+  const std::vector<double> weights{26.30, 22.10, 14.90, 12.30, 10.10};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double expected = race.share_of(i);
+    const double reference = weights[i] / total_weight;
+    EXPECT_NEAR(static_cast<double>(wins[i]) / n, expected, 0.01) << "miner " << i;
+    EXPECT_NEAR(expected, reference, 1e-12);
+  }
+}
+
+TEST(MiningRace, HashPowerUpdateShiftsShares) {
+  MiningRace race({1.0, 1.0}, 15.0);
+  EXPECT_DOUBLE_EQ(race.share_of(0), 0.5);
+  race.set_hash_power(0, 3.0);
+  EXPECT_DOUBLE_EQ(race.share_of(0), 0.75);
+}
+
+TEST(MiningRace, IntervalDistributionIsExponential) {
+  // Coefficient of variation of an exponential is 1.
+  MiningRace race({5.0}, 15.0);
+  util::Rng rng(12);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(race.next(rng).interval);
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sc::sim

@@ -1,0 +1,52 @@
+// Byte/hex helpers.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/hex.hpp"
+
+namespace sc::util {
+namespace {
+
+TEST(Bytes, AppendSpan) {
+  Bytes dst{1, 2};
+  const Bytes src{3, 4};
+  append(dst, src);
+  EXPECT_EQ(dst, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Bytes, AppendString) {
+  Bytes dst;
+  append(dst, std::string_view("ab"));
+  EXPECT_EQ(dst, (Bytes{'a', 'b'}));
+}
+
+TEST(Bytes, ConcatMultiple) {
+  const Bytes a{1}, b{2, 3}, c;
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a{1, 2, 3}, b{1, 2, 3}, c{1, 2, 4}, d{1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Hex, EncodeDecodeRoundTrip) {
+  const Bytes data{0x00, 0xde, 0xad, 0xbe, 0xef, 0xff};
+  EXPECT_EQ(to_hex(data), "00deadbeefff");
+  EXPECT_EQ(to_hex0x(data), "0x00deadbeefff");
+  EXPECT_EQ(from_hex("00deadbeefff"), data);
+  EXPECT_EQ(from_hex("0x00DEADBEEFFF"), data);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_FALSE(from_hex("abc").has_value());   // odd length
+  EXPECT_FALSE(from_hex("zz").has_value());    // non-hex
+  EXPECT_TRUE(from_hex("").has_value());       // empty is valid
+  EXPECT_TRUE(from_hex("")->empty());
+}
+
+}  // namespace
+}  // namespace sc::util

@@ -1,0 +1,86 @@
+// Canonical serialization round-trips and truncation handling.
+#include <gtest/gtest.h>
+
+#include "util/serialize.hpp"
+
+namespace sc::util {
+namespace {
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.str("hello");
+  w.bytes(Bytes{9, 8, 7});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), (Bytes{9, 8, 7}));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(Serialize, LengthPrefixLayout) {
+  Writer w;
+  w.str("ab");
+  EXPECT_EQ(w.data(), (Bytes{0x02, 0x00, 0x00, 0x00, 'a', 'b'}));
+}
+
+TEST(Serialize, TruncatedReadsReturnNullopt) {
+  Writer w;
+  w.u64(42);
+  const Bytes full = w.data();
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Reader r(ByteSpan{full.data(), cut});
+    EXPECT_FALSE(r.u64().has_value()) << "cut " << cut;
+  }
+}
+
+TEST(Serialize, TruncatedBytesLengthIsDetected) {
+  Writer w;
+  w.bytes(Bytes(10, 0xcc));
+  Bytes data = w.data();
+  data.resize(data.size() - 1);  // drop last payload byte
+  Reader r(data);
+  EXPECT_FALSE(r.bytes().has_value());
+}
+
+TEST(Serialize, RawIsUnprefixed) {
+  Writer w;
+  w.raw(Bytes{1, 2, 3});
+  EXPECT_EQ(w.data().size(), 3u);
+  Reader r(w.data());
+  EXPECT_EQ(r.raw(3), (Bytes{1, 2, 3}));
+  EXPECT_FALSE(r.raw(1).has_value());
+}
+
+TEST(Serialize, EmptyStringAndBytes) {
+  Writer w;
+  w.str("");
+  w.bytes({});
+  Reader r(w.data());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.bytes(), Bytes{});
+}
+
+TEST(Serialize, TakeMovesBuffer) {
+  Writer w;
+  w.u8(5);
+  Bytes taken = std::move(w).take();
+  EXPECT_EQ(taken, Bytes{5});
+}
+
+}  // namespace
+}  // namespace sc::util

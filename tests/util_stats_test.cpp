@@ -1,0 +1,82 @@
+// Statistics accumulator and histogram tests.
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace sc::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -5.0);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(percentile(v, 50), 5.0);
+  EXPECT_EQ(percentile(v, 100), 10.0);
+  EXPECT_EQ(percentile(v, 10), 1.0);
+  EXPECT_EQ(percentile(v, 0), 1.0);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(percentile({}, 50), 0.0);
+  EXPECT_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_EQ(percentile({9, 1, 5}, 50), 5.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.5);   // bucket 4
+  h.add(-3.0);  // clamps to bucket 0
+  h.add(15.0);  // clamps to bucket 4
+  h.add(5.0);   // bucket 2
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.counts[4], 2u);
+  EXPECT_EQ(h.total, 5u);
+}
+
+TEST(Histogram, BoundaryFallsInUpperBucket) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.0);
+  EXPECT_EQ(h.counts[3], 1u);
+}
+
+}  // namespace
+}  // namespace sc::util

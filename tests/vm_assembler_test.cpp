@@ -1,0 +1,121 @@
+// Assembler: encoding, labels, error reporting, disassembly round-trip.
+#include <gtest/gtest.h>
+
+#include "vm/assembler.hpp"
+#include "vm/opcode.hpp"
+
+namespace sc::vm {
+namespace {
+
+TEST(Assembler, SimpleSequence) {
+  const auto r = assemble("PUSH1 0x01\nPUSH1 0x02\nADD\nSTOP");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code, (util::Bytes{0x60, 0x01, 0x60, 0x02, 0x01, 0x00}));
+}
+
+TEST(Assembler, DecimalImmediates) {
+  const auto r = assemble("PUSH1 255");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code, (util::Bytes{0x60, 0xff}));
+}
+
+TEST(Assembler, AutoSizedPush) {
+  EXPECT_EQ(assemble("PUSH 0x01").code, (util::Bytes{0x60, 0x01}));
+  EXPECT_EQ(assemble("PUSH 0x0100").code, (util::Bytes{0x61, 0x01, 0x00}));
+  EXPECT_EQ(assemble("PUSH 0").code, (util::Bytes{0x60, 0x00}));
+}
+
+TEST(Assembler, WidePushPadsLeft) {
+  const auto r = assemble("PUSH4 0x01");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code, (util::Bytes{0x63, 0x00, 0x00, 0x00, 0x01}));
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto r = assemble("; header comment\n\nPUSH1 1 ; trailing\n# another\nSTOP");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.code, (util::Bytes{0x60, 0x01, 0x00}));
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  const auto r = assemble(
+      "start:\nJUMPDEST\nPUSHL @end\nJUMP\nend:\nJUMPDEST\nPUSHL @start\nJUMP");
+  ASSERT_TRUE(r.ok());
+  // start = 0, end = 5 (JUMPDEST + PUSH2 xx xx + JUMP).
+  EXPECT_EQ(r.code[1], 0x61);  // PUSH2
+  EXPECT_EQ(r.code[2], 0x00);
+  EXPECT_EQ(r.code[3], 0x05);
+}
+
+TEST(Assembler, UndefinedLabelErrors) {
+  const auto r = assemble("PUSHL @nowhere\nJUMP");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("undefined label"), std::string::npos);
+}
+
+TEST(Assembler, DuplicateLabelErrors) {
+  const auto r = assemble("a:\nSTOP\na:\nSTOP");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error->message.find("duplicate"), std::string::npos);
+}
+
+TEST(Assembler, UnknownMnemonicReportsLine) {
+  const auto r = assemble("PUSH1 1\nBOGUS\nSTOP");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error->line, 2u);
+}
+
+TEST(Assembler, ImmediateTooWideErrors) {
+  EXPECT_FALSE(assemble("PUSH1 0x0100").ok());
+  EXPECT_TRUE(assemble("PUSH2 0x0100").ok());
+}
+
+TEST(Assembler, BadImmediateErrors) {
+  EXPECT_FALSE(assemble("PUSH1 zzz").ok());
+  EXPECT_FALSE(assemble("PUSH1").ok());
+}
+
+TEST(Assembler, AllFamiliesParse) {
+  EXPECT_TRUE(assemble("PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff").ok());
+  EXPECT_TRUE(assemble("PUSH1 1\nPUSH1 2\nDUP2\nSWAP2\nPOP\nPOP\nPOP").ok());
+  EXPECT_FALSE(assemble("PUSH33 0x00").ok());
+  EXPECT_FALSE(assemble("DUP17").ok());
+  EXPECT_FALSE(assemble("SWAP0").ok());
+}
+
+TEST(Assembler, DisassembleRoundTripNames) {
+  const auto r = assemble("PUSH2 0xbeef\nADD\nSSTORE\nSTOP");
+  ASSERT_TRUE(r.ok());
+  const std::string text = disassemble(r.code);
+  EXPECT_NE(text.find("PUSH2 0xbeef"), std::string::npos);
+  EXPECT_NE(text.find("ADD"), std::string::npos);
+  EXPECT_NE(text.find("SSTORE"), std::string::npos);
+}
+
+TEST(Assembler, DisassembleMarksInvalidBytes) {
+  const util::Bytes code{0xee};
+  EXPECT_NE(disassemble(code).find("INVALID"), std::string::npos);
+}
+
+TEST(Opcode, NameRoundTrip) {
+  for (unsigned b = 0; b < 256; ++b) {
+    const auto name = op_name(static_cast<std::uint8_t>(b));
+    if (!name) continue;
+    const auto back = op_from_name(*name);
+    ASSERT_TRUE(back.has_value()) << *name;
+    EXPECT_EQ(*back, b) << *name;
+  }
+}
+
+TEST(Opcode, FamilyPredicates) {
+  EXPECT_TRUE(is_push(0x60));
+  EXPECT_TRUE(is_push(0x7f));
+  EXPECT_FALSE(is_push(0x5f));
+  EXPECT_EQ(push_size(0x60), 1u);
+  EXPECT_EQ(push_size(0x7f), 32u);
+  EXPECT_TRUE(is_dup(0x80));
+  EXPECT_TRUE(is_swap(0x9f));
+}
+
+}  // namespace
+}  // namespace sc::vm

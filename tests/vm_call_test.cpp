@@ -1,0 +1,162 @@
+// Inter-contract CALL: dispatch, value transfer, return data, sub-call
+// revert isolation and depth limiting — tested end-to-end through the chain
+// executor with two deployed contracts.
+#include <gtest/gtest.h>
+
+#include "chain/executor.hpp"
+#include "util/rng.hpp"
+#include "vm/assembler.hpp"
+
+namespace sc::chain {
+namespace {
+
+crypto::KeyPair key(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return crypto::KeyPair::generate(rng);
+}
+
+class CallTest : public ::testing::Test {
+ protected:
+  CallTest() : alice_(key(1)) {
+    state_.add_balance(alice_.address(), 100 * kEther);
+    env_.number = 1;
+    env_.timestamp = 99;
+    env_.miner = key(2).address();
+  }
+
+  Address deploy(const std::string& source, Amount endowment = 0) {
+    const auto code = vm::assemble(source);
+    EXPECT_TRUE(code.ok()) << (code.error ? code.error->message : "");
+    Transaction tx;
+    tx.kind = TxKind::kDeploy;
+    tx.nonce = state_.nonce(alice_.address());
+    tx.value = endowment;
+    tx.gas_limit = 2'000'000;
+    tx.data = code.code;
+    tx.sign_with(alice_);
+    const Receipt r = apply_transaction(state_, env_, tx);
+    EXPECT_TRUE(r.ok()) << r.error;
+    return r.contract_address;
+  }
+
+  Receipt call(const Address& to, util::Bytes data = {}, Amount value = 0) {
+    Transaction tx;
+    tx.kind = TxKind::kCall;
+    tx.nonce = state_.nonce(alice_.address());
+    tx.to = to;
+    tx.value = value;
+    tx.gas_limit = 2'000'000;
+    tx.data = std::move(data);
+    tx.sign_with(alice_);
+    return apply_transaction(state_, env_, tx);
+  }
+
+  WorldState state_;
+  BlockEnv env_;
+  crypto::KeyPair alice_;
+};
+
+// CALL pops: gas, to, value, in_off, in_len, out_off, out_len. To avoid the
+// brittle SWAP dance, push in reverse pop order directly.
+std::string simple_caller(const Address& target, Amount value,
+                          const char* after_call) {
+  return
+      "PUSH1 0x20\n"   // out_len   (deepest: popped last)
+      "PUSH1 0x40\n"   // out_off
+      "PUSH1 0x00\n"   // in_len
+      "PUSH1 0x00\n"   // in_off
+      "PUSH " + std::to_string(value) + "\n"
+      "PUSH20 0x" + util::to_hex(target.span()) + "\n"
+      "PUSH3 0x0f4240\n"  // gas on top: popped first
+      "CALL\n" + std::string(after_call);
+}
+
+TEST_F(CallTest, CalleeExecutesAndReturnsData) {
+  // Callee returns the constant 0x2a.
+  const Address callee = deploy(
+      "PUSH1 0x2a\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN");
+  const Address caller = deploy(simple_caller(
+      callee, 0,
+      "PUSH1 0x00\nSSTORE\nPUSH1 0x40\nMLOAD\nPUSH1 0x01\nSSTORE\nSTOP"));
+  const Receipt r = call(caller);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(state_.get_storage(caller, crypto::U256::zero()), crypto::U256::one());
+  EXPECT_EQ(state_.get_storage(caller, crypto::U256::one()), crypto::U256{0x2a});
+}
+
+TEST_F(CallTest, ValueTransfersToCallee) {
+  const Address callee = deploy("STOP");
+  const Address caller = deploy(
+      simple_caller(callee, 12345, "PUSH1 0x00\nSSTORE\nSTOP"), 50000);
+  const Receipt r = call(caller);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(state_.balance(callee), 12345u);
+  EXPECT_EQ(state_.balance(caller), 50000u - 12345u);
+  EXPECT_EQ(state_.get_storage(caller, crypto::U256::zero()), crypto::U256::one());
+}
+
+TEST_F(CallTest, RevertingCalleeRollsBackSubCallOnly) {
+  // Callee writes to its storage then reverts; caller records the failure
+  // flag and keeps its own state.
+  const Address callee = deploy(
+      "PUSH1 0x63\nPUSH1 0x07\nSSTORE\nPUSH1 0x00\nPUSH1 0x00\nREVERT");
+  const Address caller = deploy(
+      simple_caller(callee, 777, "PUSH1 0x00\nSSTORE\nSTOP"), 10000);
+  const Receipt r = call(caller);
+  ASSERT_TRUE(r.ok()) << r.error;  // the OUTER tx succeeds
+  // Success flag is 0, callee's write rolled back, value returned.
+  EXPECT_EQ(state_.get_storage(caller, crypto::U256::zero()), crypto::U256::zero());
+  EXPECT_TRUE(state_.get_storage(callee, crypto::U256{7}).is_zero());
+  EXPECT_EQ(state_.balance(callee), 0u);
+  EXPECT_EQ(state_.balance(caller), 10000u);
+}
+
+TEST_F(CallTest, CallToEoaIsPlainTransfer) {
+  const Address eoa = key(55).address();
+  const Address caller =
+      deploy(simple_caller(eoa, 999, "PUSH1 0x00\nSSTORE\nSTOP"), 5000);
+  const Receipt r = call(caller);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(state_.balance(eoa), 999u);
+  EXPECT_EQ(state_.get_storage(caller, crypto::U256::zero()), crypto::U256::one());
+}
+
+TEST_F(CallTest, InsufficientValueFailsCallNotTx) {
+  const Address eoa = key(56).address();
+  const Address caller =
+      deploy(simple_caller(eoa, 999999, "PUSH1 0x00\nSSTORE\nSTOP"), 10);
+  const Receipt r = call(caller);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(state_.get_storage(caller, crypto::U256::zero()), crypto::U256::zero());
+  EXPECT_EQ(state_.balance(eoa), 0u);
+}
+
+TEST_F(CallTest, SelfRecursionBoundedByDepth) {
+  // A contract that CALLs itself forever: the depth limit (not a crash or a
+  // hang) stops it; every frame reports its sub-call's failure and returns
+  // success upward.
+  const Address self_target = contract_address(alice_.address(), 0);
+  const Address self = deploy(simple_caller(
+      self_target, 0, "PUSH1 0x00\nSSTORE\nSTOP"));
+  ASSERT_EQ(self, self_target);  // nonce prediction sanity
+  const Receipt r = call(self);
+  EXPECT_TRUE(r.ok()) << r.error;
+}
+
+TEST_F(CallTest, CalleeLogsSurviveOnlyOnSuccess) {
+  const Address logger = deploy(
+      "PUSH1 0x01\nPUSH1 0x20\nPUSH1 0x00\nLOG1\nSTOP");
+  const Address reverter = deploy(
+      "PUSH1 0x02\nPUSH1 0x20\nPUSH1 0x00\nLOG1\nPUSH1 0x00\nPUSH1 0x00\nREVERT");
+  const Address caller1 = deploy(simple_caller(logger, 0, "POP\nSTOP"));
+  const Address caller2 = deploy(simple_caller(reverter, 0, "POP\nSTOP"));
+  const Receipt ok = call(caller1);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.logs.size(), 1u);  // successful sub-call's log kept
+  const Receipt reverted = call(caller2);
+  ASSERT_TRUE(reverted.ok());
+  EXPECT_TRUE(reverted.logs.empty());  // reverted sub-call's log dropped
+}
+
+}  // namespace
+}  // namespace sc::chain

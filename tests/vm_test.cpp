@@ -1,0 +1,471 @@
+// SCVM interpreter semantics: opcodes, gas accounting, failure modes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "crypto/keccak.hpp"
+#include "vm/assembler.hpp"
+#include "vm/vm.hpp"
+
+namespace sc::vm {
+namespace {
+
+/// Minimal in-memory host for interpreter tests.
+class TestHost final : public Host {
+ public:
+  U256 get_storage(const Address& contract, const U256& key) override {
+    const auto it = storage_.find({contract, key});
+    return it == storage_.end() ? U256{} : it->second;
+  }
+  void set_storage(const Address& contract, const U256& key, const U256& value) override {
+    storage_[{contract, key}] = value;
+  }
+  std::uint64_t balance(const Address& account) override {
+    const auto it = balances_.find(account);
+    return it == balances_.end() ? 0 : it->second;
+  }
+  bool transfer(const Address& from, const Address& to, std::uint64_t amount) override {
+    if (balances_[from] < amount) return false;
+    balances_[from] -= amount;
+    balances_[to] += amount;
+    return true;
+  }
+  void emit_log(LogEntry entry) override { logs.push_back(std::move(entry)); }
+  std::uint64_t block_timestamp() override { return 1234; }
+  std::uint64_t block_number() override { return 42; }
+
+  std::map<std::pair<Address, U256>, U256> storage_;
+  std::map<Address, std::uint64_t> balances_;
+  std::vector<LogEntry> logs;
+};
+
+Address addr(std::uint8_t tag) {
+  Address a;
+  a.bytes.fill(tag);
+  return a;
+}
+
+/// Assembles and runs source; expects assembly to succeed.
+ExecResult run(TestHost& host, std::string_view source, util::Bytes calldata = {},
+               std::uint64_t gas = 1'000'000, std::uint64_t value = 0) {
+  const AssembleResult assembled = assemble(source);
+  EXPECT_TRUE(assembled.ok()) << (assembled.error ? assembled.error->message : "");
+  Context ctx;
+  ctx.contract = addr(0xcc);
+  ctx.caller = addr(0xee);
+  ctx.value = value;
+  ctx.calldata = std::move(calldata);
+  ctx.gas_limit = gas;
+  return execute(host, ctx, assembled.code);
+}
+
+/// Runs code that stores its single result word at memory 0 and returns it.
+U256 run_expr(std::string_view expr_source) {
+  TestHost host;
+  std::string source = std::string(expr_source) +
+                       "\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN\n";
+  const ExecResult r = run(host, source);
+  EXPECT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.return_data.size(), 32u);
+  return U256::from_be_bytes(r.return_data);
+}
+
+TEST(Vm, StopSucceedsEmpty) {
+  TestHost host;
+  const ExecResult r = run(host, "STOP");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.return_data.empty());
+}
+
+TEST(Vm, ImplicitStopAtCodeEnd) {
+  TestHost host;
+  const ExecResult r = run(host, "PUSH1 1\nPOP");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Vm, Arithmetic) {
+  EXPECT_EQ(run_expr("PUSH1 2\nPUSH1 3\nADD"), U256{5});
+  EXPECT_EQ(run_expr("PUSH1 2\nPUSH1 7\nSUB"), U256{5});  // top - second = 7-2
+  EXPECT_EQ(run_expr("PUSH1 6\nPUSH1 7\nMUL"), U256{42});
+  EXPECT_EQ(run_expr("PUSH1 5\nPUSH1 40\nDIV"), U256{8});
+  EXPECT_EQ(run_expr("PUSH1 7\nPUSH1 44\nMOD"), U256{2});
+}
+
+TEST(Vm, DivModByZeroYieldZero) {
+  EXPECT_EQ(run_expr("PUSH1 0\nPUSH1 40\nDIV"), U256::zero());
+  EXPECT_EQ(run_expr("PUSH1 0\nPUSH1 40\nMOD"), U256::zero());
+}
+
+TEST(Vm, Comparisons) {
+  // Top of stack is the first operand: [3,2] -> GT computes 2 > 3.
+  EXPECT_EQ(run_expr("PUSH1 3\nPUSH1 2\nGT"), U256::zero());
+  EXPECT_EQ(run_expr("PUSH1 2\nPUSH1 3\nGT"), U256::one());
+  EXPECT_EQ(run_expr("PUSH1 3\nPUSH1 2\nLT"), U256::one());
+  EXPECT_EQ(run_expr("PUSH1 5\nPUSH1 5\nEQ"), U256::one());
+  EXPECT_EQ(run_expr("PUSH1 0\nISZERO"), U256::one());
+  EXPECT_EQ(run_expr("PUSH1 9\nISZERO"), U256::zero());
+}
+
+TEST(Vm, Bitwise) {
+  EXPECT_EQ(run_expr("PUSH1 0x0f\nPUSH1 0x3c\nAND"), U256{0x0c});
+  EXPECT_EQ(run_expr("PUSH1 0x0f\nPUSH1 0x30\nOR"), U256{0x3f});
+  EXPECT_EQ(run_expr("PUSH1 0xff\nPUSH1 0x0f\nXOR"), U256{0xf0});
+  // Shift amount is the top operand: value first, then shift.
+  EXPECT_EQ(run_expr("PUSH1 1\nPUSH1 4\nSHL"), U256{16});
+  EXPECT_EQ(run_expr("PUSH1 16\nPUSH1 4\nSHR"), U256{1});
+}
+
+TEST(Vm, DupAndSwap) {
+  EXPECT_EQ(run_expr("PUSH1 7\nDUP1\nADD"), U256{14});
+  EXPECT_EQ(run_expr("PUSH1 10\nPUSH1 3\nSWAP1\nSUB"), U256{7});  // 10-3 after swap
+}
+
+TEST(Vm, MemoryRoundTrip) {
+  EXPECT_EQ(run_expr("PUSH1 0xab\nPUSH1 0x40\nMSTORE\nPUSH1 0x40\nMLOAD"), U256{0xab});
+}
+
+TEST(Vm, StorageRoundTripAcrossCalls) {
+  TestHost host;
+  const ExecResult w =
+      run(host, "PUSH1 0x2a\nPUSH1 0x01\nSSTORE\nSTOP");
+  EXPECT_TRUE(w.ok());
+  const ExecResult r = run(
+      host, "PUSH1 0x01\nSLOAD\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(U256::from_be_bytes(r.return_data), U256{0x2a});
+}
+
+TEST(Vm, KeccakMatchesLibrary) {
+  // keccak256 of the 32-byte word 0x...01 stored at offset 0.
+  TestHost host;
+  const ExecResult r = run(host,
+                           "PUSH1 0x01\nPUSH1 0x00\nMSTORE\n"
+                           "PUSH1 0x20\nPUSH1 0x00\nKECCAK\n"
+                           "PUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN");
+  ASSERT_TRUE(r.ok()) << r.error;
+  util::Bytes preimage(32, 0);
+  preimage[31] = 0x01;
+  EXPECT_EQ(U256::from_be_bytes(r.return_data),
+            U256::from_hash(crypto::keccak256(preimage)));
+}
+
+TEST(Vm, EnvironmentOpcodes) {
+  TestHost host;
+  const ExecResult r = run(
+      host, "TIMESTAMP\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::from_be_bytes(r.return_data), U256{1234});
+}
+
+TEST(Vm, CallerAndCallValue) {
+  TestHost host;
+  const ExecResult r =
+      run(host, "CALLVALUE\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN", {},
+          1'000'000, 777);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::from_be_bytes(r.return_data), U256{777});
+}
+
+TEST(Vm, CalldataLoadAndSize) {
+  TestHost host;
+  util::Bytes calldata(36, 0);
+  calldata[3] = 0x99;  // word 0 = 0x99 in high-ish bytes
+  const ExecResult r =
+      run(host,
+          "CALLDATASIZE\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN",
+          calldata);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::from_be_bytes(r.return_data), U256{36});
+}
+
+TEST(Vm, CalldataLoadPadsBeyondEnd) {
+  TestHost host;
+  const ExecResult r = run(
+      host,
+      "PUSH1 0x50\nCALLDATALOAD\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN",
+      util::Bytes{1, 2, 3});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::from_be_bytes(r.return_data), U256::zero());
+}
+
+TEST(Vm, JumpAndJumpi) {
+  TestHost host;
+  // Jump over a revert.
+  const ExecResult r = run(host,
+                           "PUSHL @ok\nJUMP\n"
+                           "PUSH1 0x00\nPUSH1 0x00\nREVERT\n"
+                           "ok:\nJUMPDEST\nSTOP");
+  EXPECT_TRUE(r.ok()) << r.error;
+}
+
+TEST(Vm, ConditionalJumpNotTaken) {
+  TestHost host;
+  const ExecResult r = run(host,
+                           "PUSH1 0x00\nPUSHL @skip\nJUMPI\n"
+                           "PUSH1 0x00\nPUSH1 0x00\nREVERT\n"
+                           "skip:\nJUMPDEST\nSTOP");
+  EXPECT_EQ(r.outcome, Outcome::kRevert);
+}
+
+TEST(Vm, JumpToNonJumpdestFails) {
+  TestHost host;
+  const ExecResult r = run(host, "PUSH1 0x03\nJUMP\nSTOP");
+  EXPECT_EQ(r.outcome, Outcome::kInvalidOp);
+}
+
+TEST(Vm, JumpIntoPushImmediateFails) {
+  TestHost host;
+  // Byte 2 is inside the PUSH2 immediate even though it equals 0x5b.
+  const AssembleResult code = assemble("PUSH2 0x5b5b\nPOP\nPUSH1 0x01\nJUMP");
+  ASSERT_TRUE(code.ok());
+  Context ctx;
+  ctx.gas_limit = 100000;
+  const ExecResult r = execute(host, ctx, code.code);
+  EXPECT_EQ(r.outcome, Outcome::kInvalidOp);
+}
+
+TEST(Vm, RevertReturnsData) {
+  TestHost host;
+  const ExecResult r = run(host,
+                           "PUSH1 0x55\nPUSH1 0x00\nMSTORE\n"
+                           "PUSH1 0x20\nPUSH1 0x00\nREVERT");
+  EXPECT_EQ(r.outcome, Outcome::kRevert);
+  ASSERT_EQ(r.return_data.size(), 32u);
+  EXPECT_EQ(U256::from_be_bytes(r.return_data), U256{0x55});
+}
+
+TEST(Vm, RevertKeepsUnusedGas) {
+  TestHost host;
+  const ExecResult r = run(host, "PUSH1 0x00\nPUSH1 0x00\nREVERT", {}, 50000);
+  EXPECT_EQ(r.outcome, Outcome::kRevert);
+  EXPECT_LT(r.gas_used, 100u);
+}
+
+TEST(Vm, OutOfGasConsumesEverything) {
+  TestHost host;
+  const ExecResult r = run(host, "PUSH1 1\nPUSH1 2\nADD\nSTOP", {}, 5);
+  EXPECT_EQ(r.outcome, Outcome::kOutOfGas);
+  EXPECT_EQ(r.gas_used, 5u);
+}
+
+TEST(Vm, StackUnderflowIsInvalid) {
+  TestHost host;
+  const ExecResult r = run(host, "ADD");
+  EXPECT_EQ(r.outcome, Outcome::kInvalidOp);
+  EXPECT_EQ(r.gas_used, 1'000'000u);  // full gas consumed
+}
+
+TEST(Vm, UndefinedOpcodeIsInvalid) {
+  TestHost host;
+  const util::Bytes code{0xef};
+  Context ctx;
+  ctx.gas_limit = 1000;
+  const ExecResult r = execute(host, ctx, code);
+  EXPECT_EQ(r.outcome, Outcome::kInvalidOp);
+}
+
+TEST(Vm, TransferMovesHostBalance) {
+  TestHost host;
+  host.balances_[addr(0xcc)] = 1000;
+  // TRANSFER pops to, then amount.
+  const ExecResult r = run(host, "PUSH1 250\nPUSH1 0x11\nTRANSFER\nSTOP");
+  EXPECT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(host.balances_[addr(0xcc)], 750u);
+  Address to;
+  to.bytes.fill(0);
+  to.bytes[19] = 0x11;
+  EXPECT_EQ(host.balances_[to], 250u);
+}
+
+TEST(Vm, TransferInsufficientFails) {
+  TestHost host;
+  host.balances_[addr(0xcc)] = 10;
+  const ExecResult r = run(host, "PUSH1 250\nPUSH1 0x11\nTRANSFER\nSTOP");
+  EXPECT_EQ(r.outcome, Outcome::kTransferFailed);
+}
+
+TEST(Vm, LogEmission) {
+  TestHost host;
+  const ExecResult r = run(host,
+                           "PUSH1 0xaa\nPUSH1 0x00\nMSTORE\n"
+                           "PUSH1 0x07\n"       // topic
+                           "PUSH1 0x20\nPUSH1 0x00\nLOG1\nSTOP");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(host.logs.size(), 1u);
+  EXPECT_EQ(host.logs[0].topics.size(), 1u);
+  EXPECT_EQ(host.logs[0].topics[0], U256{7});
+  EXPECT_EQ(host.logs[0].data.size(), 32u);
+}
+
+TEST(Vm, SelfBalanceReflectsHost) {
+  TestHost host;
+  host.balances_[addr(0xcc)] = 12345;
+  const ExecResult r = run(
+      host, "SELFBALANCE\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(U256::from_be_bytes(r.return_data), U256{12345});
+}
+
+TEST(Vm, GasAccountingExactForStraightLine) {
+  TestHost host;
+  // PUSH1(3) + PUSH1(3) + ADD(3) + POP(2) = 11.
+  const ExecResult r = run(host, "PUSH1 1\nPUSH1 2\nADD\nPOP\nSTOP");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.gas_used, 11u);
+}
+
+TEST(Vm, SstoreGasDependsOnPriorValue) {
+  TestHost host;
+  // First store to fresh slot: 20000 + pushes.
+  const ExecResult first = run(host, "PUSH1 1\nPUSH1 9\nSSTORE\nSTOP");
+  // Second store to same slot: 5000 + pushes.
+  const ExecResult second = run(host, "PUSH1 2\nPUSH1 9\nSSTORE\nSTOP");
+  EXPECT_EQ(first.gas_used, 6u + gas::kSStoreSet);
+  EXPECT_EQ(second.gas_used, 6u + gas::kSStoreReset);
+}
+
+TEST(Vm, IntrinsicGasCountsBytes) {
+  EXPECT_EQ(intrinsic_gas({}), gas::kTxBase);
+  const util::Bytes data{0x00, 0x01, 0x00, 0xff};
+  EXPECT_EQ(intrinsic_gas(data),
+            gas::kTxBase + 2 * gas::kTxDataZeroByte + 2 * gas::kTxDataNonZeroByte);
+}
+
+TEST(Vm, SignedDivision) {
+  // -10 / 3 = -3 (truncation toward zero).
+  const U256 minus_10 = U256::zero() - U256{10};
+  const U256 minus_3 = U256::zero() - U256{3};
+  EXPECT_EQ(run_expr("PUSH1 3\nPUSH32 0x" + minus_10.hex() + "\nSDIV"), minus_3);
+  // 10 / -3 = -3.
+  EXPECT_EQ(run_expr("PUSH32 0x" + minus_3.hex() + "\nPUSH1 10\nSDIV"), minus_3);
+  // -10 / -3 = 3.
+  EXPECT_EQ(run_expr("PUSH32 0x" + minus_3.hex() + "\nPUSH32 0x" + minus_10.hex() +
+                     "\nSDIV"),
+            U256{3});
+  // Division by zero yields zero.
+  EXPECT_EQ(run_expr("PUSH1 0\nPUSH32 0x" + minus_10.hex() + "\nSDIV"),
+            U256::zero());
+}
+
+TEST(Vm, SignedModuloTakesDividendSign) {
+  const U256 minus_10 = U256::zero() - U256{10};
+  const U256 minus_1 = U256::zero() - U256{1};
+  // -10 % 3 = -1.
+  EXPECT_EQ(run_expr("PUSH1 3\nPUSH32 0x" + minus_10.hex() + "\nSMOD"), minus_1);
+  // 10 % -3 = 1.
+  const U256 minus_3 = U256::zero() - U256{3};
+  EXPECT_EQ(run_expr("PUSH32 0x" + minus_3.hex() + "\nPUSH1 10\nSMOD"), U256::one());
+}
+
+TEST(Vm, SignedComparisons) {
+  const U256 minus_1 = U256::zero() - U256{1};
+  // -1 < 1 signed (but > unsigned).
+  EXPECT_EQ(run_expr("PUSH1 1\nPUSH32 0x" + minus_1.hex() + "\nSLT"), U256::one());
+  EXPECT_EQ(run_expr("PUSH1 1\nPUSH32 0x" + minus_1.hex() + "\nLT"), U256::zero());
+  EXPECT_EQ(run_expr("PUSH32 0x" + minus_1.hex() + "\nPUSH1 1\nSGT"), U256::one());
+  // Equal values: neither SLT nor SGT.
+  EXPECT_EQ(run_expr("PUSH1 5\nPUSH1 5\nSLT"), U256::zero());
+  EXPECT_EQ(run_expr("PUSH1 5\nPUSH1 5\nSGT"), U256::zero());
+  // Both negative: -2 < -1.
+  const U256 minus_2 = U256::zero() - U256{2};
+  EXPECT_EQ(run_expr("PUSH32 0x" + minus_1.hex() + "\nPUSH32 0x" + minus_2.hex() +
+                     "\nSLT"),
+            U256::one());
+}
+
+TEST(Vm, SignExtend) {
+  // 0xff sign-extended from byte 0 = -1.
+  EXPECT_EQ(run_expr("PUSH1 0xff\nPUSH1 0\nSIGNEXTEND"),
+            U256::zero() - U256{1});
+  // 0x7f from byte 0 stays 0x7f.
+  EXPECT_EQ(run_expr("PUSH1 0x7f\nPUSH1 0\nSIGNEXTEND"), U256{0x7f});
+  // Clears stray high bits when the sign bit is 0.
+  EXPECT_EQ(run_expr("PUSH2 0xff7f\nPUSH1 0\nSIGNEXTEND"), U256{0x7f});
+  // k >= 31 leaves the word untouched.
+  EXPECT_EQ(run_expr("PUSH1 0xff\nPUSH1 31\nSIGNEXTEND"), U256{0xff});
+  EXPECT_EQ(run_expr("PUSH1 0xff\nPUSH1 99\nSIGNEXTEND"), U256{0xff});
+}
+
+TEST(Vm, ExpWrappingPower) {
+  EXPECT_EQ(run_expr("PUSH1 10\nPUSH1 2\nEXP"), U256{1024});       // 2^10
+  EXPECT_EQ(run_expr("PUSH1 0\nPUSH1 7\nEXP"), U256::one());       // x^0 = 1
+  EXPECT_EQ(run_expr("PUSH1 5\nPUSH1 0\nEXP"), U256::zero());      // 0^5 = 0
+  // 2^256 wraps to zero.
+  EXPECT_EQ(run_expr("PUSH2 0x0100\nPUSH1 2\nEXP"), U256::zero());
+}
+
+TEST(Vm, ExpGasScalesWithExponentWidth) {
+  TestHost host;
+  const ExecResult small = run(host, "PUSH1 1\nPUSH1 2\nEXP\nPOP\nSTOP");
+  const ExecResult wide =
+      run(host, "PUSH4 0x01000000\nPUSH1 2\nEXP\nPOP\nSTOP");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_GT(wide.gas_used, small.gas_used + 2 * gas::kExpPerByte);
+}
+
+TEST(Vm, ByteExtractsBigEndian) {
+  // Word 0x...00ff: byte 31 is 0xff, byte 30 is 0x00, index 32+ yields 0.
+  EXPECT_EQ(run_expr("PUSH1 0xff\nPUSH1 31\nBYTE"), U256{0xff});
+  EXPECT_EQ(run_expr("PUSH1 0xff\nPUSH1 30\nBYTE"), U256::zero());
+  EXPECT_EQ(run_expr("PUSH1 0xff\nPUSH1 99\nBYTE"), U256::zero());
+  EXPECT_EQ(run_expr("PUSH2 0xab00\nPUSH1 30\nBYTE"), U256{0xab});
+}
+
+TEST(Vm, CallDataCopyWithPadding) {
+  TestHost host;
+  util::Bytes calldata{0x11, 0x22, 0x33};
+  // Copy 32 bytes from calldata offset 1 into memory 0, return the word:
+  // expect 0x2233 followed by 30 zero bytes (big-endian word 0x2233 << 240).
+  const ExecResult r = run(host,
+                           "PUSH1 0x20\nPUSH1 0x01\nPUSH1 0x00\nCALLDATACOPY\n"
+                           "PUSH1 0x00\nMLOAD\n"
+                           "PUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN",
+                           calldata);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.return_data.size(), 32u);
+  EXPECT_EQ(r.return_data[0], 0x22);
+  EXPECT_EQ(r.return_data[1], 0x33);
+  for (std::size_t i = 2; i < 32; ++i) EXPECT_EQ(r.return_data[i], 0x00);
+}
+
+TEST(Vm, MStore8WritesSingleByte) {
+  TestHost host;
+  const ExecResult r = run(host,
+                           "PUSH1 0xab\nPUSH1 0x05\nMSTORE8\n"
+                           "PUSH1 0x00\nMLOAD\n"
+                           "PUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.return_data[5], 0xab);
+  EXPECT_EQ(r.return_data[4], 0x00);
+  EXPECT_EQ(r.return_data[6], 0x00);
+}
+
+TEST(Vm, GasOpcodeReportsRemaining) {
+  TestHost host;
+  const ExecResult r = run(
+      host, "GAS\nPUSH1 0x00\nMSTORE\nPUSH1 0x20\nPUSH1 0x00\nRETURN", {}, 10000);
+  ASSERT_TRUE(r.ok());
+  const std::uint64_t reported = U256::from_be_bytes(r.return_data).low64();
+  EXPECT_LT(reported, 10000u);
+  EXPECT_GT(reported, 9900u);  // only GAS(2) charged before the read
+}
+
+TEST(Vm, MemoryExpansionChargesGas) {
+  TestHost host;
+  const ExecResult small = run(host, "PUSH1 0x01\nPUSH1 0x00\nMSTORE\nSTOP");
+  const ExecResult large = run(host, "PUSH1 0x01\nPUSH2 0x1000\nMSTORE\nSTOP");
+  EXPECT_TRUE(small.ok());
+  EXPECT_TRUE(large.ok());
+  EXPECT_GT(large.gas_used, small.gas_used + 300);
+}
+
+TEST(Vm, MemoryCapEnforced) {
+  TestHost host;
+  const ExecResult r =
+      run(host, "PUSH1 0x01\nPUSH4 0xffffffff\nMSTORE\nSTOP", {}, 10'000'000'000ULL);
+  EXPECT_NE(r.outcome, Outcome::kSuccess);
+}
+
+}  // namespace
+}  // namespace sc::vm
