@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_insurance.dir/ablation_insurance.cpp.o"
+  "CMakeFiles/ablation_insurance.dir/ablation_insurance.cpp.o.d"
+  "ablation_insurance"
+  "ablation_insurance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_insurance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_coverage.dir/baseline_coverage.cpp.o"
+  "CMakeFiles/baseline_coverage.dir/baseline_coverage.cpp.o.d"
+  "baseline_coverage"
+  "baseline_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

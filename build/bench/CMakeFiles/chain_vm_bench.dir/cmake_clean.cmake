@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_vm_bench.dir/chain_vm_bench.cpp.o"
+  "CMakeFiles/chain_vm_bench.dir/chain_vm_bench.cpp.o.d"
+  "chain_vm_bench"
+  "chain_vm_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_vm_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

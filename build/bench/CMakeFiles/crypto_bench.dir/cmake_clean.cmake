@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_bench.dir/crypto_bench.cpp.o"
+  "CMakeFiles/crypto_bench.dir/crypto_bench.cpp.o.d"
+  "crypto_bench"
+  "crypto_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_retarget.dir/ext_retarget.cpp.o"
+  "CMakeFiles/ext_retarget.dir/ext_retarget.cpp.o.d"
+  "ext_retarget"
+  "ext_retarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_retarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

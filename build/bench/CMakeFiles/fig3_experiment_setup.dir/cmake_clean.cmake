@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_experiment_setup.dir/fig3_experiment_setup.cpp.o"
+  "CMakeFiles/fig3_experiment_setup.dir/fig3_experiment_setup.cpp.o.d"
+  "fig3_experiment_setup"
+  "fig3_experiment_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_experiment_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

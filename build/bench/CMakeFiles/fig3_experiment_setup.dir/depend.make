@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_experiment_setup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_provider_incentives.cpp" "bench/CMakeFiles/fig4_provider_incentives.dir/fig4_provider_incentives.cpp.o" "gcc" "bench/CMakeFiles/fig4_provider_incentives.dir/fig4_provider_incentives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/sc_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/sc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/sc_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_provider_incentives.dir/fig4_provider_incentives.cpp.o"
+  "CMakeFiles/fig4_provider_incentives.dir/fig4_provider_incentives.cpp.o.d"
+  "fig4_provider_incentives"
+  "fig4_provider_incentives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_provider_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

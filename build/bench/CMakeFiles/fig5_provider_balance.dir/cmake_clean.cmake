@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_provider_balance.dir/fig5_provider_balance.cpp.o"
+  "CMakeFiles/fig5_provider_balance.dir/fig5_provider_balance.cpp.o.d"
+  "fig5_provider_balance"
+  "fig5_provider_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_provider_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

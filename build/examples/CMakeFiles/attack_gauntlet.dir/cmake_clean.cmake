@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_gauntlet.dir/attack_gauntlet.cpp.o"
+  "CMakeFiles/attack_gauntlet.dir/attack_gauntlet.cpp.o.d"
+  "attack_gauntlet"
+  "attack_gauntlet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_gauntlet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consumer_watchdog.dir/consumer_watchdog.cpp.o"
+  "CMakeFiles/consumer_watchdog.dir/consumer_watchdog.cpp.o.d"
+  "consumer_watchdog"
+  "consumer_watchdog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consumer_watchdog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

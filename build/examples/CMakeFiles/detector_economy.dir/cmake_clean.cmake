@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detector_economy.dir/detector_economy.cpp.o"
+  "CMakeFiles/detector_economy.dir/detector_economy.cpp.o.d"
+  "detector_economy"
+  "detector_economy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detector_economy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_release_audit.dir/vendor_release_audit.cpp.o"
+  "CMakeFiles/vendor_release_audit.dir/vendor_release_audit.cpp.o.d"
+  "vendor_release_audit"
+  "vendor_release_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_release_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

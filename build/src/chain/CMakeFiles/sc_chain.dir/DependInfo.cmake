@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/sc_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/sc_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/blockchain.cpp" "src/chain/CMakeFiles/sc_chain.dir/blockchain.cpp.o" "gcc" "src/chain/CMakeFiles/sc_chain.dir/blockchain.cpp.o.d"
+  "/root/repo/src/chain/difficulty.cpp" "src/chain/CMakeFiles/sc_chain.dir/difficulty.cpp.o" "gcc" "src/chain/CMakeFiles/sc_chain.dir/difficulty.cpp.o.d"
+  "/root/repo/src/chain/executor.cpp" "src/chain/CMakeFiles/sc_chain.dir/executor.cpp.o" "gcc" "src/chain/CMakeFiles/sc_chain.dir/executor.cpp.o.d"
+  "/root/repo/src/chain/light_client.cpp" "src/chain/CMakeFiles/sc_chain.dir/light_client.cpp.o" "gcc" "src/chain/CMakeFiles/sc_chain.dir/light_client.cpp.o.d"
+  "/root/repo/src/chain/mempool.cpp" "src/chain/CMakeFiles/sc_chain.dir/mempool.cpp.o" "gcc" "src/chain/CMakeFiles/sc_chain.dir/mempool.cpp.o.d"
+  "/root/repo/src/chain/pow.cpp" "src/chain/CMakeFiles/sc_chain.dir/pow.cpp.o" "gcc" "src/chain/CMakeFiles/sc_chain.dir/pow.cpp.o.d"
+  "/root/repo/src/chain/state.cpp" "src/chain/CMakeFiles/sc_chain.dir/state.cpp.o" "gcc" "src/chain/CMakeFiles/sc_chain.dir/state.cpp.o.d"
+  "/root/repo/src/chain/transaction.cpp" "src/chain/CMakeFiles/sc_chain.dir/transaction.cpp.o" "gcc" "src/chain/CMakeFiles/sc_chain.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_chain.dir/block.cpp.o"
+  "CMakeFiles/sc_chain.dir/block.cpp.o.d"
+  "CMakeFiles/sc_chain.dir/blockchain.cpp.o"
+  "CMakeFiles/sc_chain.dir/blockchain.cpp.o.d"
+  "CMakeFiles/sc_chain.dir/difficulty.cpp.o"
+  "CMakeFiles/sc_chain.dir/difficulty.cpp.o.d"
+  "CMakeFiles/sc_chain.dir/executor.cpp.o"
+  "CMakeFiles/sc_chain.dir/executor.cpp.o.d"
+  "CMakeFiles/sc_chain.dir/light_client.cpp.o"
+  "CMakeFiles/sc_chain.dir/light_client.cpp.o.d"
+  "CMakeFiles/sc_chain.dir/mempool.cpp.o"
+  "CMakeFiles/sc_chain.dir/mempool.cpp.o.d"
+  "CMakeFiles/sc_chain.dir/pow.cpp.o"
+  "CMakeFiles/sc_chain.dir/pow.cpp.o.d"
+  "CMakeFiles/sc_chain.dir/state.cpp.o"
+  "CMakeFiles/sc_chain.dir/state.cpp.o.d"
+  "CMakeFiles/sc_chain.dir/transaction.cpp.o"
+  "CMakeFiles/sc_chain.dir/transaction.cpp.o.d"
+  "libsc_chain.a"
+  "libsc_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

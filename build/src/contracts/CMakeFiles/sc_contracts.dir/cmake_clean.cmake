@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_contracts.dir/smartcrowd_contract.cpp.o"
+  "CMakeFiles/sc_contracts.dir/smartcrowd_contract.cpp.o.d"
+  "libsc_contracts.a"
+  "libsc_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attacks.cpp" "src/core/CMakeFiles/sc_core.dir/attacks.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/attacks.cpp.o.d"
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/sc_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/consumer.cpp" "src/core/CMakeFiles/sc_core.dir/consumer.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/consumer.cpp.o.d"
+  "/root/repo/src/core/economics.cpp" "src/core/CMakeFiles/sc_core.dir/economics.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/economics.cpp.o.d"
+  "/root/repo/src/core/incentives.cpp" "src/core/CMakeFiles/sc_core.dir/incentives.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/incentives.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/sc_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/core/CMakeFiles/sc_core.dir/node.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/node.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/core/CMakeFiles/sc_core.dir/platform.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/platform.cpp.o.d"
+  "/root/repo/src/core/reputation.cpp" "src/core/CMakeFiles/sc_core.dir/reputation.cpp.o" "gcc" "src/core/CMakeFiles/sc_core.dir/reputation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/contracts/CMakeFiles/sc_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/sc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/sc_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_core.dir/attacks.cpp.o"
+  "CMakeFiles/sc_core.dir/attacks.cpp.o.d"
+  "CMakeFiles/sc_core.dir/baselines.cpp.o"
+  "CMakeFiles/sc_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/sc_core.dir/consumer.cpp.o"
+  "CMakeFiles/sc_core.dir/consumer.cpp.o.d"
+  "CMakeFiles/sc_core.dir/economics.cpp.o"
+  "CMakeFiles/sc_core.dir/economics.cpp.o.d"
+  "CMakeFiles/sc_core.dir/incentives.cpp.o"
+  "CMakeFiles/sc_core.dir/incentives.cpp.o.d"
+  "CMakeFiles/sc_core.dir/messages.cpp.o"
+  "CMakeFiles/sc_core.dir/messages.cpp.o.d"
+  "CMakeFiles/sc_core.dir/node.cpp.o"
+  "CMakeFiles/sc_core.dir/node.cpp.o.d"
+  "CMakeFiles/sc_core.dir/platform.cpp.o"
+  "CMakeFiles/sc_core.dir/platform.cpp.o.d"
+  "CMakeFiles/sc_core.dir/reputation.cpp.o"
+  "CMakeFiles/sc_core.dir/reputation.cpp.o.d"
+  "libsc_core.a"
+  "libsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

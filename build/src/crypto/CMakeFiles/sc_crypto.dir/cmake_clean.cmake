@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/sc_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/keccak.cpp.o"
+  "CMakeFiles/sc_crypto.dir/keccak.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/keys.cpp.o"
+  "CMakeFiles/sc_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/sc_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/ripemd160.cpp.o"
+  "CMakeFiles/sc_crypto.dir/ripemd160.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/sc_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/sc_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/sc_crypto.dir/uint256.cpp.o"
+  "CMakeFiles/sc_crypto.dir/uint256.cpp.o.d"
+  "libsc_crypto.a"
+  "libsc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

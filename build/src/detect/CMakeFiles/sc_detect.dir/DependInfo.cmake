@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/autoverif.cpp" "src/detect/CMakeFiles/sc_detect.dir/autoverif.cpp.o" "gcc" "src/detect/CMakeFiles/sc_detect.dir/autoverif.cpp.o.d"
+  "/root/repo/src/detect/corpus.cpp" "src/detect/CMakeFiles/sc_detect.dir/corpus.cpp.o" "gcc" "src/detect/CMakeFiles/sc_detect.dir/corpus.cpp.o.d"
+  "/root/repo/src/detect/description.cpp" "src/detect/CMakeFiles/sc_detect.dir/description.cpp.o" "gcc" "src/detect/CMakeFiles/sc_detect.dir/description.cpp.o.d"
+  "/root/repo/src/detect/scanner.cpp" "src/detect/CMakeFiles/sc_detect.dir/scanner.cpp.o" "gcc" "src/detect/CMakeFiles/sc_detect.dir/scanner.cpp.o.d"
+  "/root/repo/src/detect/vulnerability.cpp" "src/detect/CMakeFiles/sc_detect.dir/vulnerability.cpp.o" "gcc" "src/detect/CMakeFiles/sc_detect.dir/vulnerability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/sc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_detect.dir/autoverif.cpp.o"
+  "CMakeFiles/sc_detect.dir/autoverif.cpp.o.d"
+  "CMakeFiles/sc_detect.dir/corpus.cpp.o"
+  "CMakeFiles/sc_detect.dir/corpus.cpp.o.d"
+  "CMakeFiles/sc_detect.dir/description.cpp.o"
+  "CMakeFiles/sc_detect.dir/description.cpp.o.d"
+  "CMakeFiles/sc_detect.dir/scanner.cpp.o"
+  "CMakeFiles/sc_detect.dir/scanner.cpp.o.d"
+  "CMakeFiles/sc_detect.dir/vulnerability.cpp.o"
+  "CMakeFiles/sc_detect.dir/vulnerability.cpp.o.d"
+  "libsc_detect.a"
+  "libsc_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_util.dir/bytes.cpp.o"
+  "CMakeFiles/sc_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/sc_util.dir/hex.cpp.o"
+  "CMakeFiles/sc_util.dir/hex.cpp.o.d"
+  "CMakeFiles/sc_util.dir/rng.cpp.o"
+  "CMakeFiles/sc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sc_util.dir/serialize.cpp.o"
+  "CMakeFiles/sc_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/sc_util.dir/stats.cpp.o"
+  "CMakeFiles/sc_util.dir/stats.cpp.o.d"
+  "libsc_util.a"
+  "libsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

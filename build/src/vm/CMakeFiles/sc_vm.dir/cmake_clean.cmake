@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_vm.dir/assembler.cpp.o"
+  "CMakeFiles/sc_vm.dir/assembler.cpp.o.d"
+  "CMakeFiles/sc_vm.dir/opcode.cpp.o"
+  "CMakeFiles/sc_vm.dir/opcode.cpp.o.d"
+  "CMakeFiles/sc_vm.dir/vm.cpp.o"
+  "CMakeFiles/sc_vm.dir/vm.cpp.o.d"
+  "libsc_vm.a"
+  "libsc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

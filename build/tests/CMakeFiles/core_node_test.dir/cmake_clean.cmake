@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_node_test.dir/core_consumer_test.cpp.o"
+  "CMakeFiles/core_node_test.dir/core_consumer_test.cpp.o.d"
+  "CMakeFiles/core_node_test.dir/core_node_test.cpp.o"
+  "CMakeFiles/core_node_test.dir/core_node_test.cpp.o.d"
+  "CMakeFiles/core_node_test.dir/core_reputation_test.cpp.o"
+  "CMakeFiles/core_node_test.dir/core_reputation_test.cpp.o.d"
+  "core_node_test"
+  "core_node_test.pdb"
+  "core_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

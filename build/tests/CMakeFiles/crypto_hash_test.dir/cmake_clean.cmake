@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_hash_test.dir/crypto_hmac_test.cpp.o"
+  "CMakeFiles/crypto_hash_test.dir/crypto_hmac_test.cpp.o.d"
+  "CMakeFiles/crypto_hash_test.dir/crypto_keccak_test.cpp.o"
+  "CMakeFiles/crypto_hash_test.dir/crypto_keccak_test.cpp.o.d"
+  "CMakeFiles/crypto_hash_test.dir/crypto_ripemd160_test.cpp.o"
+  "CMakeFiles/crypto_hash_test.dir/crypto_ripemd160_test.cpp.o.d"
+  "CMakeFiles/crypto_hash_test.dir/crypto_sha256_test.cpp.o"
+  "CMakeFiles/crypto_hash_test.dir/crypto_sha256_test.cpp.o.d"
+  "crypto_hash_test"
+  "crypto_hash_test.pdb"
+  "crypto_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_math_test.dir/crypto_keys_test.cpp.o"
+  "CMakeFiles/crypto_math_test.dir/crypto_keys_test.cpp.o.d"
+  "CMakeFiles/crypto_math_test.dir/crypto_merkle_test.cpp.o"
+  "CMakeFiles/crypto_math_test.dir/crypto_merkle_test.cpp.o.d"
+  "CMakeFiles/crypto_math_test.dir/crypto_secp256k1_test.cpp.o"
+  "CMakeFiles/crypto_math_test.dir/crypto_secp256k1_test.cpp.o.d"
+  "CMakeFiles/crypto_math_test.dir/crypto_uint256_test.cpp.o"
+  "CMakeFiles/crypto_math_test.dir/crypto_uint256_test.cpp.o.d"
+  "crypto_math_test"
+  "crypto_math_test.pdb"
+  "crypto_math_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_math_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

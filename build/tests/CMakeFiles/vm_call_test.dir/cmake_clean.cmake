@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_call_test.dir/vm_call_test.cpp.o"
+  "CMakeFiles/vm_call_test.dir/vm_call_test.cpp.o.d"
+  "vm_call_test"
+  "vm_call_test.pdb"
+  "vm_call_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_call_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

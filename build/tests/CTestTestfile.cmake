@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_math_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/contracts_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/detect_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_light_test[1]_include.cmake")
+include("/root/repo/build/tests/core_node_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_call_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_edge_test[1]_include.cmake")
