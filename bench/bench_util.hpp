@@ -23,6 +23,17 @@ inline std::uint64_t flag_u64(int argc, char** argv, const char* name,
   return fallback;
 }
 
+/// Parses "--name=value" string flags; returns fallback when absent.
+inline std::string flag_str(int argc, char** argv, const char* name,
+                            const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::string(argv[i] + prefix.size());
+  }
+  return fallback;
+}
+
 inline void header(const char* title) {
   std::printf("\n============================================================\n");
   std::printf("%s\n", title);

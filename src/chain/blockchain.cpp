@@ -51,7 +51,9 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
     if (block.header.difficulty != required) return fail("wrong difficulty");
   }
   if (!block.merkle_consistent()) return fail("merkle root mismatch");
-  if (!skip_pow && !check_pow(block.header)) return fail("invalid proof of work");
+  // `id` was already computed for the duplicate check; reuse it instead of
+  // re-hashing the header inside the PoW check.
+  if (!skip_pow && !check_pow(block.header, id)) return fail("invalid proof of work");
 
   for (const Transaction& tx : block.transactions) {
     if (!validate_transaction(tx)) return fail("invalid transaction in body");

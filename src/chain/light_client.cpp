@@ -28,7 +28,7 @@ bool LightClient::accept_header(const BlockHeader& header, std::string* why,
   if (header.height != parent.header.height + 1) return fail("height mismatch");
   if (header.timestamp < parent.header.timestamp)
     return fail("timestamp regression");
-  if (!skip_pow && !check_pow(header)) return fail("invalid proof of work");
+  if (!skip_pow && !check_pow(header, id)) return fail("invalid proof of work");
 
   Entry entry;
   entry.header = header;

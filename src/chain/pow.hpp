@@ -6,11 +6,21 @@
 // difficulties for real, while the discrete-event simulator models mining as
 // an exponential race calibrated to the 15 s block time and stamps blocks
 // with difficulty 1 (see sim/ and DESIGN.md).
+//
+// The mining hot path avoids per-attempt work: PowScratch serializes the
+// header once, compresses the constant 64-byte prefix into a SHA-256
+// midstate, and per nonce only patches 8 bytes in the pre-padded tail block
+// and runs two compression calls (inner tail + outer digest). mine() grinds
+// on one thread; mine_parallel() shards the nonce space across a worker pool
+// with a deterministic winner (the earliest attempt, independent of thread
+// count and scheduling).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "chain/block.hpp"
+#include "crypto/sha256.hpp"
 #include "crypto/uint256.hpp"
 
 namespace sc::chain {
@@ -21,9 +31,54 @@ crypto::U256 target_from_difficulty(std::uint64_t difficulty);
 /// True if the header's PoW digest meets its declared difficulty.
 bool check_pow(const BlockHeader& header);
 
+/// Same check with a memoized header id (callers that already computed
+/// block.id() for storage/dedup pass it here instead of re-hashing).
+bool check_pow(const BlockHeader& header, const Hash256& id);
+
+/// Serialize-once, midstate-reuse mining scratchpad for one block template.
+///
+/// Construction pays the fixed costs exactly once: one header serialization,
+/// one compression of the constant 64-byte prefix, and pre-assembly of both
+/// SHA-256 padding blocks. Per attempt, id_for_nonce() patches the nonce at
+/// its fixed offset and runs two compression calls — versus three plus a
+/// heap-allocating serialization for the naive BlockHeader::id() path.
+class PowScratch {
+ public:
+  explicit PowScratch(const BlockHeader& header);
+
+  /// Double-SHA-256 header id with `nonce` patched at its fixed offset.
+  /// Equals BlockHeader{...,nonce}.id() bit-for-bit.
+  Hash256 id_for_nonce(std::uint64_t nonce);
+
+  /// True if the header with `nonce` patched in meets the difficulty target.
+  bool attempt(std::uint64_t nonce);
+
+  const crypto::U256& target() const { return target_; }
+
+ private:
+  static_assert(BlockHeader::kSerializedSize == 116,
+                "PowScratch padding layout assumes a 116-byte header");
+  static_assert(BlockHeader::kNonceOffset == 88,
+                "nonce must sit in the second SHA-256 block");
+
+  crypto::Sha256State midstate_;  ///< After compressing header bytes [0, 64).
+  std::uint8_t tail_[64];         ///< Header bytes [64, 116) + inner padding.
+  std::uint8_t outer_[64];        ///< Inner digest + outer padding.
+  crypto::U256 target_;
+};
+
 /// Grinds nonces starting from header.nonce; returns the winning nonce, or
 /// nullopt after `max_attempts`. Does not mutate the input.
 std::optional<std::uint64_t> mine(const BlockHeader& header, std::uint64_t max_attempts);
+
+/// Parallel grind over the same attempt window as mine(). Shards the nonce
+/// space across `threads` workers (0 = std::thread::hardware_concurrency())
+/// with an atomic early-exit flag. The result is deterministic: always the
+/// winning nonce with the smallest attempt index, i.e. exactly what mine()
+/// would return, for every thread count and interleaving.
+std::optional<std::uint64_t> mine_parallel(const BlockHeader& header,
+                                           std::uint64_t max_attempts,
+                                           unsigned threads = 0);
 
 /// Expected number of hash attempts per block at the given difficulty.
 double expected_attempts(std::uint64_t difficulty);

@@ -1,5 +1,7 @@
 #include "crypto/sha256.hpp"
 
+#include <cassert>
+
 namespace sc::crypto {
 
 namespace {
@@ -33,7 +35,7 @@ void Sha256::reset() {
   total_len_ = 0;
 }
 
-void Sha256::compress(const std::uint8_t* block) {
+void Sha256::transform(std::uint32_t state[8], const std::uint8_t block[64]) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
@@ -47,8 +49,8 @@ void Sha256::compress(const std::uint8_t* block) {
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
-  std::uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
   for (int i = 0; i < 64; ++i) {
     const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
     const std::uint32_t ch = (e & f) ^ (~e & g);
@@ -65,14 +67,36 @@ void Sha256::compress(const std::uint8_t* block) {
     b = a;
     a = t1 + t2;
   }
-  h_[0] += a;
-  h_[1] += b;
-  h_[2] += c;
-  h_[3] += d;
-  h_[4] += e;
-  h_[5] += f;
-  h_[6] += g;
-  h_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+Sha256State Sha256::midstate() const {
+  assert(buf_len_ == 0 && "midstate only valid at a 64-byte block boundary");
+  Sha256State s;
+  for (int i = 0; i < 8; ++i) s.h[i] = h_[i];
+  s.bytes_compressed = total_len_;
+  return s;
+}
+
+Sha256& Sha256::restore(const Sha256State& state) {
+  for (int i = 0; i < 8; ++i) h_[i] = state.h[i];
+  buf_len_ = 0;
+  total_len_ = state.bytes_compressed;
+  return *this;
+}
+
+Sha256State Sha256::initial_state() {
+  Sha256State s;
+  for (int i = 0; i < 8; ++i) s.h[i] = kInit[i];
+  s.bytes_compressed = 0;
+  return s;
 }
 
 Sha256& Sha256::update(util::ByteSpan data) {
@@ -101,13 +125,14 @@ Sha256& Sha256::update(util::ByteSpan data) {
 
 Hash256 Sha256::finish() {
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad = 0x80;
-  update({&pad, 1});
-  const std::uint8_t zero = 0x00;
-  while (buf_len_ != 56) update({&zero, 1});
-  std::uint8_t len_be[8];
-  for (int i = 0; i < 8; ++i) len_be[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
-  update({len_be, 8});
+  // Single padding write: 0x80, zeros up to 56 mod 64, then the big-endian
+  // bit length. When buf_len_ >= 56 the padding wraps into a second block,
+  // so the pad area spans up to 64 + 8 bytes.
+  std::uint8_t pad[72] = {0x80};
+  const std::size_t pad_len = (buf_len_ < 56 ? 56 : 120) - buf_len_;
+  for (int i = 0; i < 8; ++i)
+    pad[pad_len + i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  update({pad, pad_len + 8});
 
   Hash256 out;
   for (int i = 0; i < 8; ++i) {

@@ -31,8 +31,13 @@ MiningRace::Outcome MiningRace::next(util::Rng& rng) const {
 double MiningRace::share_of(std::size_t i) const { return weights_[i] / total_; }
 
 void MiningRace::set_hash_power(std::size_t i, double weight) {
-  total_ += weight - weights_[i];
+  assert(i < weights_.size());
   weights_[i] = weight;
+  // Recompute from scratch: the incremental `total_ += weight - old` form
+  // accumulates floating-point drift across many retarget calls, skewing the
+  // categorical draw in next().
+  total_ = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+  assert(total_ > 0.0);
 }
 
 }  // namespace sc::sim

@@ -1,0 +1,144 @@
+// PoW hot-path invariants: serialize-once nonce patching, midstate digests,
+// and deterministic parallel mining.
+#include <gtest/gtest.h>
+
+#include "chain/pow.hpp"
+#include "crypto/sha256.hpp"
+#include "util/rng.hpp"
+
+namespace sc::chain {
+namespace {
+
+BlockHeader random_header(util::Rng& rng) {
+  BlockHeader h;
+  h.height = rng.uniform(1'000'000);
+  util::Bytes buf;
+  rng.fill(buf, 32);
+  h.prev_id = Hash256::from_span(buf);
+  rng.fill(buf, 32);
+  h.merkle_root = Hash256::from_span(buf);
+  h.timestamp = rng.uniform(1'000'000'000);
+  h.difficulty = 1 + rng.uniform(1'000'000);
+  h.nonce = rng.next_u64();
+  rng.fill(buf, 20);
+  h.miner = Address::from_span(buf);
+  return h;
+}
+
+TEST(PowScratch, SerializedLayoutConstantsHold) {
+  util::Rng rng(11);
+  const BlockHeader h = random_header(rng);
+  const util::Bytes bytes = h.serialize();
+  ASSERT_EQ(bytes.size(), BlockHeader::kSerializedSize);
+  // The 8 bytes at kNonceOffset are the little-endian nonce.
+  std::uint64_t nonce = 0;
+  for (int i = 0; i < 8; ++i)
+    nonce |= static_cast<std::uint64_t>(bytes[BlockHeader::kNonceOffset + i]) << (8 * i);
+  EXPECT_EQ(nonce, h.nonce);
+}
+
+TEST(PowScratch, NonceOffsetPatchEqualsReserialize) {
+  // Patching the nonce bytes in place must equal a full re-serialization,
+  // for randomized headers and nonces — the serialize-once invariant.
+  util::Rng rng(12);
+  for (int round = 0; round < 50; ++round) {
+    BlockHeader h = random_header(rng);
+    util::Bytes patched = h.serialize();
+    const std::uint64_t new_nonce = rng.next_u64();
+    for (int i = 0; i < 8; ++i)
+      patched[BlockHeader::kNonceOffset + i] =
+          static_cast<std::uint8_t>(new_nonce >> (8 * i));
+    h.nonce = new_nonce;
+    EXPECT_EQ(patched, h.serialize()) << "round " << round;
+  }
+}
+
+TEST(PowScratch, IdForNonceMatchesHeaderId) {
+  util::Rng rng(13);
+  for (int round = 0; round < 20; ++round) {
+    BlockHeader h = random_header(rng);
+    PowScratch scratch(h);
+    for (int k = 0; k < 5; ++k) {
+      const std::uint64_t nonce = rng.next_u64();
+      h.nonce = nonce;
+      EXPECT_EQ(scratch.id_for_nonce(nonce), h.id()) << "round " << round;
+    }
+  }
+}
+
+TEST(PowScratch, AttemptAgreesWithCheckPow) {
+  util::Rng rng(14);
+  BlockHeader h = random_header(rng);
+  h.difficulty = 4;  // plenty of hits and misses among random nonces
+  PowScratch scratch(h);
+  for (int k = 0; k < 200; ++k) {
+    const std::uint64_t nonce = rng.next_u64();
+    h.nonce = nonce;
+    EXPECT_EQ(scratch.attempt(nonce), check_pow(h));
+  }
+}
+
+TEST(CheckPow, MemoizedIdOverloadAgrees) {
+  util::Rng rng(15);
+  for (int round = 0; round < 20; ++round) {
+    BlockHeader h = random_header(rng);
+    h.difficulty = 1 + rng.uniform(8);
+    EXPECT_EQ(check_pow(h), check_pow(h, h.id()));
+  }
+}
+
+TEST(Mine, WinnerSatisfiesPowAndMatchesNaiveScan) {
+  util::Rng rng(16);
+  BlockHeader h = random_header(rng);
+  h.difficulty = 32;
+  h.nonce = 7;
+  const auto found = mine(h, 10'000);
+  ASSERT_TRUE(found.has_value());
+  // The winner is the first passing nonce from the start point.
+  for (std::uint64_t n = h.nonce; n < *found; ++n) {
+    BlockHeader probe = h;
+    probe.nonce = n;
+    EXPECT_FALSE(check_pow(probe)) << "nonce " << n << " should not win";
+  }
+  h.nonce = *found;
+  EXPECT_TRUE(check_pow(h));
+}
+
+TEST(MineParallel, DeterministicAcrossThreadCounts) {
+  util::Rng rng(17);
+  for (int round = 0; round < 3; ++round) {
+    BlockHeader h = random_header(rng);
+    h.difficulty = 64;
+    h.nonce = rng.uniform(1'000'000);
+    const auto serial = mine(h, 20'000);
+    ASSERT_TRUE(serial.has_value());
+    for (unsigned threads : {1u, 2u, 3u, 4u, 8u}) {
+      const auto parallel = mine_parallel(h, 20'000, threads);
+      ASSERT_TRUE(parallel.has_value()) << threads << " threads";
+      EXPECT_EQ(*parallel, *serial) << threads << " threads, round " << round;
+    }
+    h.nonce = *serial;
+    EXPECT_TRUE(check_pow(h));
+  }
+}
+
+TEST(MineParallel, RespectsAttemptBudget) {
+  util::Rng rng(18);
+  BlockHeader h = random_header(rng);
+  h.difficulty = ~std::uint64_t{0};  // effectively impossible
+  EXPECT_FALSE(mine_parallel(h, 8'192, 4).has_value());
+  EXPECT_FALSE(mine(h, 100).has_value());
+}
+
+TEST(MineParallel, DefaultThreadCountWorks) {
+  util::Rng rng(19);
+  BlockHeader h = random_header(rng);
+  h.difficulty = 16;
+  h.nonce = 0;
+  const auto found = mine_parallel(h, 8'192);  // threads = hardware default
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, *mine(h, 8'192));
+}
+
+}  // namespace
+}  // namespace sc::chain

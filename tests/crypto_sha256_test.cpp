@@ -92,6 +92,64 @@ INSTANTIATE_TEST_SUITE_P(Boundaries, Sha256LengthSweep,
                          ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119, 120, 127,
                                            128, 129, 1000));
 
+TEST(Sha256, MidstateMatchesOneShotAtEveryBlockBoundary) {
+  // Split a message at every 64-byte boundary, snapshot the midstate, resume
+  // in a fresh context, and require bit-identical digests.
+  util::Bytes msg(517);
+  for (std::size_t i = 0; i < msg.size(); ++i)
+    msg[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  for (std::size_t split = 0; split <= msg.size(); split += 64) {
+    Sha256 front;
+    front.update({msg.data(), split});
+    ASSERT_EQ(front.buffered_bytes(), 0u);
+    const Sha256State mid = front.midstate();
+    EXPECT_EQ(mid.bytes_compressed, split);
+
+    Sha256 back;
+    back.restore(mid);
+    back.update({msg.data() + split, msg.size() - split});
+    EXPECT_EQ(back.finish(), Sha256::digest(msg)) << "split " << split;
+  }
+}
+
+TEST(Sha256, MidstateReusableAcrossManyTails) {
+  // One prefix compression amortized over many differing tails — the PoW
+  // mining pattern. Each restored context must agree with the one-shot hash.
+  util::Bytes msg(96, 0x5c);
+  Sha256 front;
+  front.update({msg.data(), 64});
+  const Sha256State mid = front.midstate();
+  for (int tail = 0; tail < 16; ++tail) {
+    msg[80] = static_cast<std::uint8_t>(tail);
+    Sha256 ctx;
+    ctx.restore(mid);
+    ctx.update({msg.data() + 64, 32});
+    EXPECT_EQ(ctx.finish(), Sha256::digest(msg)) << "tail " << tail;
+  }
+}
+
+TEST(Sha256, InitialStateIsTheIv) {
+  Sha256 ctx;
+  const Sha256State iv = Sha256::initial_state();
+  ctx.restore(iv);
+  ctx.update(util::as_bytes("abc"));
+  EXPECT_EQ(ctx.finish().hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TransformMatchesDigestOfOneBlock) {
+  // transform() is the raw compression function: IV + one padded block must
+  // reproduce the empty-suffix digest of a 64-byte message.
+  std::uint8_t block[64];
+  for (int i = 0; i < 64; ++i) block[i] = static_cast<std::uint8_t>(i);
+  Sha256State s = Sha256::initial_state();
+  Sha256::transform(s.h, block);
+  Sha256 ctx;
+  ctx.restore(Sha256State{{s.h[0], s.h[1], s.h[2], s.h[3], s.h[4], s.h[5], s.h[6], s.h[7]},
+                          64});
+  EXPECT_EQ(ctx.finish(), Sha256::digest({block, 64}));
+}
+
 TEST(Sha256, HexOfHelperSanity) {
   const util::Bytes data{0xde, 0xad};
   EXPECT_EQ(hex_of(data), "dead");

@@ -173,6 +173,23 @@ TEST(MiningRace, HashPowerUpdateShiftsShares) {
   EXPECT_DOUBLE_EQ(race.share_of(0), 0.75);
 }
 
+TEST(MiningRace, RepeatedRetargetsDoNotDriftTotal) {
+  // set_hash_power must recompute the weight total from scratch: the old
+  // incremental update accumulated float error over many retargets, skewing
+  // every subsequent share_of()/next() draw.
+  MiningRace race({0.1, 0.2, 0.3, 0.4}, 15.0);
+  util::Rng rng(99);
+  for (int step = 0; step < 100000; ++step) {
+    const std::size_t i = rng.uniform(4);
+    race.set_hash_power(i, 0.1 + rng.uniform01());
+  }
+  // Settle on exactly-representable weights: with a from-scratch total the
+  // shares are exact quarters; the drifted total would miss by ~1e-14.
+  for (std::size_t i = 0; i < race.miner_count(); ++i) race.set_hash_power(i, 0.25);
+  for (std::size_t i = 0; i < race.miner_count(); ++i)
+    EXPECT_DOUBLE_EQ(race.share_of(i), 0.25);
+}
+
 TEST(MiningRace, IntervalDistributionIsExponential) {
   // Coefficient of variation of an exponential is 1.
   MiningRace race({5.0}, 15.0);
