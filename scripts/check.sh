@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification sweep: regular build + tests, the ASan/UBSan suite, the
+# parallel miner under TSan, and a static-analysis pass over the SmartCrowd
+# contract. Mirrors what CI should run on every change.
+#
+#   scripts/check.sh            # everything
+#   SKIP_TSAN=1 scripts/check.sh  # skip the thread-sanitizer stage
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+echo "== regular build + tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "== scvm_lint: SmartCrowd contract must verify =="
+./build/tools/scvm_lint --smartcrowd --quiet
+
+echo "== ASan/UBSan build + tests =="
+cmake -B build-asan -S . -DSC_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+if [ -z "${SKIP_TSAN:-}" ]; then
+  echo "== TSan: parallel PoW miner =="
+  cmake -B build-tsan -S . -DSC_SANITIZE=thread >/dev/null
+  cmake --build build-tsan --target chain_test -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -R MineParallel
+fi
+
+echo "== all checks passed =="

@@ -1,0 +1,164 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace sc::analysis {
+
+namespace {
+
+using vm::Op;
+
+/// Per-block constant propagation: a stack of maybe-known words. Values
+/// flowing in from predecessors are unknown (the bottom is padded on
+/// demand), so anything reported as known is known on every path.
+class AbstractStack {
+ public:
+  void pad_to(std::size_t depth) {
+    while (values_.size() < depth)
+      values_.insert(values_.begin(), std::nullopt);
+  }
+
+  void push(std::optional<crypto::U256> v) { values_.push_back(std::move(v)); }
+
+  /// Pops `n` values, returning them top-first.
+  std::vector<std::optional<crypto::U256>> pop(std::size_t n) {
+    pad_to(n);
+    std::vector<std::optional<crypto::U256>> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(values_.back());
+      values_.pop_back();
+    }
+    return out;
+  }
+
+  void dup(unsigned n) {
+    pad_to(n);
+    values_.push_back(values_[values_.size() - n]);
+  }
+
+  void swap(unsigned n) {
+    pad_to(n + 1);
+    std::swap(values_.back(), values_[values_.size() - 1 - n]);
+  }
+
+ private:
+  std::vector<std::optional<crypto::U256>> values_;
+};
+
+}  // namespace
+
+std::optional<std::uint32_t> Cfg::block_at(std::size_t offset) const {
+  const auto it = std::partition_point(
+      blocks.begin(), blocks.end(),
+      [offset](const BasicBlock& b) { return b.start_offset < offset; });
+  if (it == blocks.end() || it->start_offset != offset) return std::nullopt;
+  return static_cast<std::uint32_t>(it - blocks.begin());
+}
+
+Cfg build_cfg(util::ByteSpan code) {
+  Cfg cfg;
+  cfg.code_size = code.size();
+  cfg.instrs = decode(code);
+  cfg.jumpdests = jumpdest_map(code);
+  cfg.operands.resize(cfg.instrs.size());
+  if (cfg.instrs.empty()) return cfg;
+
+  // Leaders: offset 0, every JUMPDEST, everything following a block end.
+  std::vector<bool> leader(cfg.instrs.size(), false);
+  leader[0] = true;
+  for (std::size_t i = 0; i < cfg.instrs.size(); ++i) {
+    const std::uint8_t op = cfg.instrs[i].opcode;
+    if (op == static_cast<std::uint8_t>(Op::kJumpDest)) leader[i] = true;
+    const bool ends_block = is_block_terminator(op) ||
+                            op == static_cast<std::uint8_t>(Op::kJumpI) ||
+                            !stack_effect(op).has_value();
+    if (ends_block && i + 1 < cfg.instrs.size()) leader[i + 1] = true;
+  }
+
+  for (std::size_t i = 0; i < cfg.instrs.size(); ++i) {
+    if (leader[i]) {
+      BasicBlock b;
+      b.first = i;
+      b.start_offset = cfg.instrs[i].offset;
+      cfg.blocks.push_back(b);
+    }
+    cfg.blocks.back().count++;
+  }
+  for (BasicBlock& b : cfg.blocks) {
+    const Instr& last = cfg.instrs[b.first + b.count - 1];
+    b.end_offset = std::min(code.size(), last.offset + 1 + last.imm_size);
+  }
+
+  // Jump-target resolution + operand constants, then edges.
+  std::vector<std::uint32_t> jumpdest_blocks;
+  for (std::size_t id = 0; id < cfg.blocks.size(); ++id) {
+    const BasicBlock& b = cfg.blocks[id];
+    if (cfg.instrs[b.first].opcode == static_cast<std::uint8_t>(Op::kJumpDest))
+      jumpdest_blocks.push_back(static_cast<std::uint32_t>(id));
+  }
+
+  for (std::size_t id = 0; id < cfg.blocks.size(); ++id) {
+    BasicBlock& b = cfg.blocks[id];
+    AbstractStack stack;
+    for (std::size_t i = b.first; i < b.first + b.count; ++i) {
+      const Instr& instr = cfg.instrs[i];
+      if (instr.is_push()) {
+        stack.push(instr.immediate);
+        continue;
+      }
+      if (vm::is_dup(instr.opcode)) {
+        const unsigned n = instr.opcode - static_cast<std::uint8_t>(Op::kDup1) + 1;
+        stack.dup(n);
+        continue;
+      }
+      if (vm::is_swap(instr.opcode)) {
+        const unsigned n = instr.opcode - static_cast<std::uint8_t>(Op::kSwap1) + 1;
+        stack.swap(n);
+        continue;
+      }
+      const auto effect = stack_effect(instr.opcode);
+      if (!effect) break;  // Undefined byte: the block faults here.
+      cfg.operands[i] = stack.pop(effect->pops);
+      for (unsigned p = 0; p < effect->pushes; ++p) stack.push(std::nullopt);
+    }
+
+    const Instr& last = cfg.instrs[b.first + b.count - 1];
+    const bool is_jump = last.opcode == static_cast<std::uint8_t>(Op::kJump);
+    const bool is_jumpi = last.opcode == static_cast<std::uint8_t>(Op::kJumpI);
+    b.ends_in_jump = is_jump || is_jumpi;
+    b.conditional = is_jumpi;
+    b.faulting = !stack_effect(last.opcode).has_value();
+
+    if (b.ends_in_jump) {
+      const auto& ops = cfg.operands[b.first + b.count - 1];
+      if (!ops.empty() && ops[0].has_value()) b.jump_target = ops[0];
+      if (b.jump_target) {
+        // Edge only when the destination is a real JUMPDEST; invalid targets
+        // get a diagnostic in the verifier, not an edge.
+        const crypto::U256& dest = *b.jump_target;
+        if (dest.bit_length() <= 32 && dest.low64() < code.size() &&
+            cfg.jumpdests[dest.low64()]) {
+          if (const auto target = cfg.block_at(dest.low64()))
+            b.succ.push_back(*target);
+        }
+      } else {
+        b.succ = jumpdest_blocks;  // Dynamic jump: any JUMPDEST is possible.
+      }
+    }
+
+    // A truncated PUSH can only be the last instruction, so it lands in the
+    // implicit-stop branch below, matching the interpreter's behaviour.
+    const bool falls_through =
+        !is_block_terminator(last.opcode) && !is_jump && !b.faulting;
+    if (falls_through) {
+      if (id + 1 < cfg.blocks.size())
+        b.succ.push_back(static_cast<std::uint32_t>(id + 1));
+      else
+        b.implicit_stop = true;  // Fell off the end: the VM stops cleanly.
+    }
+  }
+  return cfg;
+}
+
+}  // namespace sc::analysis

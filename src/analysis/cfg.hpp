@@ -1,0 +1,52 @@
+// Basic-block decomposition and control-flow graph for SCVM bytecode.
+//
+// Blocks are split at JUMPDESTs and after JUMP/JUMPI/STOP/RETURN/REVERT (and
+// after undefined bytes, which fault). Jump targets are resolved by an
+// intra-block abstract stack that tracks statically-known values: a PUSH
+// immediate stays known through DUP/SWAP shuffles, every other producer
+// yields "unknown". A jump whose destination is unknown conservatively gets
+// an edge to every JUMPDEST-led block, so reachability and the stack
+// fixpoint in verifier.cpp over-approximate anything the interpreter can do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/decode.hpp"
+
+namespace sc::analysis {
+
+struct BasicBlock {
+  std::size_t first = 0;  ///< Index of the first instruction in Cfg::instrs.
+  std::size_t count = 0;
+  std::size_t start_offset = 0;
+  std::size_t end_offset = 0;  ///< One past the last byte of the block.
+  std::vector<std::uint32_t> succ;
+
+  bool ends_in_jump = false;  ///< Last instruction is JUMP or JUMPI.
+  bool conditional = false;   ///< Last instruction is JUMPI.
+  /// Statically-resolved jump destination; nullopt when `ends_in_jump` but
+  /// the value on top of the stack is unknown (dynamic jump).
+  std::optional<crypto::U256> jump_target;
+  bool faulting = false;       ///< Ends at an undefined opcode.
+  bool implicit_stop = false;  ///< Execution runs off the end of the code.
+};
+
+struct Cfg {
+  std::vector<Instr> instrs;
+  std::vector<bool> jumpdests;
+  std::vector<BasicBlock> blocks;
+  /// operands[i] — statically-known values of instrs[i]'s `pops` operands,
+  /// top of stack first; nullopt where the value is not a compile-time
+  /// constant. Filled by the same walk that resolves jump targets.
+  std::vector<std::vector<std::optional<crypto::U256>>> operands;
+  std::size_t code_size = 0;
+
+  /// Block whose start_offset equals `offset`, if any.
+  std::optional<std::uint32_t> block_at(std::size_t offset) const;
+};
+
+Cfg build_cfg(util::ByteSpan code);
+
+}  // namespace sc::analysis

@@ -1,0 +1,120 @@
+#include "analysis/decode.hpp"
+
+namespace sc::analysis {
+
+using vm::Op;
+
+std::optional<StackEffect> stack_effect(std::uint8_t opcode) {
+  if (vm::is_push(opcode)) return StackEffect{0, 1};
+  if (vm::is_dup(opcode)) {
+    const unsigned n = opcode - static_cast<std::uint8_t>(Op::kDup1) + 1;
+    return StackEffect{n, n + 1};
+  }
+  if (vm::is_swap(opcode)) {
+    const unsigned n = opcode - static_cast<std::uint8_t>(Op::kSwap1) + 1;
+    return StackEffect{n + 1, n + 1};
+  }
+  switch (static_cast<Op>(opcode)) {
+    case Op::kStop: return StackEffect{0, 0};
+    case Op::kAdd:
+    case Op::kMul:
+    case Op::kSub:
+    case Op::kDiv:
+    case Op::kSDiv:
+    case Op::kMod:
+    case Op::kSMod:
+    case Op::kExp:
+    case Op::kSignExtend:
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kSLt:
+    case Op::kSGt:
+    case Op::kEq:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kByte:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kKeccak: return StackEffect{2, 1};
+    case Op::kIsZero:
+    case Op::kNot:
+    case Op::kBalance:
+    case Op::kCallDataLoad:
+    case Op::kMLoad:
+    case Op::kSLoad: return StackEffect{1, 1};
+    case Op::kSelfAddress:
+    case Op::kCaller:
+    case Op::kCallValue:
+    case Op::kCallDataSize:
+    case Op::kTimestamp:
+    case Op::kNumber:
+    case Op::kSelfBalance:
+    case Op::kGas: return StackEffect{0, 1};
+    case Op::kCallDataCopy: return StackEffect{3, 0};
+    case Op::kPop:
+    case Op::kJump: return StackEffect{1, 0};
+    case Op::kMStore:
+    case Op::kMStore8:
+    case Op::kSStore:
+    case Op::kJumpI:
+    case Op::kTransfer:
+    case Op::kReturn:
+    case Op::kRevert:
+    case Op::kLog0: return StackEffect{2, 0};
+    case Op::kJumpDest: return StackEffect{0, 0};
+    case Op::kLog1: return StackEffect{3, 0};
+    case Op::kLog2: return StackEffect{4, 0};
+    case Op::kCall: return StackEffect{7, 1};
+    default: return std::nullopt;
+  }
+}
+
+bool is_block_terminator(std::uint8_t opcode) {
+  switch (static_cast<Op>(opcode)) {
+    case Op::kStop:
+    case Op::kJump:
+    case Op::kReturn:
+    case Op::kRevert: return true;
+    default: return false;
+  }
+}
+
+std::vector<Instr> decode(util::ByteSpan code) {
+  std::vector<Instr> out;
+  for (std::size_t pc = 0; pc < code.size();) {
+    Instr instr;
+    instr.offset = pc;
+    instr.opcode = code[pc];
+    if (vm::is_push(instr.opcode)) {
+      instr.imm_size = vm::push_size(instr.opcode);
+      instr.imm_present = static_cast<unsigned>(
+          std::min<std::size_t>(instr.imm_size, code.size() - pc - 1));
+      // Zero-pad missing bytes on the right, matching the interpreter's read.
+      std::uint8_t be[32] = {0};
+      for (unsigned i = 0; i < instr.imm_present; ++i)
+        be[32 - instr.imm_size + i] = code[pc + 1 + i];
+      instr.immediate = crypto::U256::from_be_bytes({be, 32});
+      pc += 1 + instr.imm_size;  // May run past the end; loop exits.
+    } else {
+      ++pc;
+    }
+    out.push_back(instr);
+  }
+  return out;
+}
+
+std::vector<bool> jumpdest_map(util::ByteSpan code) {
+  std::vector<bool> map(code.size(), false);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::uint8_t b = code[i];
+    if (b == static_cast<std::uint8_t>(Op::kJumpDest)) {
+      map[i] = true;
+    } else if (vm::is_push(b)) {
+      i += vm::push_size(b);
+    }
+  }
+  return map;
+}
+
+}  // namespace sc::analysis

@@ -1,0 +1,51 @@
+// Linear-sweep decoder for SCVM bytecode.
+//
+// Decoding is exact, not heuristic: SCVM execution only ever enters code at
+// offset 0 or at a JUMPDEST, and the VM's jump-target map skips PUSH
+// immediates with the same rule used here, so every offset the interpreter
+// can reach is an instruction boundary of this linear decode. That alignment
+// is what lets the CFG and abstract interpreter (cfg.hpp, verifier.hpp) make
+// sound claims about runtime behaviour.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/uint256.hpp"
+#include "util/bytes.hpp"
+#include "vm/opcode.hpp"
+
+namespace sc::analysis {
+
+struct Instr {
+  std::size_t offset = 0;
+  std::uint8_t opcode = 0;
+  crypto::U256 immediate;    ///< PUSH only; zero-padded exactly like the VM.
+  unsigned imm_size = 0;     ///< Declared immediate width (PUSHn → n).
+  unsigned imm_present = 0;  ///< Immediate bytes actually in the code.
+
+  bool truncated() const { return imm_present < imm_size; }
+  bool is_push() const { return vm::is_push(opcode); }
+};
+
+/// Net stack motion of one instruction: `pops` operands consumed from the
+/// top, then `pushes` results produced.
+struct StackEffect {
+  unsigned pops = 0;
+  unsigned pushes = 0;
+};
+
+/// nullopt for bytes that are not SCVM instructions (the VM faults on them).
+std::optional<StackEffect> stack_effect(std::uint8_t opcode);
+
+/// JUMP / STOP / RETURN / REVERT: ends a basic block with no fallthrough.
+/// (JUMPI is a block end too, but keeps its fallthrough edge.)
+bool is_block_terminator(std::uint8_t opcode);
+
+std::vector<Instr> decode(util::ByteSpan code);
+
+/// Valid jump-target offsets — JUMPDEST bytes outside PUSH immediates.
+/// Byte-for-byte the map the interpreter builds before executing.
+std::vector<bool> jumpdest_map(util::ByteSpan code);
+
+}  // namespace sc::analysis

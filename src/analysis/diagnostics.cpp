@@ -1,0 +1,56 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sc::analysis {
+
+std::string_view check_name(Check check) {
+  switch (check) {
+    case Check::kUndefinedOpcode: return "undefined-opcode";
+    case Check::kTruncatedPush: return "truncated-push";
+    case Check::kBadJumpTarget: return "bad-jump-target";
+    case Check::kJumpIntoPushData: return "jump-into-push-data";
+    case Check::kStackUnderflow: return "stack-underflow";
+    case Check::kStackOverflow: return "stack-overflow";
+    case Check::kUnreachableCode: return "unreachable-code";
+    case Check::kCodeAfterTerminator: return "code-after-terminator";
+    case Check::kRangeViolation: return "range-violation";
+    case Check::kDynamicJump: return "dynamic-jump";
+    case Check::kLoop: return "loop";
+    case Check::kUnboundedGas: return "unbounded-gas";
+    case Check::kGasCap: return "gas-cap";
+  }
+  return "unknown";
+}
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Diagnostic& d) {
+  char offset[16];
+  std::snprintf(offset, sizeof offset, "0x%04zx", d.offset);
+  std::string out;
+  out += severity_name(d.severity);
+  out += " @";
+  out += offset;
+  out += ' ';
+  out += check_name(d.check);
+  out += ": ";
+  out += d.message;
+  return out;
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+}  // namespace sc::analysis

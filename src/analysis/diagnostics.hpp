@@ -1,0 +1,56 @@
+// Diagnostic records produced by the SCVM static analyzer.
+//
+// Every finding carries a check identifier, a severity and the byte offset it
+// anchors to, so tooling (scvm_lint, the assembler, deploy-time verification)
+// can render or filter them uniformly. Severity semantics:
+//
+//   kError    the code provably faults on some executable path, or is
+//             malformed in a way the deploy gate refuses (dead trailing
+//             bytes). chain::Executor rejects deploys with any error.
+//   kWarning  legal-but-suspicious: the VM tolerates it, a human should look.
+//   kNote     informational (loops, dynamic jumps, gas-bound caveats).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc::analysis {
+
+enum class Severity : std::uint8_t { kNote = 0, kWarning, kError };
+
+enum class Check : std::uint8_t {
+  kUndefinedOpcode,     ///< Reachable byte with no SCVM instruction.
+  kTruncatedPush,       ///< PUSHn with fewer than n immediate bytes left.
+  kBadJumpTarget,       ///< Static jump target is not a JUMPDEST.
+  kJumpIntoPushData,    ///< Static jump target lands inside a PUSH immediate.
+  kStackUnderflow,      ///< Some CFG path reaches an op with too few operands.
+  kStackOverflow,       ///< Some CFG path exceeds the 1024-entry stack.
+  kUnreachableCode,     ///< JUMPDEST-led block with no inbound edge.
+  kCodeAfterTerminator, ///< Non-JUMPDEST code following JUMP/STOP/RETURN/REVERT.
+  kRangeViolation,      ///< Constant memory offset/length that always faults.
+  kDynamicJump,         ///< Jump target not statically known.
+  kLoop,                ///< Reachable cycle in the CFG.
+  kUnboundedGas,        ///< CALL present: callee cost escapes static bounds.
+  kGasCap,              ///< Gas bound fell back to the worst-case memory cap.
+};
+
+struct Diagnostic {
+  Check check = Check::kUndefinedOpcode;
+  Severity severity = Severity::kNote;
+  std::size_t offset = 0;  ///< Byte offset into the analyzed code.
+  std::string message;
+};
+
+std::string_view check_name(Check check);
+std::string_view severity_name(Severity severity);
+
+/// "error @0x002a bad-jump-target: jump to 0x99 is not a JUMPDEST"
+std::string to_string(const Diagnostic& d);
+
+/// True if any diagnostic has kError severity.
+bool has_errors(const std::vector<Diagnostic>& diags);
+
+}  // namespace sc::analysis

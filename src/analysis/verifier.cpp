@@ -1,0 +1,648 @@
+#include "analysis/verifier.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+#include "vm/vm.hpp"
+
+namespace sc::analysis {
+
+namespace {
+
+using crypto::U256;
+using vm::Op;
+namespace gas = vm::gas;
+
+constexpr int kMaxHeight = static_cast<int>(vm::kMaxStack);
+/// Worst-case memory expansion charge for one op: the whole 1 MiB window.
+const std::uint64_t kMemCapGas =
+    gas::kMemoryPerWord * ((vm::kMaxMemory + 31) / 32);
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return a > std::numeric_limits<std::uint64_t>::max() - b
+             ? std::numeric_limits<std::uint64_t>::max()
+             : a + b;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > std::numeric_limits<std::uint64_t>::max() / b
+             ? std::numeric_limits<std::uint64_t>::max()
+             : a * b;
+}
+
+std::uint64_t words(std::uint64_t bytes) { return (bytes + 31) / 32; }
+
+std::string hex_offset(std::size_t offset) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%04zx", offset);
+  return buf;
+}
+
+/// A known operand usable as a memory offset/length (the VM faults on
+/// anything wider than 32 bits, which range checks report separately).
+std::optional<std::uint64_t> known_u64(const std::optional<U256>& v) {
+  if (!v || v->bit_length() > 32) return std::nullopt;
+  return v->low64();
+}
+
+/// Worst-case gas model for one instruction. Mirrors the interpreter's
+/// charges, substituting the most expensive outcome where the real cost is
+/// data-dependent (SSTORE fresh-slot, EXP 32-byte exponent) and the full
+/// memory window where an offset/length is not a compile-time constant.
+class GasModel {
+ public:
+  explicit GasModel(const Cfg& cfg) : cfg_(cfg) {}
+
+  std::uint64_t instr_gas(std::size_t i) {
+    const Instr& instr = cfg_.instrs[i];
+    const auto& ops = cfg_.operands[i];
+    const std::uint8_t b = instr.opcode;
+    if (vm::is_push(b) || vm::is_dup(b) || vm::is_swap(b)) return gas::kVeryLow;
+    switch (static_cast<Op>(b)) {
+      case Op::kStop: return 0;
+      case Op::kJumpDest: return gas::kJumpDest;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kLt:
+      case Op::kGt:
+      case Op::kSLt:
+      case Op::kSGt:
+      case Op::kEq:
+      case Op::kIsZero:
+      case Op::kAnd:
+      case Op::kOr:
+      case Op::kXor:
+      case Op::kNot:
+      case Op::kByte:
+      case Op::kShl:
+      case Op::kShr:
+      case Op::kCallDataLoad: return gas::kVeryLow;
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kSDiv:
+      case Op::kMod:
+      case Op::kSMod:
+      case Op::kSignExtend: return gas::kLow;
+      case Op::kExp: {
+        const std::uint64_t exp_bytes =
+            ops.size() > 1 && ops[1] ? (ops[1]->bit_length() + 7) / 8 : 32;
+        return gas::kExpBase + gas::kExpPerByte * exp_bytes;
+      }
+      case Op::kKeccak: {
+        const auto len = operand(ops, 1, instr.offset);
+        const std::uint64_t hash =
+            len ? gas::kKeccakPerWord * words(*len)
+                : gas::kKeccakPerWord * words(vm::kMaxMemory);
+        return gas::kKeccakBase + hash + mem(ops, 0, 1, instr.offset);
+      }
+      case Op::kBalance: return gas::kBalanceOp;
+      case Op::kSelfAddress:
+      case Op::kCaller:
+      case Op::kCallValue:
+      case Op::kCallDataSize:
+      case Op::kTimestamp:
+      case Op::kNumber:
+      case Op::kSelfBalance:
+      case Op::kGas:
+      case Op::kPop: return gas::kBase;
+      case Op::kCallDataCopy: {
+        const auto len = operand(ops, 2, instr.offset);
+        const std::uint64_t copy = len ? gas::kCopyPerWord * words(*len)
+                                       : gas::kCopyPerWord * words(vm::kMaxMemory);
+        return gas::kVeryLow + copy + mem(ops, 0, 2, instr.offset);
+      }
+      case Op::kMLoad:
+      case Op::kMStore: return gas::kVeryLow + mem_fixed(ops, 0, 32, instr.offset);
+      case Op::kMStore8: return gas::kVeryLow + mem_fixed(ops, 0, 1, instr.offset);
+      case Op::kSLoad: return gas::kSLoad;
+      case Op::kSStore: return gas::kSStoreSet;  // fresh-slot worst case
+      case Op::kJump: return gas::kMid;
+      case Op::kJumpI: return gas::kHigh;
+      case Op::kLog0:
+      case Op::kLog1:
+      case Op::kLog2: {
+        const unsigned topics = b - 0xa0;
+        const auto len = operand(ops, 1, instr.offset);
+        const std::uint64_t payload = len ? gas::kLogPerByte * *len
+                                          : gas::kLogPerByte * vm::kMaxMemory;
+        return gas::kLogBase + gas::kLogPerTopic * topics + payload +
+               mem(ops, 0, 1, instr.offset);
+      }
+      case Op::kCall:
+        // Base charge and the in/out memory windows only; the forwarded 63/64
+        // of remaining gas escapes any static bound, so analyze() flags the
+        // result as unbounded.
+        unbounded = true;
+        return gas::kCallOp + gas::kCallValueExtra +
+               mem(ops, 3, 4, instr.offset) + mem(ops, 5, 6, instr.offset);
+      case Op::kTransfer: return gas::kTransferOp;
+      case Op::kReturn:
+      case Op::kRevert: return mem(ops, 0, 1, instr.offset);
+      default: return 0;  // Undefined byte: faults before charging.
+    }
+  }
+
+  bool unbounded = false;
+  std::size_t capped_count = 0;
+  std::optional<std::size_t> first_cap_offset;
+
+ private:
+  std::optional<std::uint64_t> operand(
+      const std::vector<std::optional<U256>>& ops, std::size_t index,
+      std::size_t instr_offset) {
+    const auto v =
+        index < ops.size() ? known_u64(ops[index]) : std::optional<std::uint64_t>{};
+    if (!v) {
+      ++capped_count;
+      if (!first_cap_offset) first_cap_offset = instr_offset;
+    }
+    return v;
+  }
+
+  /// Expansion bound for memory touched at [ops[off_i], ops[off_i]+ops[len_i]).
+  std::uint64_t mem(const std::vector<std::optional<U256>>& ops, std::size_t off_i,
+                    std::size_t len_i, std::size_t instr_offset) {
+    const std::optional<std::uint64_t> off =
+        off_i < ops.size() ? known_u64(ops[off_i]) : std::nullopt;
+    const std::optional<std::uint64_t> len =
+        len_i < ops.size() ? known_u64(ops[len_i]) : std::nullopt;
+    if (len && *len == 0) return 0;
+    if (off && len && *off + *len <= vm::kMaxMemory)
+      return gas::kMemoryPerWord * words(*off + *len);
+    if (!off || !len) {
+      ++capped_count;
+      if (!first_cap_offset) first_cap_offset = instr_offset;
+    }
+    return kMemCapGas;
+  }
+
+  std::uint64_t mem_fixed(const std::vector<std::optional<U256>>& ops,
+                          std::size_t off_i, std::uint64_t len,
+                          std::size_t instr_offset) {
+    const std::optional<std::uint64_t> off =
+        off_i < ops.size() ? known_u64(ops[off_i]) : std::nullopt;
+    if (off && *off + len <= vm::kMaxMemory)
+      return gas::kMemoryPerWord * words(*off + len);
+    if (!off) {
+      ++capped_count;
+      if (!first_cap_offset) first_cap_offset = instr_offset;
+    }
+    return kMemCapGas;
+  }
+
+  const Cfg& cfg_;
+};
+
+/// Static per-block stack profile: relative heights and where the extremes
+/// are reached (for diagnostic anchoring).
+struct Profile {
+  int min_rel = 0;
+  int max_rel = 0;
+  int delta = 0;
+  std::size_t min_offset = 0;
+  std::size_t max_offset = 0;
+};
+
+Profile profile_block(const Cfg& cfg, const BasicBlock& b) {
+  Profile p;
+  p.min_offset = p.max_offset = b.start_offset;
+  int h = 0;
+  for (std::size_t i = b.first; i < b.first + b.count; ++i) {
+    const auto effect = stack_effect(cfg.instrs[i].opcode);
+    if (!effect) break;  // Undefined byte: the VM faults before touching the stack.
+    const int low = h - static_cast<int>(effect->pops);
+    if (low < p.min_rel) {
+      p.min_rel = low;
+      p.min_offset = cfg.instrs[i].offset;
+    }
+    h = low + static_cast<int>(effect->pushes);
+    if (h > p.max_rel) {
+      p.max_rel = h;
+      p.max_offset = cfg.instrs[i].offset;
+    }
+  }
+  p.delta = h;
+  return p;
+}
+
+/// Tarjan's SCC, iterative. Returns component ids (per reachable block) and
+/// emits components in reverse-topological order of the condensation.
+struct SccResult {
+  std::vector<int> comp;                          ///< -1 for unreachable blocks.
+  std::vector<std::vector<std::uint32_t>> sccs;   ///< Sinks first.
+};
+
+SccResult tarjan(const Cfg& cfg, const std::vector<BlockFacts>& facts) {
+  const std::size_t n = cfg.blocks.size();
+  SccResult out;
+  out.comp.assign(n, -1);
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> stack;
+  int next_index = 0;
+
+  struct Frame {
+    std::uint32_t v;
+    std::size_t edge = 0;
+  };
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (!facts[root].reachable || index[root] != -1) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& succ = cfg.blocks[f.v].succ;
+      if (f.edge < succ.size()) {
+        const std::uint32_t w = succ[f.edge++];
+        if (index[w] == -1) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          std::vector<std::uint32_t> scc;
+          std::uint32_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            out.comp[w] = static_cast<int>(out.sccs.size());
+            scc.push_back(w);
+          } while (w != f.v);
+          out.sccs.push_back(std::move(scc));
+        }
+        const std::uint32_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty())
+          lowlink[frames.back().v] = std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+    }
+  }
+  return out;
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(util::ByteSpan code) { result_.cfg = build_cfg(code); }
+
+  AnalysisResult run() {
+    const Cfg& cfg = result_.cfg;
+    result_.facts.resize(cfg.blocks.size());
+    decode_lints();
+    if (!cfg.blocks.empty()) {
+      stack_fixpoint();
+      content_checks();
+      reachability_lints();
+      gas_analysis();
+    }
+    std::stable_sort(result_.diagnostics.begin(), result_.diagnostics.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return a.offset < b.offset;
+                     });
+    return std::move(result_);
+  }
+
+ private:
+  void diag(Check check, Severity severity, std::size_t offset, std::string msg) {
+    result_.diagnostics.push_back({check, severity, offset, std::move(msg)});
+  }
+
+  void decode_lints() {
+    for (const Instr& instr : result_.cfg.instrs) {
+      if (instr.is_push() && instr.truncated()) {
+        diag(Check::kTruncatedPush, Severity::kWarning, instr.offset,
+             "PUSH" + std::to_string(instr.imm_size) + " declares " +
+                 std::to_string(instr.imm_size) + " immediate bytes but only " +
+                 std::to_string(instr.imm_present) +
+                 " remain; the VM zero-pads and then stops");
+      }
+    }
+  }
+
+  /// Interval fixpoint on stack height. Doubles as reachability: only blocks
+  /// the worklist touches are marked reachable.
+  void stack_fixpoint() {
+    const Cfg& cfg = result_.cfg;
+    std::vector<Profile> profiles;
+    profiles.reserve(cfg.blocks.size());
+    for (const BasicBlock& b : cfg.blocks) profiles.push_back(profile_block(cfg, b));
+
+    std::vector<bool> flagged_under(cfg.blocks.size(), false);
+    std::vector<bool> flagged_over(cfg.blocks.size(), false);
+    std::deque<std::uint32_t> work{0};
+    auto& facts = result_.facts;
+    facts[0].reachable = true;
+    facts[0].entry_lo = facts[0].entry_hi = 0;
+
+    while (!work.empty()) {
+      const std::uint32_t id = work.front();
+      work.pop_front();
+      BlockFacts& f = facts[id];
+      const Profile& p = profiles[id];
+      f.min_rel = p.min_rel;
+      f.max_rel = p.max_rel;
+      f.delta = p.delta;
+
+      if (!flagged_under[id] && f.entry_lo + p.min_rel < 0) {
+        flagged_under[id] = true;
+        diag(Check::kStackUnderflow, Severity::kError, p.min_offset,
+             "stack underflow: entry height can be " +
+                 std::to_string(f.entry_lo) + ", this instruction needs " +
+                 std::to_string(-(f.entry_lo + p.min_rel)) +
+                 " more operand(s)");
+      }
+      if (!flagged_over[id] && f.entry_hi + p.max_rel > kMaxHeight) {
+        flagged_over[id] = true;
+        diag(Check::kStackOverflow, Severity::kError, p.max_offset,
+             "stack overflow: height can reach " +
+                 std::to_string(f.entry_hi + p.max_rel) + " (limit " +
+                 std::to_string(kMaxHeight) + ")");
+      }
+
+      const int exit_lo = std::clamp(f.entry_lo + p.delta, 0, kMaxHeight);
+      const int exit_hi = std::clamp(f.entry_hi + p.delta, 0, kMaxHeight);
+      for (const std::uint32_t s : cfg.blocks[id].succ) {
+        BlockFacts& sf = facts[s];
+        if (!sf.reachable) {
+          sf.reachable = true;
+          sf.entry_lo = exit_lo;
+          sf.entry_hi = exit_hi;
+          work.push_back(s);
+        } else if (exit_lo < sf.entry_lo || exit_hi > sf.entry_hi) {
+          sf.entry_lo = std::min(sf.entry_lo, exit_lo);
+          sf.entry_hi = std::max(sf.entry_hi, exit_hi);
+          work.push_back(s);
+        }
+      }
+    }
+  }
+
+  /// Per-instruction checks inside reachable blocks: undefined opcodes,
+  /// static jump targets, constant operands that always fault.
+  void content_checks() {
+    const Cfg& cfg = result_.cfg;
+    for (std::size_t id = 0; id < cfg.blocks.size(); ++id) {
+      if (!result_.facts[id].reachable) continue;
+      const BasicBlock& b = cfg.blocks[id];
+      const Instr& last = cfg.instrs[b.first + b.count - 1];
+
+      if (b.faulting) {
+        char msg[48];
+        std::snprintf(msg, sizeof msg, "byte 0x%02x is not an SCVM instruction",
+                      last.opcode);
+        diag(Check::kUndefinedOpcode, Severity::kError, last.offset, msg);
+      }
+
+      if (b.ends_in_jump) {
+        if (b.jump_target)
+          check_static_target(*b.jump_target, last.offset);
+        else
+          diag(Check::kDynamicJump, Severity::kNote, last.offset,
+               "jump target is not statically known; assuming any JUMPDEST");
+      }
+
+      for (std::size_t i = b.first; i < b.first + b.count; ++i) range_checks(i);
+    }
+  }
+
+  void check_static_target(const U256& dest, std::size_t jump_offset) {
+    const Cfg& cfg = result_.cfg;
+    if (dest.bit_length() > 32 || dest.low64() >= cfg.code_size) {
+      diag(Check::kBadJumpTarget, Severity::kError, jump_offset,
+           "jump destination " +
+               (dest.bit_length() > 64 ? std::string("(>64-bit)")
+                                       : hex_offset(dest.low64())) +
+               " is outside the code (" + std::to_string(cfg.code_size) +
+               " bytes)");
+      return;
+    }
+    const std::size_t d = dest.low64();
+    if (cfg.jumpdests[d]) return;
+    // Not a valid JUMPDEST: inside a PUSH immediate, or just a plain opcode.
+    const auto it = std::partition_point(
+        cfg.instrs.begin(), cfg.instrs.end(),
+        [d](const Instr& in) { return in.offset + 1 + in.imm_size <= d; });
+    if (it != cfg.instrs.end() && it->is_push() && d > it->offset) {
+      diag(Check::kJumpIntoPushData, Severity::kError, jump_offset,
+           "jump destination " + hex_offset(d) + " lands inside the PUSH" +
+               std::to_string(it->imm_size) + " immediate at " +
+               hex_offset(it->offset));
+    } else {
+      diag(Check::kBadJumpTarget, Severity::kError, jump_offset,
+           "jump destination " + hex_offset(d) + " is not a JUMPDEST");
+    }
+  }
+
+  void range_checks(std::size_t i) {
+    const Instr& instr = result_.cfg.instrs[i];
+    const auto& ops = result_.cfg.operands[i];
+    // (operand index, role) pairs the interpreter range-checks before use.
+    struct Checked {
+      std::size_t index;
+      const char* role;
+    };
+    std::vector<Checked> checked;
+    switch (static_cast<Op>(instr.opcode)) {
+      case Op::kKeccak:
+      case Op::kLog0:
+      case Op::kLog1:
+      case Op::kLog2:
+      case Op::kReturn:
+      case Op::kRevert: checked = {{0, "offset"}, {1, "length"}}; break;
+      case Op::kCallDataCopy: checked = {{0, "offset"}, {2, "length"}}; break;
+      case Op::kMLoad:
+      case Op::kMStore:
+      case Op::kMStore8: checked = {{0, "offset"}}; break;
+      case Op::kCall:
+        checked = {{3, "offset"}, {4, "length"}, {5, "offset"}, {6, "length"}};
+        break;
+      default: return;
+    }
+    for (const Checked& c : checked) {
+      if (c.index >= ops.size() || !ops[c.index]) continue;
+      if (ops[c.index]->bit_length() > 32) {
+        diag(Check::kRangeViolation, Severity::kError, instr.offset,
+             std::string("constant memory ") + c.role +
+                 " exceeds the 32-bit range; this instruction always faults");
+      }
+    }
+    // A constant window past the 1 MiB cap cannot fault the decode but will
+    // always exhaust gas in touch_memory.
+    if (checked.size() >= 2) {
+      std::optional<std::uint64_t> off, len;
+      if (checked[0].index < ops.size()) off = known_u64(ops[checked[0].index]);
+      if (checked[1].index < ops.size()) len = known_u64(ops[checked[1].index]);
+      if (off && len && *len > 0 && *off + *len > vm::kMaxMemory)
+        diag(Check::kRangeViolation, Severity::kWarning, instr.offset,
+             "constant memory window ends past the 1 MiB cap; execution "
+             "always runs out of gas here");
+    }
+  }
+
+  void reachability_lints() {
+    const Cfg& cfg = result_.cfg;
+    for (std::size_t id = 0; id < cfg.blocks.size(); ++id) {
+      if (result_.facts[id].reachable) continue;
+      const BasicBlock& b = cfg.blocks[id];
+      if (cfg.instrs[b.first].opcode == static_cast<std::uint8_t>(Op::kJumpDest)) {
+        diag(Check::kUnreachableCode, Severity::kWarning, b.start_offset,
+             "JUMPDEST block is never jumped to or fallen into");
+      } else {
+        diag(Check::kCodeAfterTerminator, Severity::kError, b.start_offset,
+             "code follows an unconditional terminator and can never execute");
+      }
+    }
+  }
+
+  void gas_analysis() {
+    const Cfg& cfg = result_.cfg;
+    auto& facts = result_.facts;
+    GasModel model(cfg);
+    for (std::size_t id = 0; id < cfg.blocks.size(); ++id) {
+      if (!facts[id].reachable) continue;
+      const BasicBlock& b = cfg.blocks[id];
+      std::uint64_t total = 0;
+      for (std::size_t i = b.first; i < b.first + b.count; ++i) {
+        if (!stack_effect(cfg.instrs[i].opcode)) break;
+        total = sat_add(total, model.instr_gas(i));
+      }
+      facts[id].worst_gas = total;
+    }
+    result_.gas_unbounded = model.unbounded;
+    if (model.unbounded) {
+      diag(Check::kUnboundedGas, Severity::kNote, 0,
+           "CALL forwards gas to callee code; static bounds exclude the callee");
+    }
+    if (model.capped_count > 0) {
+      diag(Check::kGasCap, Severity::kNote, *model.first_cap_offset,
+           "gas bound uses the worst-case memory cap for " +
+               std::to_string(model.capped_count) +
+               " operand(s) with no compile-time constant value");
+    }
+
+    const SccResult scc = tarjan(cfg, facts);
+    std::vector<std::uint64_t> weight(scc.sccs.size(), 0);
+    std::vector<bool> cyclic(scc.sccs.size(), false);
+    for (std::size_t c = 0; c < scc.sccs.size(); ++c) {
+      for (const std::uint32_t v : scc.sccs[c]) {
+        weight[c] = sat_add(weight[c], facts[v].worst_gas);
+        for (const std::uint32_t s : cfg.blocks[v].succ)
+          if (scc.comp[s] == static_cast<int>(c) &&
+              (scc.sccs[c].size() > 1 || s == v))
+            cyclic[c] = true;
+      }
+    }
+    // Tarjan emits components sinks-first, so each component's successors
+    // already have their longest-path distance when it is processed.
+    std::vector<std::uint64_t> dist(scc.sccs.size(), 0);
+    for (std::size_t c = 0; c < scc.sccs.size(); ++c) {
+      std::uint64_t best = 0;
+      for (const std::uint32_t v : scc.sccs[c])
+        for (const std::uint32_t s : cfg.blocks[v].succ)
+          if (scc.comp[s] != static_cast<int>(c))
+            best = std::max(best, dist[scc.comp[s]]);
+      dist[c] = sat_add(weight[c], best);
+    }
+    result_.loop_free_gas_bound = dist[scc.comp[0]];
+
+    for (std::size_t c = 0; c < scc.sccs.size(); ++c) {
+      if (!cyclic[c]) continue;
+      result_.has_loop = true;
+      result_.loop_body_gas = sat_add(result_.loop_body_gas, weight[c]);
+      std::size_t head = std::numeric_limits<std::size_t>::max();
+      for (const std::uint32_t v : scc.sccs[c]) {
+        facts[v].in_loop = true;
+        head = std::min(head, cfg.blocks[v].start_offset);
+      }
+      diag(Check::kLoop, Severity::kNote, head,
+           "loop head: " + std::to_string(scc.sccs[c].size()) +
+               " block(s) cycle here; gas bound assumes a bounded iteration "
+               "count");
+    }
+  }
+
+  AnalysisResult result_;
+};
+
+}  // namespace
+
+std::size_t AnalysisResult::reachable_blocks() const {
+  return static_cast<std::size_t>(
+      std::count_if(facts.begin(), facts.end(),
+                    [](const BlockFacts& f) { return f.reachable; }));
+}
+
+const Diagnostic* AnalysisResult::first_error() const {
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == Severity::kError) return &d;
+  return nullptr;
+}
+
+std::uint64_t AnalysisResult::gas_bound(std::uint64_t loop_iterations) const {
+  return sat_add(loop_free_gas_bound, sat_mul(loop_iterations, loop_body_gas));
+}
+
+AnalysisResult analyze(util::ByteSpan code) { return Analyzer(code).run(); }
+
+bool verify_code(util::ByteSpan code, std::string* why) {
+  const AnalysisResult result = analyze(code);
+  if (const Diagnostic* e = result.first_error()) {
+    if (why) *why = to_string(*e);
+    return false;
+  }
+  return true;
+}
+
+std::string render_report(const AnalysisResult& result, bool include_notes) {
+  std::ostringstream out;
+  out << "code: " << result.cfg.code_size << " bytes, "
+      << result.cfg.instrs.size() << " instructions, " << result.block_count()
+      << " blocks (" << result.reachable_blocks() << " reachable)\n";
+  out << "gas:  loop-free upper bound " << result.loop_free_gas_bound;
+  if (result.has_loop)
+    out << ", +" << result.loop_body_gas << "/loop-iteration";
+  if (result.gas_unbounded) out << " (unbounded: CALL present)";
+  out << "\n";
+  out << "blocks:\n";
+  for (std::size_t id = 0; id < result.block_count(); ++id) {
+    const BasicBlock& b = result.cfg.blocks[id];
+    const BlockFacts& f = result.facts[id];
+    char line[160];
+    if (f.reachable) {
+      std::snprintf(line, sizeof line,
+                    "  [%3zu] 0x%04zx-0x%04zx  stack in [%d,%d] delta %+d  gas "
+                    "%llu%s%s\n",
+                    id, b.start_offset, b.end_offset, f.entry_lo, f.entry_hi,
+                    f.delta, static_cast<unsigned long long>(f.worst_gas),
+                    f.in_loop ? "  (loop)" : "",
+                    b.ends_in_jump && !b.jump_target ? "  (dynamic jump)" : "");
+    } else {
+      std::snprintf(line, sizeof line, "  [%3zu] 0x%04zx-0x%04zx  unreachable\n",
+                    id, b.start_offset, b.end_offset);
+    }
+    out << line;
+  }
+  bool any = false;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (!include_notes && d.severity == Severity::kNote) continue;
+    if (!any) {
+      out << "diagnostics:\n";
+      any = true;
+    }
+    out << "  " << to_string(d) << "\n";
+  }
+  if (!any) out << "diagnostics: none\n";
+  return out.str();
+}
+
+}  // namespace sc::analysis

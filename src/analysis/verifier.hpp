@@ -1,0 +1,69 @@
+// Static verification of SCVM bytecode: jump-target validation, a stack
+// height interval fixpoint over the CFG, worst-case gas accounting, and lint
+// diagnostics. The entry points:
+//
+//   analyze(code)      full analysis with CFG, per-block facts, diagnostics
+//   verify_code(code)  the deploy gate — true iff no error-severity finding
+//
+// Soundness contract (relied on by the deploy gate and the differential
+// fuzz harness): if analyze() reports no errors, the interpreter can never
+// fail on this code with a *statically decided* kInvalidOp — undefined
+// opcode, jump to a statically-known bad destination, stack underflow or
+// overflow. Failures that depend on runtime data (a computed jump target, a
+// 2^32+ memory offset produced at runtime) are out of scope and at most
+// warned about. The gas figures bound *non-faulting* executions: a faulting
+// run always consumes its entire gas limit regardless of code shape.
+#pragma once
+
+#include <string>
+
+#include "analysis/cfg.hpp"
+#include "analysis/diagnostics.hpp"
+
+namespace sc::analysis {
+
+/// Facts the fixpoint derives for one basic block.
+struct BlockFacts {
+  bool reachable = false;
+  int entry_lo = 0;  ///< Smallest possible stack height on block entry.
+  int entry_hi = 0;  ///< Largest possible stack height on block entry.
+  int min_rel = 0;   ///< Lowest height reached inside the block, relative to entry.
+  int max_rel = 0;   ///< Highest height reached inside the block, relative to entry.
+  int delta = 0;     ///< Net height change across the block.
+  std::uint64_t worst_gas = 0;  ///< Worst-case gas for one pass through the block.
+  bool in_loop = false;         ///< Member of a reachable CFG cycle.
+};
+
+struct AnalysisResult {
+  Cfg cfg;
+  std::vector<BlockFacts> facts;  ///< Parallel to cfg.blocks.
+  std::vector<Diagnostic> diagnostics;
+
+  bool has_loop = false;       ///< Some reachable cycle exists.
+  bool gas_unbounded = false;  ///< A reachable CALL forwards gas to a callee.
+  /// Worst-case gas over every path that executes each block at most once
+  /// (all paths, when the code is loop-free).
+  std::uint64_t loop_free_gas_bound = 0;
+  /// Worst-case gas of one iteration of every reachable loop combined.
+  std::uint64_t loop_body_gas = 0;
+
+  std::size_t block_count() const { return cfg.blocks.size(); }
+  std::size_t reachable_blocks() const;
+  bool ok() const { return !has_errors(diagnostics); }
+  const Diagnostic* first_error() const;
+
+  /// Saturating upper bound for executions taking each loop at most
+  /// `loop_iterations` times. Meaningless when gas_unbounded.
+  std::uint64_t gas_bound(std::uint64_t loop_iterations = 0) const;
+};
+
+AnalysisResult analyze(util::ByteSpan code);
+
+/// Deploy gate used by chain::Executor. Returns true when `code` verifies
+/// with zero errors; otherwise false with the first error in *why.
+bool verify_code(util::ByteSpan code, std::string* why = nullptr);
+
+/// Multi-line human-readable report (scvm_lint, debugging).
+std::string render_report(const AnalysisResult& result, bool include_notes = true);
+
+}  // namespace sc::analysis

@@ -1,5 +1,6 @@
 #include "chain/executor.hpp"
 
+#include "analysis/verifier.hpp"
 #include "vm/opcode.hpp"
 
 namespace sc::chain {
@@ -141,6 +142,16 @@ Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transact
       const Address addr = contract_address(sender, tx.nonce);
       if (state.find(addr) != nullptr && state.find(addr)->is_contract())
         return finish(TxStatus::kReverted, "address collision");
+
+      // Static verification gate: code that provably faults (undefined
+      // opcodes, jumps to bad static destinations, guaranteed stack
+      // under/overflow, dead trailing bytes) never lands on-chain and never
+      // reaches the VM. The sender still pays intrinsic gas for the attempt,
+      // mirroring the failed-deploy path below.
+      std::string verify_why;
+      if (!analysis::verify_code(tx.data, &verify_why))
+        return finish(TxStatus::kInvalidCode, "static verification: " + verify_why);
+
       const Gas deposit = vm::gas::kCodeDepositPerByte * tx.data.size();
       if (gas_used + deposit > tx.gas_limit) {
         gas_used = tx.gas_limit;

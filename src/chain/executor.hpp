@@ -20,6 +20,7 @@ enum class TxStatus : std::uint8_t {
   kReverted,
   kOutOfGas,
   kInvalid,        ///< Structural failure (bad signature, nonce, funds).
+  kInvalidCode,    ///< Deploy rejected by the static bytecode verifier.
 };
 
 struct Receipt {

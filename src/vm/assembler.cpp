@@ -5,6 +5,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/verifier.hpp"
 #include "crypto/uint256.hpp"
 #include "util/hex.hpp"
 #include "vm/opcode.hpp"
@@ -157,6 +158,8 @@ AssembleResult assemble(std::string_view source) {
     code[fixup.code_offset + 1] = static_cast<std::uint8_t>(it->second);
   }
 
+  // Surface what the deploy-time verifier would say about this code.
+  result.diagnostics = analysis::analyze(result.code).diagnostics;
   return result;
 }
 
@@ -175,10 +178,14 @@ std::string disassemble(util::ByteSpan code) {
     if (is_push(byte)) {
       const unsigned n = push_size(byte);
       out << " 0x";
-      for (unsigned i = 0; i < n && pc + 1 + i < code.size(); ++i) {
-        const std::uint8_t imm = code[pc + 1 + i];
+      unsigned present = 0;
+      for (; present < n && pc + 1 + present < code.size(); ++present) {
+        const std::uint8_t imm = code[pc + 1 + present];
         out << util::to_hex({&imm, 1});
       }
+      // Make the cut explicit rather than silently printing a shorter
+      // immediate: the VM zero-pads these bytes and then stops.
+      if (present < n) out << " <truncated>";
       pc += 1 + n;
     } else {
       ++pc;

@@ -15,7 +15,9 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "util/bytes.hpp"
 
 namespace sc::vm {
@@ -28,8 +30,14 @@ struct AssembleError {
 struct AssembleResult {
   util::Bytes code;
   std::optional<AssembleError> error;
+  /// Static-analysis findings for the assembled code (sorted by byte
+  /// offset). Populated on successful assembly only; an error-severity entry
+  /// here means chain::Executor would reject the code at deploy.
+  std::vector<analysis::Diagnostic> diagnostics;
 
   bool ok() const { return !error.has_value(); }
+  /// Assembled AND free of error-severity analysis findings.
+  bool verified() const { return ok() && !analysis::has_errors(diagnostics); }
 };
 
 /// Assembles source text; on error, `code` is empty and `error` set.

@@ -1,0 +1,367 @@
+// Static bytecode verifier: decoder, CFG, stack/gas analysis goldens, the
+// executor's deploy gate, and the soundness of the gas upper bound against
+// the interpreter's metered gas for the SmartCrowd contract.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/verifier.hpp"
+#include "chain/executor.hpp"
+#include "chain/transaction.hpp"
+#include "contracts/smartcrowd_contract.hpp"
+#include "util/rng.hpp"
+#include "vm/assembler.hpp"
+#include "vm/vm.hpp"
+
+namespace sc {
+namespace {
+
+using analysis::AnalysisResult;
+using analysis::Check;
+using analysis::Severity;
+
+bool has_check(const AnalysisResult& r, Check check) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [check](const analysis::Diagnostic& d) { return d.check == check; });
+}
+
+std::size_t count_severity(const AnalysisResult& r, Severity severity) {
+  return static_cast<std::size_t>(
+      std::count_if(r.diagnostics.begin(), r.diagnostics.end(),
+                    [severity](const analysis::Diagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+// ---- Decoder ----------------------------------------------------------------
+
+TEST(AnalysisDecode, SplitsPushImmediatesFromOpcodes) {
+  // PUSH2 0xaabb; ADD
+  const util::Bytes code{0x61, 0xaa, 0xbb, 0x01};
+  const auto instrs = analysis::decode(code);
+  ASSERT_EQ(instrs.size(), 2u);
+  EXPECT_EQ(instrs[0].offset, 0u);
+  EXPECT_EQ(instrs[0].immediate, crypto::U256{0xaabb});
+  EXPECT_FALSE(instrs[0].truncated());
+  EXPECT_EQ(instrs[1].offset, 3u);
+  EXPECT_EQ(instrs[1].opcode, 0x01);
+}
+
+TEST(AnalysisDecode, TruncatedPushPadsLikeTheInterpreter) {
+  // PUSH2 with one immediate byte: the VM left-aligns what is present and
+  // zero-pads the rest, so the value is 0xaa00, not 0x00aa.
+  const util::Bytes code{0x61, 0xaa};
+  const auto instrs = analysis::decode(code);
+  ASSERT_EQ(instrs.size(), 1u);
+  EXPECT_TRUE(instrs[0].truncated());
+  EXPECT_EQ(instrs[0].imm_present, 1u);
+  EXPECT_EQ(instrs[0].immediate, crypto::U256{0xaa00});
+}
+
+TEST(AnalysisDecode, JumpdestByteInsidePushIsNotATarget) {
+  // PUSH1 0x5b; JUMPDEST — only offset 2 is a real JUMPDEST.
+  const util::Bytes code{0x60, 0x5b, 0x5b};
+  const auto map = analysis::jumpdest_map(code);
+  ASSERT_EQ(map.size(), 3u);
+  EXPECT_FALSE(map[1]);
+  EXPECT_TRUE(map[2]);
+}
+
+// ---- CFG --------------------------------------------------------------------
+
+TEST(AnalysisCfg, ResolvesStaticJumpAndEdges) {
+  // 0: PUSH1 0x04; 2: JUMP; 3: STOP; 4: JUMPDEST; 5: STOP
+  const util::Bytes code{0x60, 0x04, 0x56, 0x00, 0x5b, 0x00};
+  const analysis::Cfg cfg = analysis::build_cfg(code);
+  ASSERT_EQ(cfg.blocks.size(), 3u);
+  const analysis::BasicBlock& entry = cfg.blocks[0];
+  EXPECT_TRUE(entry.ends_in_jump);
+  ASSERT_TRUE(entry.jump_target.has_value());
+  EXPECT_EQ(entry.jump_target->low64(), 4u);
+  ASSERT_EQ(entry.succ.size(), 1u);
+  EXPECT_EQ(cfg.blocks[entry.succ[0]].start_offset, 4u);
+}
+
+TEST(AnalysisCfg, DynamicJumpFansOutToEveryJumpdest) {
+  // CALLDATALOAD of slot 0 as jump target: statically unknown.
+  // 0: PUSH1 0; 2: CALLDATALOAD; 3: JUMP; 4: JUMPDEST; 5: STOP; 6: JUMPDEST; 7: STOP
+  const util::Bytes code{0x60, 0x00, 0x35, 0x56, 0x5b, 0x00, 0x5b, 0x00};
+  const analysis::Cfg cfg = analysis::build_cfg(code);
+  ASSERT_EQ(cfg.blocks.size(), 3u);
+  EXPECT_FALSE(cfg.blocks[0].jump_target.has_value());
+  EXPECT_EQ(cfg.blocks[0].succ.size(), 2u);  // both JUMPDEST blocks
+}
+
+TEST(AnalysisCfg, FallThroughOffTheEndIsImplicitStop) {
+  const util::Bytes code{0x60, 0x01, 0x60, 0x02, 0x01};  // PUSH PUSH ADD
+  const analysis::Cfg cfg = analysis::build_cfg(code);
+  ASSERT_EQ(cfg.blocks.size(), 1u);
+  EXPECT_TRUE(cfg.blocks[0].implicit_stop);
+  EXPECT_TRUE(cfg.blocks[0].succ.empty());
+}
+
+// ---- Verifier: invalid corpus ----------------------------------------------
+
+struct InvalidProgram {
+  const char* name;
+  util::Bytes code;
+  Check expected;
+};
+
+std::vector<InvalidProgram> invalid_corpus() {
+  return {
+      // PUSH1 3; JUMP — offset 3 is the STOP, not a JUMPDEST.
+      {"bad-jump", {0x60, 0x03, 0x56, 0x00}, Check::kBadJumpTarget},
+      // JUMPDEST; POP on an empty stack, looped from offset 0.
+      {"underflow-loop", {0x5b, 0x50, 0x60, 0x00, 0x56}, Check::kStackUnderflow},
+      // STOP; ADD — trailing bytes no execution can ever reach.
+      {"code-after-stop", {0x00, 0x01}, Check::kCodeAfterTerminator},
+      // PUSH1 4; JUMP — offset 4 is the 0x5b byte INSIDE the PUSH2 immediate.
+      {"jump-into-push-data", {0x60, 0x04, 0x56, 0x61, 0x5b, 0x00},
+       Check::kJumpIntoPushData},
+      // PUSH1 1; 0xef — not an SCVM instruction.
+      {"undefined-opcode", {0x60, 0x01, 0xef, 0x00}, Check::kUndefinedOpcode},
+      // JUMPDEST; PUSH1 1; PUSH1 0; JUMP — net +1 stack per iteration.
+      {"overflow-loop", {0x5b, 0x60, 0x01, 0x60, 0x00, 0x56}, Check::kStackOverflow},
+  };
+}
+
+TEST(AnalysisVerifier, FlagsEveryInvalidCorpusProgram) {
+  for (const InvalidProgram& p : invalid_corpus()) {
+    const AnalysisResult r = analysis::analyze(p.code);
+    EXPECT_FALSE(r.ok()) << p.name;
+    EXPECT_TRUE(has_check(r, p.expected)) << p.name << "\n"
+                                          << analysis::render_report(r);
+    std::string why;
+    EXPECT_FALSE(analysis::verify_code(p.code, &why)) << p.name;
+    EXPECT_FALSE(why.empty()) << p.name;
+  }
+}
+
+TEST(AnalysisVerifier, CleanProgramsPass) {
+  // The canonical selector-dispatch shape: load, compare, branch, return.
+  const vm::AssembleResult asm_result = vm::assemble(R"(
+    PUSH1 0x00
+    CALLDATALOAD
+    PUSH1 0x2a
+    EQ
+    PUSHL @match
+    JUMPI
+    PUSH1 0x00
+    PUSH1 0x00
+    REVERT
+  match:
+    JUMPDEST
+    PUSH1 0x01
+    PUSH1 0x00
+    MSTORE
+    PUSH1 0x20
+    PUSH1 0x00
+    RETURN
+  )");
+  ASSERT_TRUE(asm_result.ok());
+  const AnalysisResult r = analysis::analyze(asm_result.code);
+  EXPECT_TRUE(r.ok()) << analysis::render_report(r);
+  EXPECT_TRUE(asm_result.verified());
+  EXPECT_FALSE(r.has_loop);
+  EXPECT_GT(r.loop_free_gas_bound, 0u);
+}
+
+TEST(AnalysisVerifier, UnreachableJumpdestIsOnlyAWarning) {
+  // STOP; JUMPDEST; STOP — dead but VM-legal code behind a JUMPDEST.
+  const util::Bytes code{0x00, 0x5b, 0x00};
+  const AnalysisResult r = analysis::analyze(code);
+  EXPECT_TRUE(r.ok()) << analysis::render_report(r);
+  EXPECT_TRUE(has_check(r, Check::kUnreachableCode));
+}
+
+TEST(AnalysisVerifier, TruncatedPushWarns) {
+  const util::Bytes code{0x63, 0xaa};  // PUSH4 with 1 of 4 immediate bytes
+  const AnalysisResult r = analysis::analyze(code);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(has_check(r, Check::kTruncatedPush));
+  EXPECT_EQ(count_severity(r, Severity::kWarning), 1u);
+}
+
+TEST(AnalysisVerifier, ConstantRangeFaultIsAnError) {
+  // PUSH32 (1 << 255); MLOAD — the offset always trips the VM's range check.
+  util::Bytes code{0x7f};
+  code.resize(33, 0);
+  code[1] = 0x80;
+  code.push_back(0x51);  // MLOAD
+  code.push_back(0x00);  // STOP
+  const AnalysisResult r = analysis::analyze(code);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_check(r, Check::kRangeViolation));
+}
+
+// ---- Executor deploy gate ---------------------------------------------------
+
+crypto::KeyPair test_key(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return crypto::KeyPair::generate(rng);
+}
+
+TEST(DeployGate, RejectsInvalidCorpusAtIntrinsicGasOnly) {
+  const auto sender = test_key(42);
+  std::uint64_t nonce = 0;
+  chain::WorldState state;
+  state.add_balance(sender.address(), 10 * chain::kEther);
+  chain::BlockEnv env;
+  env.number = 1;
+  env.timestamp = 1000;
+
+  for (const InvalidProgram& p : invalid_corpus()) {
+    chain::Transaction tx;
+    tx.kind = chain::TxKind::kDeploy;
+    tx.nonce = nonce++;
+    tx.data = p.code;
+    tx.gas_limit = 1'000'000;
+    tx.gas_price = chain::kDefaultGasPrice;
+    tx.sign_with(sender);
+
+    const chain::WorldState before = state;
+    const chain::Receipt r = chain::apply_transaction(state, env, tx);
+    EXPECT_EQ(r.status, chain::TxStatus::kInvalidCode) << p.name << ": " << r.error;
+    // Only intrinsic gas is charged: the code never reached the VM, the
+    // deposit charge, or the state.
+    EXPECT_EQ(r.gas_used, vm::intrinsic_gas(util::ByteSpan{tx.ctor_calldata}))
+        << p.name;
+    EXPECT_EQ(state.nonce(sender.address()), nonce) << p.name;
+    EXPECT_EQ(state.balance(sender.address()),
+              before.balance(sender.address()) - r.fee_paid)
+        << p.name;
+    // No contract account was created.
+    const chain::Address addr = chain::contract_address(sender.address(), tx.nonce);
+    EXPECT_TRUE(state.code(addr).empty()) << p.name;
+  }
+}
+
+TEST(DeployGate, AcceptsVerifiedCode) {
+  const auto sender = test_key(43);
+  chain::WorldState state;
+  state.add_balance(sender.address(), 10 * chain::kEther);
+  chain::BlockEnv env;
+
+  chain::Transaction tx;
+  tx.kind = chain::TxKind::kDeploy;
+  tx.nonce = 0;
+  tx.data = util::Bytes{0x00};  // STOP: trivially verified
+  tx.gas_limit = 1'000'000;
+  tx.gas_price = chain::kDefaultGasPrice;
+  tx.sign_with(sender);
+  const chain::Receipt r = chain::apply_transaction(state, env, tx);
+  EXPECT_TRUE(r.ok()) << r.error;
+}
+
+// ---- SmartCrowd contract goldens -------------------------------------------
+
+TEST(SmartCrowdAnalysis, ContractVerifiesWithZeroErrors) {
+  const AnalysisResult r = analysis::analyze(contracts::contract_bytecode());
+  EXPECT_TRUE(r.ok()) << analysis::render_report(r);
+  EXPECT_EQ(count_severity(r, Severity::kError), 0u);
+  EXPECT_EQ(count_severity(r, Severity::kWarning), 0u);
+
+  // Structure goldens: the registry contract decomposes into 37 basic
+  // blocks, every one reachable from the dispatcher, with exactly one loop
+  // (the constructor's metadata-copy) and no CALLs.
+  EXPECT_EQ(r.block_count(), 37u);
+  EXPECT_EQ(r.reachable_blocks(), 37u);
+  EXPECT_TRUE(r.has_loop);
+  EXPECT_FALSE(r.gas_unbounded);
+  EXPECT_EQ(count_severity(r, Severity::kNote), 1u);
+  EXPECT_TRUE(has_check(r, Check::kLoop));
+  EXPECT_GT(r.loop_body_gas, 0u);
+}
+
+TEST(SmartCrowdAnalysis, AssemblerReportsContractVerified) {
+  const vm::AssembleResult result = vm::assemble(contracts::contract_source());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.verified());
+}
+
+/// Host for driving the contract directly through vm::execute.
+class MapHost final : public vm::Host {
+ public:
+  crypto::U256 get_storage(const crypto::Address&, const crypto::U256& key) override {
+    const auto it = storage_.find(key);
+    return it == storage_.end() ? crypto::U256{} : it->second;
+  }
+  void set_storage(const crypto::Address&, const crypto::U256& key,
+                   const crypto::U256& value) override {
+    storage_[key] = value;
+  }
+  std::uint64_t balance(const crypto::Address&) override { return 1'000'000; }
+  bool transfer(const crypto::Address&, const crypto::Address&, std::uint64_t) override {
+    return true;
+  }
+  void emit_log(vm::LogEntry) override {}
+  std::uint64_t block_timestamp() override { return 1000; }
+  std::uint64_t block_number() override { return 1; }
+
+ private:
+  std::map<crypto::U256, crypto::U256> storage_;
+};
+
+TEST(SmartCrowdAnalysis, GasBoundCoversMeteredExecutions) {
+  // Soundness of the gas accounting: the analyzer's bound must dominate the
+  // interpreter's metered gas for the contract's real execution paths —
+  // the constructor (which loops over the metadata words) and the two-phase
+  // report protocol (loop-free).
+  const util::Bytes& code = contracts::contract_bytecode();
+  const AnalysisResult r = analysis::analyze(code);
+  ASSERT_TRUE(r.ok());
+
+  const util::Bytes metadata =
+      contracts::pack_metadata("cam-fw", "2.1", "sim://registry/cam-fw");
+  const std::uint64_t meta_words = metadata.size() / 32;
+  const std::uint64_t bound = r.gas_bound(meta_words);
+
+  MapHost host;
+  const crypto::Hash256 detailed_hash{};
+  const chain::Address provider = test_key(7).address();
+  const chain::Address detector = test_key(8).address();
+  auto run = [&](const chain::Address& caller, const util::Bytes& calldata) {
+    vm::Context ctx;
+    ctx.caller = caller;
+    ctx.calldata = calldata;
+    ctx.gas_limit = 2'000'000;
+    const vm::ExecResult result = vm::execute(host, ctx, code);
+    EXPECT_TRUE(result.ok()) << result.error;
+    return result.gas_used;
+  };
+
+  const std::uint64_t ctor_gas =
+      run(provider, contracts::ctor_calldata(contracts::BountySchedule::uniform(10),
+                                             crypto::Hash256{}, metadata));
+  const std::uint64_t commit_gas =
+      run(detector, contracts::register_initial_calldata(detailed_hash));
+  const std::uint64_t reveal_gas =
+      run(detector, contracts::submit_detailed_calldata(detailed_hash));
+
+  EXPECT_LE(ctor_gas, bound);
+  EXPECT_LE(commit_gas, r.loop_free_gas_bound);
+  EXPECT_LE(reveal_gas, r.loop_free_gas_bound);
+  // The bound is a worst case over all paths, so it should not be absurdly
+  // loose either: the ctor path is the most expensive and stays within ~20x.
+  EXPECT_LT(bound, ctor_gas * 20);
+}
+
+// ---- Disassembler satellite -------------------------------------------------
+
+TEST(Disassemble, FlagsTruncatedPushImmediates) {
+  const util::Bytes code{0x63, 0xaa};  // PUSH4 with only one immediate byte
+  const std::string text = vm::disassemble(code);
+  EXPECT_NE(text.find("PUSH4 0xaa <truncated>"), std::string::npos) << text;
+}
+
+TEST(RenderReport, ListsBlocksAndVerdictData) {
+  const util::Bytes code{0x60, 0x01, 0x60, 0x02, 0x01, 0x00};
+  const std::string report = analysis::render_report(analysis::analyze(code));
+  EXPECT_NE(report.find("blocks:"), std::string::npos);
+  EXPECT_NE(report.find("diagnostics: none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sc

@@ -2,10 +2,12 @@
 // crash a decoder or the VM, and every authentication check must fail closed.
 #include <gtest/gtest.h>
 
+#include "analysis/verifier.hpp"
 #include "chain/block.hpp"
 #include "chain/transaction.hpp"
 #include "core/messages.hpp"
 #include "util/rng.hpp"
+#include "vm/assembler.hpp"
 #include "vm/vm.hpp"
 
 namespace sc {
@@ -83,6 +85,160 @@ TEST(VmFuzz, DeepStackPushesHitLimit) {
   ctx.gas_limit = 10'000'000;
   const vm::ExecResult result = vm::execute(host, ctx, code);
   EXPECT_EQ(result.outcome, vm::Outcome::kInvalidOp);
+}
+
+// ---- Differential static-analysis fuzz --------------------------------------
+//
+// Soundness property under test: bytecode the static verifier passes with
+// zero errors can never make the interpreter fail with a *statically
+// decided* kInvalidOp — an undefined opcode, a jump to a bad constant
+// destination, or a guaranteed stack under/overflow. Failures that depend on
+// runtime data (a computed memory offset past 2^32, a computed jump target)
+// are outside the verifier's contract and excluded here. The generator
+// keeps every jump target statically resolvable by emitting JUMP/JUMPI only
+// as an adjacent `PUSH2 target; JUMP(I)` pair.
+
+bool statically_decided(const std::string& error) {
+  return error == "undefined opcode" || error == "bad jump destination" ||
+         error == "jump range" || error == "stack overflow" ||
+         error.ends_with("underflow");
+}
+
+util::Bytes structured_program(util::Rng& rng) {
+  util::Bytes code;
+  std::vector<std::size_t> jumpdests;
+  struct JumpFix {
+    std::size_t at;       ///< Position of the PUSH2's two immediate bytes.
+    bool want_valid;      ///< Aim at a real JUMPDEST vs. a random offset.
+  };
+  std::vector<JumpFix> fixups;
+
+  // A few seed pushes so shallow-stack ops don't underflow immediately —
+  // underflowing programs are fine (the analyzer must flag them) but clean
+  // programs are the ones that exercise the property.
+  for (int i = 0; i < 4; ++i) {
+    code.push_back(0x60);
+    code.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+  }
+
+  const std::size_t n_ops = 8 + rng.uniform(48);
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    switch (rng.uniform(16)) {
+      case 0:
+        code.push_back(0x5b);  // JUMPDEST
+        jumpdests.push_back(code.size() - 1);
+        break;
+      case 1:
+      case 2:
+      case 3:
+        code.push_back(0x60);  // PUSH1
+        code.push_back(static_cast<std::uint8_t>(rng.uniform(256)));
+        break;
+      case 4:
+        code.push_back(static_cast<std::uint8_t>(0x01 + rng.uniform(4)));  // arith
+        break;
+      case 5:
+        code.push_back(static_cast<std::uint8_t>(0x10 + rng.uniform(5)));  // cmp
+        break;
+      case 6:
+        code.push_back(static_cast<std::uint8_t>(0x80 + rng.uniform(4)));  // DUP1-4
+        break;
+      case 7:
+        code.push_back(static_cast<std::uint8_t>(0x90 + rng.uniform(4)));  // SWAP1-4
+        break;
+      case 8:
+        code.push_back(0x50);  // POP
+        break;
+      case 9:  // MSTORE at a small constant offset: PUSH1 off on top.
+        code.push_back(0x60);
+        code.push_back(static_cast<std::uint8_t>(rng.uniform(128)));
+        code.push_back(0x52);
+        break;
+      case 10:  // SLOAD of a small constant key.
+        code.push_back(0x60);
+        code.push_back(static_cast<std::uint8_t>(rng.uniform(8)));
+        code.push_back(0x54);
+        break;
+      case 11:
+        code.push_back(static_cast<std::uint8_t>(
+            rng.uniform(2) ? 0x33 : 0x34));  // CALLER / CALLVALUE
+        break;
+      case 12:
+      case 13: {  // Static conditional jump: PUSH2 target; JUMPI.
+        code.push_back(0x61);
+        fixups.push_back({code.size(), rng.uniform(10) < 7});
+        code.push_back(0);
+        code.push_back(0);
+        code.push_back(0x57);
+        break;
+      }
+      default:
+        code.push_back(0x15);  // ISZERO
+        break;
+    }
+  }
+  code.push_back(0x00);  // STOP
+
+  for (const JumpFix& fix : fixups) {
+    std::size_t target;
+    if (fix.want_valid && !jumpdests.empty()) {
+      target = jumpdests[rng.uniform(jumpdests.size())];
+    } else {
+      target = rng.uniform(code.size() + 4);  // often not a JUMPDEST
+    }
+    code[fix.at] = static_cast<std::uint8_t>(target >> 8);
+    code[fix.at + 1] = static_cast<std::uint8_t>(target);
+  }
+  return code;
+}
+
+class AnalysisDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalysisDifferential, VerifierNeverPassesStaticallyFaultingCode) {
+  util::Rng rng(GetParam());
+  NullHost host;
+  int clean = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    const util::Bytes code = structured_program(rng);
+    const analysis::AnalysisResult verdict = analysis::analyze(code);
+    if (!verdict.ok()) continue;  // Flagged: the deploy gate would reject it.
+    ++clean;
+    vm::Context ctx;
+    ctx.gas_limit = 200'000;
+    const vm::ExecResult result = vm::execute(host, ctx, code);
+    if (result.outcome == vm::Outcome::kInvalidOp) {
+      EXPECT_FALSE(statically_decided(result.error))
+          << "verifier passed code the VM rejected statically: " << result.error
+          << "\n"
+          << analysis::render_report(verdict) << vm::disassemble(code);
+    }
+  }
+  // The generator must actually produce verifier-clean programs, or the
+  // property above is vacuously true.
+  EXPECT_GT(clean, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisDifferential,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(AnalysisDifferential, AgreesWithVmOnKnownStaticFaults) {
+  // Programs where analyzer and interpreter must BOTH object, for the same
+  // static reason.
+  const std::vector<util::Bytes> corpus = {
+      {0x60, 0x03, 0x56, 0x00},        // PUSH1 3; JUMP → dest is not a JUMPDEST
+      {0x01, 0x00},                    // ADD on an empty stack
+      {0xef},                          // undefined opcode
+      {0x60, 0x04, 0x56, 0x61, 0x5b, 0x00},  // jump into PUSH2 immediate data
+  };
+  NullHost host;
+  for (const util::Bytes& code : corpus) {
+    EXPECT_FALSE(analysis::verify_code(code)) << vm::disassemble(code);
+    vm::Context ctx;
+    ctx.gas_limit = 100'000;
+    const vm::ExecResult result = vm::execute(host, ctx, code);
+    EXPECT_EQ(result.outcome, vm::Outcome::kInvalidOp) << vm::disassemble(code);
+    EXPECT_TRUE(statically_decided(result.error)) << result.error;
+  }
 }
 
 // ---- Wire-format fuzz --------------------------------------------------------

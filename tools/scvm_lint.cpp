@@ -1,0 +1,121 @@
+// scvm_lint — static analysis front-end for SCVM bytecode.
+//
+//   scvm_lint file.hex          analyze hex bytecode from a file
+//   scvm_lint -                 read hex from stdin
+//   scvm_lint --smartcrowd      analyze the bundled SmartCrowd contract
+//   scvm_lint --asm file.s      assemble SCVM assembly first, then analyze
+//
+// Add --quiet to suppress the disassembly and note-severity findings.
+// Exit status: 0 when the code verifies (no error-severity findings),
+// 1 when it does not, 2 on usage or input problems.
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/verifier.hpp"
+#include "contracts/smartcrowd_contract.hpp"
+#include "util/hex.hpp"
+#include "vm/assembler.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: scvm_lint [--quiet] (<file.hex> | - | --smartcrowd | "
+               "--asm <file.s>)\n";
+  return 2;
+}
+
+std::string read_all(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Strips whitespace and an optional 0x prefix so `xxd -p` output, pasted
+/// hex, and multi-line dumps all parse.
+std::string normalize_hex(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw)
+    if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+  if (out.starts_with("0x") || out.starts_with("0X")) out.erase(0, 2);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  bool use_smartcrowd = false;
+  bool from_asm = false;
+  std::string input;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--smartcrowd") {
+      use_smartcrowd = true;
+    } else if (arg == "--asm") {
+      from_asm = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!input.empty()) {
+      return usage();
+    } else {
+      input = arg;
+    }
+  }
+  if (use_smartcrowd ? (from_asm || !input.empty()) : input.empty())
+    return usage();
+
+  sc::util::Bytes code;
+  if (use_smartcrowd) {
+    code = sc::contracts::contract_bytecode();
+  } else {
+    if (input.empty()) return usage();
+    std::string text;
+    if (input == "-") {
+      text = read_all(std::cin);
+    } else {
+      std::ifstream file(input);
+      if (!file) {
+        std::cerr << "scvm_lint: cannot open " << input << "\n";
+        return 2;
+      }
+      text = read_all(file);
+    }
+    if (from_asm) {
+      const sc::vm::AssembleResult assembled = sc::vm::assemble(text);
+      if (!assembled.ok()) {
+        std::cerr << "scvm_lint: assembly error at line " << assembled.error->line
+                  << ": " << assembled.error->message << "\n";
+        return 2;
+      }
+      code = assembled.code;
+    } else {
+      const auto bytes = sc::util::from_hex(normalize_hex(text));
+      if (!bytes) {
+        std::cerr << "scvm_lint: input is not valid hex\n";
+        return 2;
+      }
+      code = *bytes;
+    }
+  }
+
+  if (code.empty()) {
+    std::cerr << "scvm_lint: no code to analyze\n";
+    return 2;
+  }
+
+  const sc::analysis::AnalysisResult result = sc::analysis::analyze(code);
+  if (!quiet) {
+    std::cout << "disassembly:\n" << sc::vm::disassemble(code) << "\n";
+  }
+  std::cout << sc::analysis::render_report(result, /*include_notes=*/!quiet);
+  std::cout << (result.ok() ? "verdict: PASS\n" : "verdict: FAIL\n");
+  return result.ok() ? 0 : 1;
+}
