@@ -12,6 +12,8 @@
 
 #include "core/economics.hpp"
 #include "core/platform.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 int main() {
   using namespace sc;
@@ -32,6 +34,10 @@ int main() {
 
   std::printf("%-22s %-16s %-16s\n", "capability (threads)", "Eq.13 eth/hour",
               "simulated eth/hour");
+
+  // All three simulations meter into one local sink; the summary at the end
+  // shows what the runs actually did (see docs/telemetry.md).
+  sc::telemetry::Telemetry telemetry;
 
   for (unsigned threads : {1u, 4u, 8u}) {
     // ξ and ρ from capability shares: our candidate + 7 incumbents (1..7).
@@ -55,6 +61,7 @@ int main() {
     for (unsigned t = 1; t <= 7; ++t) config.detectors.push_back({t, 1'000 * kEther});
     config.detectors.push_back({threads, 1'000 * kEther});  // our company
     config.seed = 31337 + threads;
+    config.telemetry = &telemetry;
     core::Platform platform(std::move(config));
     const double horizon = 4 * 3600.0;  // four hours of releases
     double released = 0;
@@ -76,5 +83,8 @@ int main() {
               "bounty), and\nearnings scale with capability — the incentive "
               "that sustains the detector\npool, unlike the unpaid N-version "
               "baselines (see bench/baseline_coverage).\n");
+
+  std::printf("\nplatform metrics (all three capability runs combined):\n%s",
+              sc::telemetry::render_summary(telemetry.registry).c_str());
   return 0;
 }

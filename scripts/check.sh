@@ -17,6 +17,15 @@ ctest --test-dir build --output-on-failure -j "$jobs"
 
 echo "== scvm_lint: SmartCrowd contract must verify =="
 ./build/tools/scvm_lint --smartcrowd --quiet
+./build/tools/scvm_lint --smartcrowd --json >/dev/null
+
+echo "== sc_metrics_dump: valid + deterministic Prometheus output =="
+./build/tools/sc_metrics_dump --seed 7 --prom build/metrics_a.prom --check
+./build/tools/sc_metrics_dump --seed 7 --prom build/metrics_b.prom --check
+cmp build/metrics_a.prom build/metrics_b.prom
+
+echo "== telemetry_bench: overhead smoke =="
+./build/bench/telemetry_bench --runs=small --out=build/BENCH_telemetry_smoke.json
 
 echo "== ASan/UBSan build + tests =="
 cmake -B build-asan -S . -DSC_SANITIZE=address,undefined >/dev/null

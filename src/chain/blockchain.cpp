@@ -2,11 +2,12 @@
 
 #include "chain/difficulty.hpp"
 #include "chain/pow.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sc::chain {
 
-Blockchain::Blockchain(const GenesisConfig& genesis)
-    : dynamic_difficulty_(genesis.dynamic_difficulty) {
+Blockchain::Blockchain(const GenesisConfig& genesis, telemetry::Telemetry* tel)
+    : telemetry_(tel), dynamic_difficulty_(genesis.dynamic_difficulty) {
   Block genesis_block;
   genesis_block.header.height = 0;
   genesis_block.header.timestamp = genesis.timestamp;
@@ -27,6 +28,9 @@ Blockchain::Blockchain(const GenesisConfig& genesis)
 }
 
 bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_pow) {
+  auto& tel = telemetry::resolve(telemetry_);
+  const auto connect_span = tel.tracer.span("chain.block_connect");
+
   auto fail = [&](const char* msg) {
     if (why) *why = msg;
     return false;
@@ -72,17 +76,52 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
   env.timestamp = block.header.timestamp;
   env.miner = block.header.miner;
   entry.receipts = apply_block_body(entry.post_state, env, block.transactions,
-                                    kBlockReward);
+                                    kBlockReward, telemetry_);
 
   const Entry& current_best = entries_.at(best_head_);
   const bool better =
       entry.cumulative_difficulty > current_best.cumulative_difficulty;
   entries_.emplace(id, std::move(entry));
+  tel.registry
+      .counter("chain_blocks_connected_total", "Blocks validated and stored")
+      .inc();
   if (better) {
+    const Hash256 old_head = best_head_;
     best_head_ = id;
     reindex_canonical();
+    // A head switch that doesn't extend the previous head abandons part of
+    // the old chain: count the event and how many blocks fell off.
+    if (block.header.prev_id != old_head) {
+      const std::uint64_t depth = reorg_depth(old_head);
+      if (depth > 0) {
+        tel.registry
+            .counter("chain_reorgs_total", "Canonical head switches to a competing fork")
+            .inc();
+        tel.registry
+            .counter("chain_reorged_blocks_total",
+                     "Blocks abandoned by canonical head switches")
+            .add(depth);
+      }
+    }
   }
   return true;
+}
+
+std::uint64_t Blockchain::reorg_depth(const Hash256& old_head) const {
+  // Walk the abandoned head's ancestry until it rejoins the (already
+  // reindexed) canonical chain.
+  std::uint64_t depth = 0;
+  Hash256 cursor = old_head;
+  while (true) {
+    const auto it = entries_.find(cursor);
+    if (it == entries_.end()) break;
+    const std::uint64_t height = it->second.block.header.height;
+    if (height < canonical_.size() && canonical_[height] == cursor) break;
+    ++depth;
+    if (height == 0) break;
+    cursor = it->second.block.header.prev_id;
+  }
+  return depth;
 }
 
 std::uint64_t Blockchain::best_height() const {

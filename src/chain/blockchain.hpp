@@ -41,7 +41,11 @@ struct TxLocation {
 
 class Blockchain {
  public:
-  explicit Blockchain(const GenesisConfig& genesis);
+  /// `tel` is the metrics/trace sink for block-connect spans, connect
+  /// counters and reorg accounting (nullptr → telemetry::global()); it is
+  /// also forwarded to transaction execution.
+  explicit Blockchain(const GenesisConfig& genesis,
+                      telemetry::Telemetry* tel = nullptr);
 
   /// Validates and connects a block. Returns false with a reason if the
   /// block is malformed, unlinked, fails PoW, or fails execution checks.
@@ -105,7 +109,11 @@ class Blockchain {
   };
 
   void reindex_canonical();
+  /// Blocks abandoned when the head moved from `old_head` to a block that
+  /// does not extend it (0 for plain extensions).
+  std::uint64_t reorg_depth(const Hash256& old_head) const;
 
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::unordered_map<Hash256, Entry> entries_;
   bool dynamic_difficulty_ = false;
   Hash256 genesis_id_;

@@ -1,6 +1,7 @@
 #include "chain/executor.hpp"
 
 #include "analysis/verifier.hpp"
+#include "telemetry/telemetry.hpp"
 #include "vm/opcode.hpp"
 
 namespace sc::chain {
@@ -64,7 +65,23 @@ TxStatus status_from_outcome(vm::Outcome outcome) {
   }
 }
 
+/// The untracked body of apply_transaction; the public wrapper records the
+/// receipt into the metrics registry on every exit path.
+Receipt apply_transaction_impl(WorldState& state, const BlockEnv& env,
+                               const Transaction& tx, telemetry::Telemetry* tel);
+
 }  // namespace
+
+std::string_view to_string(TxStatus status) {
+  switch (status) {
+    case TxStatus::kSuccess: return "success";
+    case TxStatus::kReverted: return "reverted";
+    case TxStatus::kOutOfGas: return "out_of_gas";
+    case TxStatus::kInvalid: return "invalid";
+    case TxStatus::kInvalidCode: return "invalid_code";
+  }
+  return "unknown";
+}
 
 bool validate_transaction(const Transaction& tx, std::string* why) {
   auto fail = [&](const char* msg) {
@@ -83,7 +100,25 @@ bool validate_transaction(const Transaction& tx, std::string* why) {
   return true;
 }
 
-Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transaction& tx) {
+Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transaction& tx,
+                          telemetry::Telemetry* tel) {
+  Receipt receipt = apply_transaction_impl(state, env, tx, tel);
+  auto& registry = telemetry::resolve(tel).registry;
+  registry
+      .counter("chain_tx_total", "Transactions applied, by receipt status",
+               {{"status", std::string(to_string(receipt.status))}})
+      .inc();
+  registry
+      .histogram("chain_tx_gas_used", "Gas consumed per applied transaction",
+                 telemetry::HistogramSpec::gas())
+      .observe(static_cast<double>(receipt.gas_used));
+  return receipt;
+}
+
+namespace {
+
+Receipt apply_transaction_impl(WorldState& state, const BlockEnv& env,
+                               const Transaction& tx, telemetry::Telemetry* tel) {
   Receipt receipt;
   receipt.tx_id = tx.id();
 
@@ -173,6 +208,7 @@ Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transact
         ctx.value = tx.value;
         ctx.calldata = tx.ctor_calldata;
         ctx.gas_limit = tx.gas_limit - gas_used;
+        ctx.telemetry = tel;
         const vm::ExecResult run = vm::execute(host, ctx, state.code(addr));
         gas_used += run.gas_used;
         if (!run.ok()) {
@@ -208,6 +244,7 @@ Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transact
       ctx.value = tx.value;
       ctx.calldata = tx.data;
       ctx.gas_limit = tx.gas_limit - gas_used;
+      ctx.telemetry = tel;
       // Copy the code: the rollback below may otherwise invalidate the span.
       const util::Bytes code_copy(code.begin(), code.end());
       const vm::ExecResult run = vm::execute(host, ctx, code_copy);
@@ -227,14 +264,17 @@ Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transact
   return finish(TxStatus::kInvalid, "unknown kind");
 }
 
+}  // namespace
+
 std::vector<Receipt> apply_block_body(WorldState& state, const BlockEnv& env,
                                       const std::vector<Transaction>& txs,
-                                      Amount block_reward) {
+                                      Amount block_reward,
+                                      telemetry::Telemetry* tel) {
   std::vector<Receipt> receipts;
   receipts.reserve(txs.size());
   Amount fees = 0;
   for (const Transaction& tx : txs) {
-    receipts.push_back(apply_transaction(state, env, tx));
+    receipts.push_back(apply_transaction(state, env, tx, tel));
     fees += receipts.back().fee_paid;
   }
   // Miner income: new issuance χ·ν plus the transaction fees ψ·ω (Eq. 8).

@@ -7,11 +7,16 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "chain/state.hpp"
 #include "chain/transaction.hpp"
 #include "vm/vm.hpp"
+
+namespace sc::telemetry {
+struct Telemetry;
+}
 
 namespace sc::chain {
 
@@ -22,6 +27,10 @@ enum class TxStatus : std::uint8_t {
   kInvalid,        ///< Structural failure (bad signature, nonce, funds).
   kInvalidCode,    ///< Deploy rejected by the static bytecode verifier.
 };
+
+/// Stable lower-case label value ("success", "reverted", ...), used as the
+/// `status` label on chain_tx_total.
+std::string_view to_string(TxStatus status);
 
 struct Receipt {
   Hash256 tx_id;
@@ -50,12 +59,18 @@ struct BlockEnv {
 /// Applies one transaction. On any failure after the nonce/balance gate, the
 /// nonce still advances and gas is charged (Ethereum semantics); on
 /// structural failure (kInvalid) the state is untouched.
-Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transaction& tx);
+///
+/// `tel` is the metrics sink (nullptr → telemetry::global()); each call
+/// records the receipt status and gas-used histogram and forwards the sink to
+/// the VM for step/gas-class attribution.
+Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transaction& tx,
+                          telemetry::Telemetry* tel = nullptr);
 
 /// Applies a whole block body: all transactions in order, then credits the
 /// miner with the block reward plus collected fees. Returns receipts.
 std::vector<Receipt> apply_block_body(WorldState& state, const BlockEnv& env,
                                       const std::vector<Transaction>& txs,
-                                      Amount block_reward);
+                                      Amount block_reward,
+                                      telemetry::Telemetry* tel = nullptr);
 
 }  // namespace sc::chain

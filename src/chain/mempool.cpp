@@ -3,24 +3,62 @@
 #include <algorithm>
 #include <map>
 
+#include "telemetry/telemetry.hpp"
+
 namespace sc::chain {
+
+bool Mempool::reject(const char* reason, std::string* why, std::string detail) {
+  if (why) *why = detail.empty() ? reason : std::move(detail);
+  telemetry::resolve(telemetry_)
+      .registry
+      .counter("mempool_rejected_total", "Transactions refused admission, by reason",
+               {{"reason", reason}})
+      .inc();
+  return false;
+}
+
+void Mempool::update_depth_gauge() {
+  telemetry::resolve(telemetry_)
+      .registry.gauge("mempool_depth", "Pending transactions in the pool")
+      .set(static_cast<double>(pool_.size()));
+}
 
 bool Mempool::add(const Transaction& tx, std::string* why) {
   std::string reason;
-  if (!validate_transaction(tx, &reason)) {
-    if (why) *why = reason;
-    return false;
-  }
-  if (gate_ && !gate_(tx, reason)) {
-    if (why) *why = reason.empty() ? "rejected by admission gate" : reason;
-    return false;
-  }
+  if (!validate_transaction(tx, &reason)) return reject("invalid", why, reason);
+  if (gate_ && !gate_(tx, reason))
+    return reject("gate", why,
+                  reason.empty() ? "rejected by admission gate" : reason);
   const Hash256 id = tx.id();
-  if (pool_.contains(id)) {
-    if (why) *why = "duplicate";
-    return false;
+  if (pool_.contains(id)) return reject("duplicate", why, "duplicate");
+
+  if (capacity_ != 0 && pool_.size() >= capacity_) {
+    // Evict the lowest-paying resident, with the transaction id as a
+    // deterministic tie-break — but only if the newcomer pays strictly more.
+    auto victim = pool_.end();
+    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
+      if (victim == pool_.end() ||
+          it->second.gas_price < victim->second.gas_price ||
+          (it->second.gas_price == victim->second.gas_price &&
+           it->first < victim->first))
+        victim = it;
+    }
+    if (victim == pool_.end() || tx.gas_price <= victim->second.gas_price)
+      return reject("full", why, "mempool full");
+    pool_.erase(victim);
+    ++evictions_;
+    telemetry::resolve(telemetry_)
+        .registry
+        .counter("mempool_evictions_total",
+                 "Residents evicted for a higher-paying transaction")
+        .inc();
   }
+
   pool_.emplace(id, tx);
+  telemetry::resolve(telemetry_)
+      .registry.counter("mempool_admitted_total", "Transactions admitted to the pool")
+      .inc();
+  update_depth_gauge();
   return true;
 }
 
@@ -66,12 +104,14 @@ std::vector<Transaction> Mempool::select(const WorldState& state,
 
 void Mempool::remove(const std::vector<Transaction>& txs) {
   for (const auto& tx : txs) pool_.erase(tx.id());
+  update_depth_gauge();
 }
 
 void Mempool::prune_stale(const WorldState& state) {
   std::erase_if(pool_, [&](const auto& entry) {
     return entry.second.nonce < state.nonce(entry.second.sender());
   });
+  update_depth_gauge();
 }
 
 }  // namespace sc::chain

@@ -4,8 +4,15 @@
 // protocol gate — this is where providers plug Algorithm 1, so forged or
 // tampered reports never reach a block. Selection is fee-priority with
 // per-sender nonce ordering.
+//
+// The pool is optionally bounded (set_capacity): when full, an incoming
+// transaction evicts the lowest-gas-price resident if and only if it pays
+// strictly more; otherwise the newcomer is rejected. Ties break on the
+// transaction id so eviction is deterministic regardless of hash-map
+// iteration order.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -16,6 +23,10 @@
 #include "chain/state.hpp"
 #include "chain/transaction.hpp"
 
+namespace sc::telemetry {
+struct Telemetry;
+}
+
 namespace sc::chain {
 
 class Mempool {
@@ -25,6 +36,17 @@ class Mempool {
   using AdmissionGate = std::function<bool(const Transaction&, std::string& why)>;
 
   void set_gate(AdmissionGate gate) { gate_ = std::move(gate); }
+
+  /// Bounds the pool to `capacity` transactions; 0 (the default) means
+  /// unbounded. Shrinking below the current size only takes effect through
+  /// future admissions — existing residents are not dropped retroactively.
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  std::size_t capacity() const { return capacity_; }
+  /// Transactions evicted to make room under the capacity bound.
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Metrics sink; nullptr (default) means telemetry::global().
+  void set_telemetry(telemetry::Telemetry* tel) { telemetry_ = tel; }
 
   /// Validates and inserts; returns false (with reason) on rejection or dup.
   bool add(const Transaction& tx, std::string* why = nullptr);
@@ -42,8 +64,14 @@ class Mempool {
   void prune_stale(const WorldState& state);
 
  private:
+  bool reject(const char* reason, std::string* why, std::string detail = {});
+  void update_depth_gauge();
+
   std::unordered_map<Hash256, Transaction> pool_;
   AdmissionGate gate_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded.
+  std::uint64_t evictions_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace sc::chain

@@ -6,9 +6,22 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.hpp"
+
 namespace sc::chain {
 
 namespace {
+
+/// One registry round-trip per mine() call: the grind loops count attempts
+/// locally (loop indices, no per-attempt instrumentation cost) and settle
+/// here on exit.
+void record_grind(std::uint64_t attempts, bool mined) {
+  auto& registry = telemetry::global().registry;
+  registry.counter("pow_attempts_total", "Nonces tried by the PoW grinder")
+      .add(attempts);
+  if (mined)
+    registry.counter("pow_blocks_mined_total", "Successful PoW solutions").inc();
+}
 
 // SHA-256 length padding for the two fixed message sizes in the double hash.
 constexpr std::uint64_t kHeaderBits = BlockHeader::kSerializedSize * 8;  // 928
@@ -93,8 +106,12 @@ std::optional<std::uint64_t> mine(const BlockHeader& header, std::uint64_t max_a
   PowScratch scratch(header);
   std::uint64_t nonce = header.nonce;
   for (std::uint64_t i = 0; i < max_attempts; ++i, ++nonce) {
-    if (scratch.attempt(nonce)) return nonce;
+    if (scratch.attempt(nonce)) {
+      record_grind(i + 1, true);
+      return nonce;
+    }
   }
+  record_grind(max_attempts, false);
   return std::nullopt;
 }
 
@@ -111,18 +128,22 @@ std::optional<std::uint64_t> mine_parallel(const BlockHeader& header,
   // its smallest, and a worker past `best` can never improve it, so the
   // final minimum equals the global earliest hit regardless of scheduling.
   std::atomic<std::uint64_t> best{kNoWinner};
+  std::atomic<std::uint64_t> total_attempts{0};
 
   auto worker = [&](unsigned t) {
     PowScratch scratch(header);
+    std::uint64_t local_attempts = 0;
     for (std::uint64_t i = t; i < max_attempts; i += threads) {
-      if (i > best.load(std::memory_order_relaxed)) return;
+      if (i > best.load(std::memory_order_relaxed)) break;
+      ++local_attempts;
       if (scratch.attempt(header.nonce + i)) {
         std::uint64_t cur = best.load(std::memory_order_relaxed);
         while (i < cur && !best.compare_exchange_weak(cur, i)) {
         }
-        return;
+        break;
       }
     }
+    total_attempts.fetch_add(local_attempts, std::memory_order_relaxed);
   };
 
   std::vector<std::thread> pool;
@@ -132,6 +153,7 @@ std::optional<std::uint64_t> mine_parallel(const BlockHeader& header,
   for (auto& th : pool) th.join();
 
   const std::uint64_t winner = best.load();
+  record_grind(total_attempts.load(), winner != kNoWinner);
   if (winner == kNoWinner) return std::nullopt;
   return header.nonce + winner;
 }

@@ -2,18 +2,41 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace sc::core {
 
 ConsensusNode::ConsensusNode(sim::Simulator& sim, sim::Network& net,
                              const chain::GenesisConfig& genesis, std::string name,
-                             bool honest, RecordGate gate)
+                             bool honest, RecordGate gate,
+                             telemetry::Telemetry* tel)
     : sim_(sim),
       net_(net),
       name_(std::move(name)),
       honest_(honest),
       gate_(std::move(gate)),
-      chain_(genesis) {
+      telemetry_(tel),
+      chain_(genesis, tel) {
   net_id_ = net_.add_node([this](const sim::Message& msg) { on_message(msg); });
+}
+
+void ConsensusNode::record_rejection() {
+  ++rejected_;
+  telemetry::resolve(telemetry_)
+      .registry
+      .counter("node_blocks_rejected_total", "Blocks a replica refused, by node",
+               {{"node", name_}})
+      .inc();
+}
+
+void ConsensusNode::update_orphan_gauge() {
+  std::size_t buffered = 0;
+  for (const auto& [parent, blocks] : orphans_) buffered += blocks.size();
+  telemetry::resolve(telemetry_)
+      .registry
+      .gauge("node_orphan_buffer_size", "Blocks parked awaiting a parent, by node",
+             {{"node", name_}})
+      .set(static_cast<double>(buffered));
 }
 
 bool ConsensusNode::validate_records(const chain::Block& block) const {
@@ -26,12 +49,12 @@ bool ConsensusNode::mine_and_broadcast(const chain::Address& miner,
   chain::Block block = chain_.build_block_template(
       miner, static_cast<std::uint64_t>(sim_.now()), /*difficulty=*/1, std::move(txs));
   if (!validate_records(block)) {
-    ++rejected_;
+    record_rejection();
     return false;
   }
   std::string why;
   if (!chain_.submit_block(block, &why, /*skip_pow=*/true)) {
-    ++rejected_;
+    record_rejection();
     return false;
   }
   net_.broadcast(net_id_, "block", block.encode());
@@ -43,7 +66,7 @@ void ConsensusNode::on_message(const sim::Message& msg) {
   if (msg.topic == "block") {
     const auto block = chain::Block::decode(msg.payload);
     if (!block) {
-      ++rejected_;
+      record_rejection();
       return;
     }
     last_sender_ = msg.from;
@@ -66,7 +89,7 @@ void ConsensusNode::try_connect(const chain::Block& block, bool rebroadcast) {
   if (!validate_records(block)) {
     // A forged record inside: honest nodes refuse the whole block and will
     // not build on it (Section V-C's fault-tolerant verification).
-    ++rejected_;
+    record_rejection();
     return;
   }
   if (chain_.block(block.header.prev_id) == nullptr) {
@@ -75,6 +98,7 @@ void ConsensusNode::try_connect(const chain::Block& block, bool rebroadcast) {
     // until linkage reaches a known ancestor (or a block we reject).
     ++orphans_seen_;
     orphans_[block.header.prev_id].push_back(block);
+    update_orphan_gauge();
     net_.unicast(net_id_, last_sender_, "get_block",
                  util::Bytes(block.header.prev_id.bytes.begin(),
                              block.header.prev_id.bytes.end()));
@@ -82,7 +106,7 @@ void ConsensusNode::try_connect(const chain::Block& block, bool rebroadcast) {
   }
   std::string why;
   if (!chain_.submit_block(block, &why, /*skip_pow=*/true)) {
-    ++rejected_;
+    record_rejection();
     return;
   }
   if (rebroadcast) net_.broadcast(net_id_, "block", block.encode());
@@ -106,28 +130,39 @@ void ConsensusNode::drain_orphans() {
       ++it;
     }
   }
+  update_orphan_gauge();
 }
 
 ConsensusCluster::ConsensusCluster(std::uint64_t seed,
                                    const std::vector<NodeSpec>& specs,
                                    const chain::GenesisConfig& genesis,
                                    RecordGate gate, double mean_block_time,
-                                   sim::NetworkConfig net_config)
-    : sim_(seed),
-      net_(sim_, net_config),
+                                   sim::NetworkConfig net_config,
+                                   telemetry::Telemetry* tel)
+    : telemetry_(tel),
+      sim_(seed),
+      net_(sim_, net_config, tel),
       race_([&] {
         std::vector<double> hp;
         for (const auto& spec : specs) hp.push_back(spec.hash_power);
         return hp;
       }(), mean_block_time),
       gate_(gate) {
+  // Trace events carry this cluster's virtual time until the cluster dies
+  // (the destructor detaches the clock before sim_ is destroyed).
+  telemetry::resolve(telemetry_).tracer.set_virtual_clock(
+      [this] { return sim_.now(); });
   for (std::size_t i = 0; i < specs.size(); ++i) {
     miner_keys_.push_back(crypto::KeyPair::generate(sim_.rng()));
     nodes_.push_back(std::make_unique<ConsensusNode>(
         sim_, net_, genesis, "provider-" + std::to_string(i), specs[i].honest,
-        gate));
+        gate, tel));
   }
   schedule_next_block();
+}
+
+ConsensusCluster::~ConsensusCluster() {
+  telemetry::resolve(telemetry_).tracer.set_virtual_clock({});
 }
 
 void ConsensusCluster::submit_transaction(chain::Transaction tx,

@@ -36,10 +36,13 @@ using RecordGate = std::function<bool(const chain::Transaction&)>;
 class ConsensusNode {
  public:
   /// `honest` nodes enforce `gate` on every incoming/self-mined block;
-  /// dishonest nodes ignore it (colluding miner).
+  /// dishonest nodes ignore it (colluding miner). `tel` is the metrics sink
+  /// (nullptr → telemetry::global()), also handed to this node's chain
+  /// replica.
   ConsensusNode(sim::Simulator& sim, sim::Network& net,
                 const chain::GenesisConfig& genesis, std::string name,
-                bool honest, RecordGate gate);
+                bool honest, RecordGate gate,
+                telemetry::Telemetry* tel = nullptr);
 
   sim::NodeId network_id() const { return net_id_; }
   const std::string& name() const { return name_; }
@@ -63,6 +66,8 @@ class ConsensusNode {
   /// Tries to connect; buffers as orphan when the parent is unknown.
   void try_connect(const chain::Block& block, bool rebroadcast);
   void drain_orphans();
+  void record_rejection();
+  void update_orphan_gauge();
 
   sim::Simulator& sim_;
   sim::Network& net_;
@@ -70,6 +75,7 @@ class ConsensusNode {
   std::string name_;
   bool honest_;
   RecordGate gate_;
+  telemetry::Telemetry* telemetry_;
   chain::Blockchain chain_;
   sim::NodeId last_sender_ = 0;  ///< Peer to ask for orphan backfill.
   std::map<crypto::Hash256, std::vector<chain::Block>> orphans_;  ///< by parent id
@@ -85,10 +91,15 @@ class ConsensusCluster {
     bool honest = true;
   };
 
+  /// `tel` (nullptr → telemetry::global()) receives the cluster's network and
+  /// per-node chain metrics; the cluster also drives the sink's tracer
+  /// virtual clock from its simulator for as long as the cluster lives.
   ConsensusCluster(std::uint64_t seed, const std::vector<NodeSpec>& specs,
                    const chain::GenesisConfig& genesis, RecordGate gate,
                    double mean_block_time = chain::kTargetBlockTime,
-                   sim::NetworkConfig net_config = {});
+                   sim::NetworkConfig net_config = {},
+                   telemetry::Telemetry* tel = nullptr);
+  ~ConsensusCluster();
 
   sim::Simulator& simulator() { return sim_; }
   sim::Network& network() { return net_; }
@@ -112,6 +123,7 @@ class ConsensusCluster {
  private:
   void schedule_next_block();
 
+  telemetry::Telemetry* telemetry_;
   sim::Simulator sim_;
   sim::Network net_;
   sim::MiningRace race_;

@@ -4,6 +4,7 @@
 
 #include "crypto/sha256.hpp"
 #include "detect/autoverif.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sc::core {
 
@@ -36,7 +37,13 @@ Platform::Platform(PlatformConfig config)
   for (std::size_t i = 0; i < detector_keys_.size(); ++i)
     genesis.allocations.push_back(
         {detector_keys_[i].address(), config_.detectors[i].endowment});
-  chain_ = std::make_unique<chain::Blockchain>(genesis);
+  chain_ = std::make_unique<chain::Blockchain>(genesis, config_.telemetry);
+  mempool_.set_telemetry(config_.telemetry);
+  mempool_.set_capacity(config_.mempool_capacity);
+  // Trace events carry this platform's virtual time until ~Platform detaches
+  // the clock (before sim_ is destroyed).
+  telemetry::resolve(config_.telemetry)
+      .tracer.set_virtual_clock([this] { return sim_.now(); });
   provider_stats_.resize(config_.providers.size());
   detector_stats_.resize(config_.detectors.size());
   for (std::size_t i = 0; i < provider_keys_.size(); ++i)
@@ -51,6 +58,10 @@ Platform::Platform(PlatformConfig config)
         return admission_gate(tx, why);
       });
   schedule_next_block();
+}
+
+Platform::~Platform() {
+  telemetry::resolve(config_.telemetry).tracer.set_virtual_clock({});
 }
 
 Address Platform::provider_address(std::size_t i) const {
@@ -113,6 +124,9 @@ Hash256 Platform::release_system_tiered(std::size_t provider, double vp,
   ProviderStats& stats = provider_stats_[provider];
   ++stats.sras_released;
   stats.insurance_escrowed += insurance;
+  telemetry::resolve(config_.telemetry)
+      .registry.counter("platform_sras_released_total", "System release announcements")
+      .inc();
 
   sras_.emplace(sra.id, SraRuntime{sra, provider, corpus_index, {}});
 
@@ -179,7 +193,7 @@ void Platform::start_detection(std::size_t detector, const Hash256& sra_id) {
         return;
       }
       pending_reveals_.push_back(
-          {detector, sra_id, detailed, tx.id(), /*revealed=*/false});
+          {detector, sra_id, detailed, tx.id(), sim_.now(), /*revealed=*/false});
     });
   }
 }
@@ -215,7 +229,7 @@ void Platform::submit_forged_report(std::size_t detector, const Hash256& sra_id,
   // The reveal is queued like any honest pending report; it will be struck
   // down by AutoVerif at admission time, costing the cheater its R† gas and
   // a reputation strike.
-  pending_reveals_.push_back({detector, sra_id, forged, tx.id(), false});
+  pending_reveals_.push_back({detector, sra_id, forged, tx.id(), sim_.now(), false});
 }
 
 void Platform::attempt_reclaim(std::size_t provider, const Hash256& sra_id) {
@@ -253,6 +267,8 @@ void Platform::schedule_next_block() {
 }
 
 void Platform::mine_block(std::size_t winner) {
+  auto& tel = telemetry::resolve(config_.telemetry);
+  const auto mine_span = tel.tracer.span("platform.mine_block");
   const Address miner = provider_keys_[winner].address();
   std::vector<chain::Transaction> txs =
       mempool_.select(chain_->best_state(), config_.max_block_txs);
@@ -327,6 +343,11 @@ void Platform::process_receipts(const chain::Block& block) {
       if (tx.protocol == chain::ProtocolKind::kInitialReport && receipt.ok()) {
         ++stats.reports_committed;
         ++total_reports_recorded_;
+        telemetry::resolve(config_.telemetry)
+            .registry
+            .counter("platform_reports_committed_total",
+                     "Initial reports (R-dagger) recorded on chain")
+            .inc();
       }
       if (tx.protocol == chain::ProtocolKind::kDetailedReport) {
         const auto detailed = DetailedReport::deserialize(tx.protocol_payload);
@@ -335,6 +356,11 @@ void Platform::process_receipts(const chain::Block& block) {
         if (receipt.ok()) {
           ++stats.reports_confirmed;
           ++total_reports_recorded_;
+          telemetry::resolve(config_.telemetry)
+              .registry
+              .counter("platform_reports_confirmed_total",
+                       "Detailed reports (R-star) accepted and paid")
+              .inc();
           reputation_.record_confirmed(sender);
           // The bounty was transferred by the contract during execution; the
           // amount depends on the finding's severity tier.
@@ -362,6 +388,14 @@ void Platform::flush_ready_reveals() {
     if (!chain_->tx_confirmed(pending.initial_tx_id, config_.confirmation_depth))
       continue;
     pending.revealed = true;
+    // R† submit → k-deep confirmation latency, the gating delay of the
+    // two-phase protocol (paper Section VI-B; k = confirmation_depth).
+    telemetry::resolve(config_.telemetry)
+        .registry
+        .histogram("platform_report_confirmation_seconds",
+                   "Sim-time from R-dagger submission to k-deep confirmation",
+                   telemetry::HistogramSpec::latency_seconds())
+        .observe(sim_.now() - pending.submitted_at);
 
     const auto sra_it = sras_.find(pending.sra_id);
     if (sra_it == sras_.end()) continue;
@@ -387,6 +421,11 @@ void Platform::flush_ready_reveals() {
       // Lost the first-reporter race (or failed AutoVerif): no reveal.
       --next_nonce_[key.address()];
       ++detector_stats_[pending.detector].reports_lost_race;
+      telemetry::resolve(config_.telemetry)
+          .registry
+          .counter("platform_reports_lost_race_total",
+                   "Reveals rejected at admission (race lost or AutoVerif failure)")
+          .inc();
     }
   }
 }

@@ -67,6 +67,13 @@ struct PlatformConfig {
   bool strict_autoverif = true;
   /// Detector-isolation policy (Section V-C's compromised-detector filter).
   ReputationConfig reputation;
+  /// Metrics/trace sink for the whole platform stack (chain, mempool, VM);
+  /// nullptr → telemetry::global(). Inject a local instance for isolated,
+  /// deterministic readings (see tools/sc_metrics_dump).
+  telemetry::Telemetry* telemetry = nullptr;
+  /// Mempool capacity bound (0 = unbounded): when full, lowest-gas-price
+  /// eviction applies.
+  std::size_t mempool_capacity = 0;
 };
 
 /// Cumulative per-provider accounting (the quantities of Figs. 4-5).
@@ -107,6 +114,9 @@ struct DetectorStats {
 class Platform {
  public:
   explicit Platform(PlatformConfig config);
+  /// Detaches the telemetry tracer's virtual clock (it reads this platform's
+  /// simulator, which dies with the platform).
+  ~Platform();
 
   /// Releases a new IoT system through provider `p` at the current sim time.
   /// The system is vulnerable with probability `vp`; insurance and bounty are
@@ -171,6 +181,7 @@ class Platform {
     Hash256 sra_id;
     DetailedReport detailed;
     Hash256 initial_tx_id;
+    double submitted_at = 0.0;  ///< Sim time the R† entered the mempool.
     bool revealed = false;
   };
   struct SraRuntime {

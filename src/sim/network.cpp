@@ -1,6 +1,19 @@
 #include "sim/network.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 namespace sc::sim {
+
+Network::Network(Simulator& sim, NetworkConfig config, telemetry::Telemetry* tel)
+    : sim_(sim), config_(config), telemetry_(tel) {
+  auto& registry = telemetry::resolve(tel).registry;
+  sent_metric_ = &registry.counter("net_messages_sent_total", "Messages submitted to the overlay");
+  delivered_metric_ =
+      &registry.counter("net_messages_delivered_total", "Messages handed to their recipient");
+  latency_metric_ = &registry.histogram(
+      "net_delivery_latency_seconds", "Per-message delivery latency in sim-seconds",
+      telemetry::HistogramSpec::latency_seconds());
+}
 
 NodeId Network::add_node(MessageHandler handler) {
   handlers_.push_back(std::move(handler));
@@ -22,13 +35,34 @@ double Network::sample_latency() {
 void Network::unicast(NodeId from, NodeId to, std::string topic, util::Bytes payload) {
   if (to >= handlers_.size()) return;
   ++sent_;
-  if (severed(from, to) || sim_.rng().bernoulli(config_.drop_rate)) {
-    ++dropped_;
+  sent_metric_->inc();
+  // Order matters for RNG-stream stability: a severed send must not consume
+  // a bernoulli draw (matches the short-circuit the check always had).
+  if (severed(from, to)) {
+    ++severed_count_;
+    telemetry::resolve(telemetry_)
+        .registry
+        .counter("net_messages_severed_total",
+                 "Messages blocked by an active partition, by topic",
+                 {{"topic", topic}})
+        .inc();
     return;
   }
+  if (sim_.rng().bernoulli(config_.drop_rate)) {
+    ++dropped_;
+    telemetry::resolve(telemetry_)
+        .registry
+        .counter("net_messages_dropped_total", "Messages lost to random drop, by topic",
+                 {{"topic", topic}})
+        .inc();
+    return;
+  }
+  const double latency = sample_latency();
   Message msg{from, std::move(topic), std::move(payload)};
-  sim_.after(sample_latency(), [this, to, msg = std::move(msg)] {
+  sim_.after(latency, [this, to, latency, msg = std::move(msg)] {
     ++delivered_;
+    delivered_metric_->inc();
+    latency_metric_->observe(latency);
     handlers_[to](msg);
   });
 }

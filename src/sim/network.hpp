@@ -4,6 +4,12 @@
 // stakeholders (Section IV-B). We model a fully-connected overlay whose links
 // have exponential latency jitter around a base delay, optional loss, and an
 // adversarial partition switch used by the attack harness.
+//
+// Accounting invariant: every send ends in exactly one of delivered, dropped
+// (random loss) or severed (partition), so
+//   messages_sent() == messages_delivered() + messages_dropped()
+//                      + messages_severed()
+// once the simulator has drained all in-flight deliveries.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,12 @@
 
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
+
+namespace sc::telemetry {
+struct Telemetry;
+class Counter;
+class Histogram;
+}
 
 namespace sc::sim {
 
@@ -35,7 +47,10 @@ struct NetworkConfig {
 
 class Network {
  public:
-  Network(Simulator& sim, NetworkConfig config = {}) : sim_(sim), config_(config) {}
+  /// `tel` is the metrics sink (nullptr → telemetry::global()): send/deliver
+  /// counters, per-topic drop counters and the delivery-latency histogram.
+  Network(Simulator& sim, NetworkConfig config = {},
+          telemetry::Telemetry* tel = nullptr);
 
   /// Registers a node; the handler runs at message-delivery time.
   NodeId add_node(MessageHandler handler);
@@ -52,7 +67,10 @@ class Network {
 
   std::uint64_t messages_sent() const { return sent_; }
   std::uint64_t messages_delivered() const { return delivered_; }
+  /// Lost to random drop_rate loss (excludes partition-severed sends).
   std::uint64_t messages_dropped() const { return dropped_; }
+  /// Blocked by an active partition.
+  std::uint64_t messages_severed() const { return severed_count_; }
 
  private:
   bool severed(NodeId a, NodeId b) const;
@@ -60,9 +78,14 @@ class Network {
 
   Simulator& sim_;
   NetworkConfig config_;
+  telemetry::Telemetry* telemetry_;
+  // Hot-path metric handles, resolved once in the constructor.
+  telemetry::Counter* sent_metric_;
+  telemetry::Counter* delivered_metric_;
+  telemetry::Histogram* latency_metric_;
   std::vector<MessageHandler> handlers_;
   std::set<NodeId> part_a_, part_b_;
-  std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0;
+  std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0, severed_count_ = 0;
 };
 
 }  // namespace sc::sim

@@ -1,0 +1,316 @@
+#include "telemetry/export.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace sc::telemetry {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+/// Prometheus label-value escaping: backslash, quote, newline.
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Renders {a="x",b="y"} with an optional extra (used for `le`); empty
+/// string when there are no labels at all.
+std::string label_block(const Labels& labels, const std::string& extra_name = {},
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_name.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  if (!extra_name.empty()) {
+    if (!first) out += ',';
+    out += extra_name;
+    out += "=\"";
+    out += escape_label_value(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// JSON string escaping for the trace exporter.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& registry) {
+  std::string out;
+  for (const Registry::FamilyView& family : registry.snapshot()) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " + std::string(kind_name(family.kind)) + "\n";
+    for (const Registry::SeriesView& series : family.series) {
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          out += family.name + label_block(series.labels) + " " +
+                 format_u64(series.counter->value()) + "\n";
+          break;
+        case MetricKind::kGauge:
+          out += family.name + label_block(series.labels) + " " +
+                 format_double(series.gauge->value()) + "\n";
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          const std::vector<std::uint64_t> counts = h.bucket_counts();
+          const std::vector<double>& bounds = h.bounds();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < bounds.size(); ++i) {
+            cumulative += counts[i];
+            out += family.name + "_bucket" +
+                   label_block(series.labels, "le", format_double(bounds[i])) + " " +
+                   format_u64(cumulative) + "\n";
+          }
+          cumulative += counts.back();
+          out += family.name + "_bucket" + label_block(series.labels, "le", "+Inf") +
+                 " " + format_u64(cumulative) + "\n";
+          out += family.name + "_sum" + label_block(series.labels) + " " +
+                 format_double(h.sum()) + "\n";
+          out += family.name + "_count" + label_block(series.labels) + " " +
+                 format_u64(h.count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_chrome_trace(const Tracer& tracer) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : tracer.events()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + json_escape(event.name) + "\",";
+    out += "\"ph\":\"";
+    out += event.phase;
+    out += "\",\"pid\":1,\"tid\":1,";
+    out += "\"ts\":" + format_double(event.wall_us);
+    if (event.phase == 'X') out += ",\"dur\":" + format_double(event.wall_dur_us);
+    out += ",\"args\":{\"virt_s\":" + format_double(event.virt_time);
+    if (event.phase == 'X')
+      out += ",\"virt_dur_s\":" + format_double(event.virt_dur);
+    out += ",\"seq\":" + format_u64(event.seq) + "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\"" +
+         format_u64(tracer.dropped()) + "\"}}";
+  return out;
+}
+
+std::string render_summary(const Registry& registry) {
+  std::string out;
+  char line[256];
+  for (const Registry::FamilyView& family : registry.snapshot()) {
+    for (const Registry::SeriesView& series : family.series) {
+      std::string name = family.name;
+      if (!series.labels.empty()) {
+        name += '{';
+        bool first = true;
+        for (const auto& [k, v] : series.labels) {
+          if (!first) name += ',';
+          first = false;
+          name += k + "=" + v;
+        }
+        name += '}';
+      }
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          std::snprintf(line, sizeof(line), "  %-58s %12" PRIu64 "\n", name.c_str(),
+                        series.counter->value());
+          break;
+        case MetricKind::kGauge:
+          std::snprintf(line, sizeof(line), "  %-58s %12.4g\n", name.c_str(),
+                        series.gauge->value());
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          std::snprintf(line, sizeof(line),
+                        "  %-58s n=%-8" PRIu64 " mean=%-10.4g p50=%-10.4g p99=%.4g\n",
+                        name.c_str(), h.count(), h.mean(), h.quantile(0.5),
+                        h.quantile(0.99));
+          break;
+        }
+      }
+      out += line;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_value(std::string_view token) {
+  if (token.empty()) return false;
+  if (token == "+Inf" || token == "-Inf" || token == "NaN") return true;
+  char* end = nullptr;
+  const std::string copy(token);
+  std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool validate_prometheus_text(std::string_view text, std::string* error) {
+  auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error)
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    return false;
+  };
+
+  // Families declared by # TYPE, with histogram names expanded to their
+  // suffix series.
+  std::map<std::string, std::string> declared;  // sample name -> kind
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // "# HELP name ..." or "# TYPE name kind"; other comments pass through.
+      if (line.starts_with("# TYPE ")) {
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos)
+          return fail(line_no, "malformed TYPE line");
+        const std::string name(rest.substr(0, sp));
+        const std::string kind(rest.substr(sp + 1));
+        if (!valid_metric_name(name))
+          return fail(line_no, "invalid metric name in TYPE: " + name);
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped")
+          return fail(line_no, "unknown metric kind: " + kind);
+        if (kind == "histogram") {
+          declared[name + "_bucket"] = kind;
+          declared[name + "_sum"] = kind;
+          declared[name + "_count"] = kind;
+        } else {
+          declared[name] = kind;
+        }
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name(line.substr(0, i));
+    if (!valid_metric_name(name))
+      return fail(line_no, "invalid metric name: " + name);
+    if (!declared.empty() && !declared.contains(name))
+      return fail(line_no, "sample for undeclared family: " + name);
+
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::size_t eq = i;
+        while (eq < line.size() && line[eq] != '=') ++eq;
+        if (eq >= line.size())
+          return fail(line_no, "label without '='");
+        const std::string label_name(line.substr(i, eq - i));
+        if (!valid_label_name(label_name))
+          return fail(line_no, "invalid label name: " + label_name);
+        if (eq + 1 >= line.size() || line[eq + 1] != '"')
+          return fail(line_no, "label value not quoted");
+        i = eq + 2;
+        bool closed = false;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size() ||
+                (line[i + 1] != '\\' && line[i + 1] != '"' && line[i + 1] != 'n'))
+              return fail(line_no, "bad escape in label value");
+            i += 2;
+            continue;
+          }
+          if (line[i] == '"') {
+            closed = true;
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        if (!closed) return fail(line_no, "unterminated label value");
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size() || line[i] != '}')
+        return fail(line_no, "unterminated label block");
+      ++i;
+    }
+
+    if (i >= line.size() || line[i] != ' ')
+      return fail(line_no, "missing sample value");
+    ++i;
+    std::size_t value_end = i;
+    while (value_end < line.size() && line[value_end] != ' ') ++value_end;
+    if (!parse_value(line.substr(i, value_end - i)))
+      return fail(line_no, "sample value is not a number");
+    // Optional timestamp: must be numeric if present.
+    if (value_end < line.size()) {
+      const std::string_view ts = line.substr(value_end + 1);
+      if (!parse_value(ts)) return fail(line_no, "trailing garbage after value");
+    }
+  }
+  return true;
+}
+
+}  // namespace sc::telemetry

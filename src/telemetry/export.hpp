@@ -1,0 +1,40 @@
+// Exporters over the telemetry registry and tracer.
+//
+//   to_prometheus(registry)    Prometheus text exposition format 0.0.4.
+//                              Deterministic: families sorted by name, series
+//                              by label set, no timestamps — two runs of the
+//                              same seeded scenario produce byte-identical
+//                              text (the sc_metrics_dump acceptance check).
+//   to_chrome_trace(tracer)    Chrome trace_event JSON for chrome://tracing /
+//                              Perfetto. Timestamps are wall microseconds
+//                              (profiling view); each event carries the
+//                              virtual-clock stamp in args.virt_s.
+//   render_summary(registry)   Compact human-readable table for examples and
+//                              CLI output.
+//   validate_prometheus_text   Syntax checker (names, labels, values, TYPE
+//                              lines) used by scripts/check.sh to gate the
+//                              dump output without external tooling.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace sc::telemetry {
+
+std::string to_prometheus(const Registry& registry);
+
+std::string to_chrome_trace(const Tracer& tracer);
+
+std::string render_summary(const Registry& registry);
+
+/// True when `text` parses as Prometheus exposition format: valid metric and
+/// label names, quoted/escaped label values, numeric sample values, known
+/// TYPE declarations, and histogram suffix series (_bucket/_sum/_count)
+/// attached to a declared histogram family. On failure, *error names the
+/// offending line.
+bool validate_prometheus_text(std::string_view text, std::string* error = nullptr);
+
+}  // namespace sc::telemetry

@@ -1,0 +1,12 @@
+#include "telemetry/telemetry.hpp"
+
+namespace sc::telemetry {
+
+Telemetry& global() {
+  // Leaked on purpose: instrumented code may run during static destruction
+  // (e.g. a thread pool winding down), so the sink must outlive everything.
+  static Telemetry* instance = new Telemetry();
+  return *instance;
+}
+
+}  // namespace sc::telemetry

@@ -1,0 +1,36 @@
+// sc::telemetry — the measurement surface of the SmartCrowd repro.
+//
+// One Telemetry object bundles a metric Registry with a dual-clock Tracer.
+// A process-wide instance exists (global()); every instrumented subsystem
+// accepts an injected Telemetry* and falls back to the global one when given
+// nullptr, so:
+//
+//   - default builds measure into the shared global sink (zero wiring), and
+//   - tools/tests that need isolated, deterministic readings (sc_metrics_dump,
+//     the determinism acceptance check) construct their own instance and pass
+//     it down the stack: Platform -> Blockchain -> executor -> VM, Cluster ->
+//     Network/Node.
+//
+// See docs/telemetry.md for the metric naming scheme, label rules, exporter
+// formats and the overhead contract.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace sc::telemetry {
+
+struct Telemetry {
+  Registry registry;
+  Tracer tracer;
+};
+
+/// The process-wide default sink. Never destroyed before exit.
+Telemetry& global();
+
+/// Injection helper: the instance itself, or the global fallback.
+inline Telemetry& resolve(Telemetry* telemetry) {
+  return telemetry ? *telemetry : global();
+}
+
+}  // namespace sc::telemetry

@@ -1,0 +1,99 @@
+#include "telemetry/tracer.hpp"
+
+#include <algorithm>
+
+namespace sc::telemetry {
+
+Tracer::Tracer(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void Tracer::set_virtual_clock(std::function<double()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  virtual_clock_ = std::move(clock);
+}
+
+double Tracer::virtual_now() const {
+  // Caller holds mu_.
+  return virtual_clock_ ? virtual_clock_() : -1.0;
+}
+
+Tracer::Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_), name_(std::move(other.name_)),
+      virt_begin_(other.virt_begin_), wall_begin_(other.wall_begin_) {
+  other.tracer_ = nullptr;
+}
+
+Tracer::Span::~Span() {
+  if (!tracer_) return;
+  const auto wall_end = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(tracer_->mu_);
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.phase = 'X';
+  event.virt_time = virt_begin_;
+  const double virt_end = tracer_->virtual_now();
+  event.virt_dur = (virt_begin_ >= 0.0 && virt_end >= virt_begin_)
+                       ? virt_end - virt_begin_
+                       : 0.0;
+  event.wall_us =
+      std::chrono::duration<double, std::micro>(wall_begin_ - tracer_->epoch_).count();
+  event.wall_dur_us =
+      std::chrono::duration<double, std::micro>(wall_end - wall_begin_).count();
+  tracer_->record(std::move(event));
+}
+
+Tracer::Span Tracer::span(std::string name) {
+  double virt_begin;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    virt_begin = virtual_now();
+  }
+  return Span(this, std::move(name), virt_begin, std::chrono::steady_clock::now());
+}
+
+void Tracer::instant(std::string name) {
+  const auto wall = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent event;
+  event.name = std::move(name);
+  event.phase = 'i';
+  event.virt_time = virtual_now();
+  event.wall_us = std::chrono::duration<double, std::micro>(wall - epoch_).count();
+  record(std::move(event));
+}
+
+void Tracer::record(TraceEvent event) {
+  // Caller holds mu_.
+  event.seq = total_;
+  ring_[total_ % ring_.size()] = std::move(event);
+  ++total_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  const std::size_t n = std::min<std::uint64_t>(total_, ring_.size());
+  out.reserve(n);
+  const std::uint64_t first = total_ - n;
+  for (std::uint64_t i = first; i < total_; ++i)
+    out.push_back(ring_[i % ring_.size()]);
+  return out;
+}
+
+std::uint64_t Tracer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_ = 0;
+}
+
+}  // namespace sc::telemetry

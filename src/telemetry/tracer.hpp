@@ -1,0 +1,90 @@
+// Dual-clock tracing: spans and instant events stamped with both wall time
+// and the discrete-event simulator's virtual time.
+//
+// The repro's interesting timelines live on the Simulator clock (block
+// intervals, report-confirmation latency), but profiling questions live on
+// the wall clock (how long does submit_block actually take?). Every event
+// therefore carries both stamps: virtual seconds from the attached clock (-1
+// when none is attached) and wall microseconds from a steady clock anchored
+// at tracer construction.
+//
+// Events land in a bounded ring buffer — a long simulation cannot grow
+// memory without bound; old events are overwritten and counted in dropped().
+// export.hpp renders the buffer as Chrome trace_event JSON for
+// chrome://tracing / Perfetto.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sc::telemetry {
+
+struct TraceEvent {
+  std::string name;
+  char phase = 'i';        ///< 'X' complete span, 'i' instant.
+  double virt_time = -1.0; ///< Virtual seconds at begin; -1 = no clock attached.
+  double virt_dur = 0.0;   ///< Virtual seconds elapsed across a span.
+  double wall_us = 0.0;    ///< Wall microseconds since tracer construction.
+  double wall_dur_us = 0.0;
+  std::uint64_t seq = 0;   ///< Monotonic per-tracer sequence number.
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Attaches the virtual clock (e.g. [&sim]{ return sim.now(); }). Pass an
+  /// empty function to detach — owners of short-lived simulators must detach
+  /// before the simulator dies.
+  void set_virtual_clock(std::function<double()> clock);
+
+  /// RAII span: records one 'X' event when it goes out of scope.
+  class Span {
+   public:
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    ~Span();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::string name, double virt_begin,
+         std::chrono::steady_clock::time_point wall_begin)
+        : tracer_(tracer), name_(std::move(name)), virt_begin_(virt_begin),
+          wall_begin_(wall_begin) {}
+
+    Tracer* tracer_;
+    std::string name_;
+    double virt_begin_;
+    std::chrono::steady_clock::time_point wall_begin_;
+  };
+
+  [[nodiscard]] Span span(std::string name);
+  void instant(std::string name);
+
+  /// Buffered events, oldest first (at most capacity()).
+  std::vector<TraceEvent> events() const;
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t total_recorded() const;
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  void record(TraceEvent event);
+  double virtual_now() const;
+
+  mutable std::mutex mu_;
+  std::function<double()> virtual_clock_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t total_ = 0;  ///< Events ever recorded; ring slot = total_ % capacity.
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace sc::telemetry

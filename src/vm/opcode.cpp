@@ -32,6 +32,92 @@ constexpr Entry kFixedOps[] = {
 
 }  // namespace
 
+OpClass op_class(std::uint8_t byte) {
+  if (is_push(byte) || is_dup(byte) || is_swap(byte)) return OpClass::kStack;
+  switch (static_cast<Op>(byte)) {
+    case Op::kStop:
+    case Op::kReturn:
+    case Op::kRevert:
+      return OpClass::kHalt;
+    case Op::kAdd:
+    case Op::kMul:
+    case Op::kSub:
+    case Op::kDiv:
+    case Op::kSDiv:
+    case Op::kMod:
+    case Op::kSMod:
+    case Op::kExp:
+    case Op::kSignExtend:
+    case Op::kLt:
+    case Op::kGt:
+    case Op::kSLt:
+    case Op::kSGt:
+    case Op::kEq:
+    case Op::kIsZero:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kNot:
+    case Op::kByte:
+    case Op::kShl:
+    case Op::kShr:
+      return OpClass::kArith;
+    case Op::kKeccak:
+      return OpClass::kCrypto;
+    case Op::kBalance:
+    case Op::kCaller:
+    case Op::kCallValue:
+    case Op::kCallDataLoad:
+    case Op::kCallDataSize:
+    case Op::kTimestamp:
+    case Op::kNumber:
+    case Op::kSelfBalance:
+    case Op::kSelfAddress:
+    case Op::kGas:
+      return OpClass::kEnv;
+    case Op::kPop:
+      return OpClass::kStack;
+    case Op::kMLoad:
+    case Op::kMStore:
+    case Op::kMStore8:
+    case Op::kCallDataCopy:
+      return OpClass::kMemory;
+    case Op::kSLoad:
+    case Op::kSStore:
+      return OpClass::kStorage;
+    case Op::kJump:
+    case Op::kJumpI:
+    case Op::kJumpDest:
+      return OpClass::kControl;
+    case Op::kLog0:
+    case Op::kLog1:
+    case Op::kLog2:
+      return OpClass::kLog;
+    case Op::kCall:
+    case Op::kTransfer:
+      return OpClass::kCall;
+    default:
+      return OpClass::kUndefined;
+  }
+}
+
+std::string_view op_class_name(OpClass cls) {
+  switch (cls) {
+    case OpClass::kArith: return "arith";
+    case OpClass::kStack: return "stack";
+    case OpClass::kMemory: return "memory";
+    case OpClass::kStorage: return "storage";
+    case OpClass::kEnv: return "env";
+    case OpClass::kControl: return "control";
+    case OpClass::kCrypto: return "crypto";
+    case OpClass::kLog: return "log";
+    case OpClass::kCall: return "call";
+    case OpClass::kHalt: return "halt";
+    case OpClass::kUndefined: return "undefined";
+  }
+  return "undefined";
+}
+
 std::optional<std::string_view> op_name(std::uint8_t byte) {
   for (const auto& e : kFixedOps)
     if (e.byte == byte) return e.name;

@@ -113,6 +113,29 @@ inline constexpr std::uint64_t kExpPerByte = 50;   // per byte of exponent
 inline constexpr std::uint64_t kCopyPerWord = 3;   // calldatacopy payload
 }  // namespace gas
 
+/// Coarse opcode families used for gas attribution in telemetry
+/// (scvm_gas_total{class=...}). Every byte maps to exactly one class;
+/// undefined bytes get their own bucket so malformed code shows up in the
+/// metrics rather than disappearing.
+enum class OpClass : std::uint8_t {
+  kArith,      ///< add/sub/mul/div/exp/compare/bitwise and friends
+  kStack,      ///< push/pop/dup/swap
+  kMemory,     ///< mload/mstore/mstore8/calldatacopy
+  kStorage,    ///< sload/sstore
+  kEnv,        ///< caller/callvalue/balance/timestamp/number/gas/...
+  kControl,    ///< jump/jumpi/jumpdest
+  kCrypto,     ///< keccak
+  kLog,        ///< log0..log2
+  kCall,       ///< call/transfer
+  kHalt,       ///< stop/return/revert
+  kUndefined,  ///< bytes with no assigned opcode
+};
+inline constexpr std::size_t kOpClassCount = 11;
+
+OpClass op_class(std::uint8_t byte);
+/// Stable lower-case label value for the class ("arith", "stack", ...).
+std::string_view op_class_name(OpClass cls);
+
 /// Mnemonic for disassembly/assembler; nullopt for undefined bytes.
 std::optional<std::string_view> op_name(std::uint8_t byte);
 /// Parses a mnemonic (e.g. "PUSH4", "SSTORE"); nullopt if unknown.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/keccak.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sc::vm {
 
@@ -23,7 +24,31 @@ class Machine {
 
   ExecResult run();
 
+  /// Publishes the locally-accumulated step/gas counters to the telemetry
+  /// sink. One registry round-trip per execution, not per instruction.
+  void flush_metrics(const ExecResult& result);
+
  private:
+  /// Attributes gas consumed by the in-flight instruction to its opcode
+  /// class. Called before starting the next instruction and on every exit
+  /// path, so attribution covers exactly the charges made so far. Gas a
+  /// sub-call burned is excluded (the sub-machine attributes it itself).
+  void settle_attribution() {
+    if (!attr_pending_) return;
+    attr_pending_ = false;
+    std::uint64_t delta = attr_gas_entry_ - gas_left_;
+    delta -= std::min(delta, attr_untracked_);
+    attr_untracked_ = 0;
+    gas_by_class_[static_cast<std::size_t>(attr_class_)] += delta;
+  }
+
+  void begin_attribution(std::uint8_t byte) {
+    settle_attribution();
+    attr_pending_ = true;
+    attr_class_ = op_class(byte);
+    attr_gas_entry_ = gas_left_;
+    ++steps_;
+  }
   void mark_jumpdests() {
     jumpdests_.assign(code_.size(), false);
     for (std::size_t i = 0; i < code_.size(); ++i) {
@@ -103,6 +128,7 @@ class Machine {
   }
 
   ExecResult fail(Outcome outcome, std::string why) {
+    settle_attribution();
     ExecResult r;
     r.outcome = outcome;
     // Failure consumes all remaining gas (EVM semantics), except REVERT.
@@ -119,7 +145,44 @@ class Machine {
   std::vector<U256> stack_;
   std::vector<std::uint8_t> memory_;
   std::vector<bool> jumpdests_;
+
+  // Local telemetry accumulators; flushed once in flush_metrics().
+  std::uint64_t steps_ = 0;
+  std::uint64_t gas_by_class_[kOpClassCount] = {};
+  bool attr_pending_ = false;
+  OpClass attr_class_ = OpClass::kUndefined;
+  std::uint64_t attr_gas_entry_ = 0;
+  std::uint64_t attr_untracked_ = 0;
 };
+
+std::string_view outcome_label(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kSuccess: return "success";
+    case Outcome::kRevert: return "revert";
+    case Outcome::kOutOfGas: return "out_of_gas";
+    case Outcome::kInvalidOp: return "invalid_op";
+    case Outcome::kTransferFailed: return "transfer_failed";
+  }
+  return "unknown";
+}
+
+void Machine::flush_metrics(const ExecResult& result) {
+  auto& tel = telemetry::resolve(ctx_.telemetry);
+  tel.registry
+      .counter("scvm_steps_total", "Instructions executed by the SCVM interpreter")
+      .add(steps_);
+  tel.registry
+      .counter("scvm_executions_total", "SCVM executions by final outcome",
+               {{"outcome", std::string(outcome_label(result.outcome))}})
+      .inc();
+  for (std::size_t i = 0; i < kOpClassCount; ++i) {
+    if (gas_by_class_[i] == 0) continue;
+    tel.registry
+        .counter("scvm_gas_total", "Gas charged by the SCVM, by opcode class",
+                 {{"class", std::string(op_class_name(static_cast<OpClass>(i)))}})
+        .add(gas_by_class_[i]);
+  }
+}
 
 ExecResult Machine::run() {
   std::size_t pc = 0;
@@ -127,6 +190,7 @@ ExecResult Machine::run() {
   // (stack underflow, bad jump, undefined byte) is kInvalidOp.
   while (pc < code_.size()) {
     const std::uint8_t byte = code_[pc];
+    begin_attribution(byte);
 
     // PUSH family.
     if (is_push(byte)) {
@@ -167,6 +231,7 @@ ExecResult Machine::run() {
     const Op op = static_cast<Op>(byte);
     switch (op) {
       case Op::kStop: {
+        settle_attribution();
         ExecResult r;
         r.gas_used = ctx_.gas_limit - gas_left_;
         r.gas_refund = refund_;
@@ -590,8 +655,12 @@ ExecResult Machine::run() {
                     static_cast<std::ptrdiff_t>(in_off.low64() + in_len.low64()));
             sub_ctx.gas_limit = sub_gas;
             sub_ctx.call_depth = ctx_.call_depth + 1;
+            sub_ctx.telemetry = ctx_.telemetry;
             const ExecResult sub = execute(host_, sub_ctx, callee_code);
             sub_used = sub.gas_used;
+            // The sub-machine attributes this gas to its own opcode classes;
+            // exclude it here so class totals sum without double counting.
+            attr_untracked_ += sub_used;
             success = sub.ok();
             if (success) refund_ += sub.gas_refund;  // refunds bubble up
             sub_return = sub.return_data;
@@ -628,6 +697,7 @@ ExecResult Machine::run() {
           return fail(Outcome::kInvalidOp, "return range");
         if (!touch_memory(off.low64(), len.low64()))
           return fail(Outcome::kOutOfGas, "return memory");
+        settle_attribution();
         ExecResult r;
         r.outcome = op == Op::kReturn ? Outcome::kSuccess : Outcome::kRevert;
         r.gas_used = ctx_.gas_limit - gas_left_;
@@ -645,6 +715,7 @@ ExecResult Machine::run() {
   }
 
   // Fell off the end of code: implicit STOP.
+  settle_attribution();
   ExecResult r;
   r.gas_used = ctx_.gas_limit - gas_left_;
   r.gas_refund = refund_;
@@ -655,7 +726,9 @@ ExecResult Machine::run() {
 
 ExecResult execute(Host& host, const Context& ctx, util::ByteSpan code) {
   Machine machine(host, ctx, code);
-  return machine.run();
+  ExecResult result = machine.run();
+  machine.flush_metrics(result);
+  return result;
 }
 
 std::uint64_t intrinsic_gas(util::ByteSpan calldata) {

@@ -17,6 +17,10 @@
 #include "util/bytes.hpp"
 #include "vm/opcode.hpp"
 
+namespace sc::telemetry {
+struct Telemetry;
+}
+
 namespace sc::vm {
 
 using crypto::Address;
@@ -66,6 +70,10 @@ struct Context {
   util::Bytes calldata;
   std::uint64_t gas_limit = 0;
   std::size_t call_depth = 0;  ///< Incremented per nested CALL.
+  /// Metrics sink; nullptr means the process-wide telemetry::global().
+  /// Propagated into nested CALL contexts. Step and per-class gas counters
+  /// accumulate locally in the interpreter and flush once per execution.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 enum class Outcome {

@@ -336,5 +336,80 @@ TEST(Mempool, SelectRespectsMaxCount) {
   EXPECT_EQ(pool.select(state, 3).size(), 3u);
 }
 
+TEST(Mempool, UnboundedByDefault) {
+  const auto alice = key(32);
+  Mempool pool;
+  EXPECT_EQ(pool.capacity(), 0u);
+  for (std::uint64_t i = 0; i < 64; ++i)
+    EXPECT_TRUE(pool.add(transfer(alice, key(33).address(), 1, i)));
+  EXPECT_EQ(pool.size(), 64u);
+  EXPECT_EQ(pool.evictions(), 0u);
+}
+
+TEST(Mempool, CapacityEvictsLowestGasPrice) {
+  Mempool pool;
+  pool.set_capacity(3);
+  const Transaction cheap = transfer(key(34), key(40).address(), 1, 0, 100);
+  const Transaction mid = transfer(key(35), key(40).address(), 1, 0, 200);
+  const Transaction rich = transfer(key(36), key(40).address(), 1, 0, 300);
+  ASSERT_TRUE(pool.add(cheap));
+  ASSERT_TRUE(pool.add(mid));
+  ASSERT_TRUE(pool.add(rich));
+
+  // A better-paying newcomer displaces exactly the cheapest resident.
+  const Transaction richer = transfer(key(37), key(40).address(), 1, 0, 400);
+  EXPECT_TRUE(pool.add(richer));
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.evictions(), 1u);
+  EXPECT_FALSE(pool.contains(cheap.id()));
+  EXPECT_TRUE(pool.contains(mid.id()));
+  EXPECT_TRUE(pool.contains(richer.id()));
+}
+
+TEST(Mempool, FullPoolRejectsEqualOrLowerGasPrice) {
+  Mempool pool;
+  pool.set_capacity(2);
+  ASSERT_TRUE(pool.add(transfer(key(41), key(40).address(), 1, 0, 100)));
+  ASSERT_TRUE(pool.add(transfer(key(42), key(40).address(), 2, 0, 200)));
+
+  // Strictly-higher is required: an equal bid must not churn the pool.
+  std::string why;
+  EXPECT_FALSE(pool.add(transfer(key(43), key(40).address(), 3, 0, 100), &why));
+  EXPECT_EQ(why, "mempool full");
+  EXPECT_FALSE(pool.add(transfer(key(44), key(40).address(), 4, 0, 50)));
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.evictions(), 0u);
+}
+
+TEST(Mempool, EvictionTieBreaksOnTxId) {
+  Mempool pool;
+  pool.set_capacity(2);
+  // Distinct bodies (tx id hashes the body), identical gas price.
+  const Transaction a = transfer(key(45), key(40).address(), 1, 0, 100);
+  const Transaction b = transfer(key(46), key(40).address(), 2, 0, 100);
+  ASSERT_TRUE(pool.add(a));
+  ASSERT_TRUE(pool.add(b));
+  const Transaction winner = transfer(key(47), key(40).address(), 3, 0, 500);
+  ASSERT_TRUE(pool.add(winner));
+  // Same gas price: the smaller tx id goes, independent of insertion or
+  // hash-map iteration order.
+  const Hash256 expected_victim = a.id() < b.id() ? a.id() : b.id();
+  const Hash256 expected_kept = a.id() < b.id() ? b.id() : a.id();
+  EXPECT_FALSE(pool.contains(expected_victim));
+  EXPECT_TRUE(pool.contains(expected_kept));
+  EXPECT_EQ(pool.evictions(), 1u);
+}
+
+TEST(Mempool, ShrunkCapacityKeepsResidents) {
+  const auto alice = key(48);
+  Mempool pool;
+  for (std::uint64_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(pool.add(transfer(alice, key(40).address(), 1, i)));
+  pool.set_capacity(2);
+  EXPECT_EQ(pool.size(), 4u);  // no retroactive dropping
+  // But new admissions now face the bound.
+  EXPECT_FALSE(pool.add(transfer(alice, key(40).address(), 1, 4)));
+}
+
 }  // namespace
 }  // namespace sc::chain

@@ -4,6 +4,7 @@
 #include "sim/mining.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/stats.hpp"
 
 namespace sc::sim {
@@ -139,6 +140,69 @@ TEST(Network, MessagePayloadIntact) {
   sim.run();
   EXPECT_EQ(got, (util::Bytes{1, 2, 3}));
   EXPECT_EQ(got_from, s);
+}
+
+TEST(Network, AccountingInvariantUnderLossAndPartition) {
+  // Every send must end in exactly one of delivered / dropped / severed once
+  // the simulator drains — the documented Network invariant, here under the
+  // worst combination: random loss AND a partition toggling mid-run.
+  Simulator sim(99);
+  NetworkConfig config;
+  config.drop_rate = 0.25;
+  Network net(sim, config);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i)
+    nodes.push_back(net.add_node([](const Message&) {}));
+
+  for (int round = 0; round < 40; ++round) {
+    if (round == 10)
+      net.partition({nodes[0], nodes[1], nodes[2]}, {nodes[3], nodes[4], nodes[5]});
+    if (round == 30) net.heal_partition();
+    for (NodeId from : nodes) {
+      net.broadcast(from, "gossip", {1, 2, 3});
+      net.unicast(from, nodes[(from + 1) % nodes.size()], "direct", {4});
+    }
+    sim.run_until(sim.now() + 5.0);
+  }
+  sim.run_until(sim.now() + 100.0);  // drain all in-flight deliveries
+
+  EXPECT_GT(net.messages_dropped(), 0u);
+  EXPECT_GT(net.messages_severed(), 0u);
+  EXPECT_GT(net.messages_delivered(), 0u);
+  EXPECT_EQ(net.messages_sent(), net.messages_delivered() + net.messages_dropped() +
+                                     net.messages_severed());
+}
+
+TEST(Network, LatencyHistogramMatchesRunningStats) {
+  // The telemetry histogram must agree with an independent util::stats
+  // accounting of the same delivery latencies: exact count and sum/mean
+  // (histograms store those exactly; only quantiles are bucketed).
+  Simulator sim(7);
+  telemetry::Telemetry tel;
+  Network net(sim, {}, &tel);
+  const NodeId a = net.add_node([](const Message&) {});
+  util::RunningStats expected;
+  double sent_at = 0.0;
+  const NodeId b = net.add_node([&](const Message&) {
+    expected.add(sim.now() - sent_at);
+  });
+
+  for (int i = 0; i < 500; ++i) {
+    sent_at = sim.now();
+    net.unicast(a, b, "ping", {0});
+    sim.run_until(sim.now() + 50.0);  // one message in flight at a time
+  }
+
+  const telemetry::Histogram& h = tel.registry.histogram(
+      "net_delivery_latency_seconds", "Per-message delivery latency in sim-seconds",
+      telemetry::HistogramSpec::latency_seconds());
+  ASSERT_EQ(h.count(), 500u);
+  ASSERT_EQ(expected.count(), 500u);
+  EXPECT_NEAR(h.sum(), expected.mean() * 500.0, 1e-9);
+  EXPECT_NEAR(h.mean(), expected.mean(), 1e-12);
+  // Bucket-approximate quantile still brackets the true latency scale.
+  EXPECT_GT(h.quantile(0.5), 0.0);
+  EXPECT_LT(h.quantile(0.99), 10.0);
 }
 
 TEST(MiningRace, MeanIntervalMatchesTarget) {

@@ -6,6 +6,8 @@
 //   scvm_lint --asm file.s      assemble SCVM assembly first, then analyze
 //
 // Add --quiet to suppress the disassembly and note-severity findings.
+// Add --json for machine-readable output: one object with the verdict, gas
+// bounds and a diagnostics array (check id, severity, byte offset, message).
 // Exit status: 0 when the code verifies (no error-severity findings),
 // 1 when it does not, 2 on usage or input problems.
 #include <cctype>
@@ -22,9 +24,57 @@
 namespace {
 
 int usage() {
-  std::cerr << "usage: scvm_lint [--quiet] (<file.hex> | - | --smartcrowd | "
+  std::cerr << "usage: scvm_lint [--quiet] [--json] (<file.hex> | - | --smartcrowd | "
                "--asm <file.s>)\n";
   return 2;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Machine-readable report: everything the human format states, as one JSON
+/// object on stdout. `source` names what was analyzed (path, "-",
+/// "smartcrowd").
+void print_json(const std::string& source, const sc::analysis::AnalysisResult& result) {
+  std::cout << "{\"source\":\"" << json_escape(source) << "\","
+            << "\"verdict\":\"" << (result.ok() ? "pass" : "fail") << "\","
+            << "\"blocks\":" << result.block_count() << ","
+            << "\"reachable_blocks\":" << result.reachable_blocks() << ","
+            << "\"has_loop\":" << (result.has_loop ? "true" : "false") << ","
+            << "\"gas_unbounded\":" << (result.gas_unbounded ? "true" : "false") << ","
+            << "\"loop_free_gas_bound\":" << result.loop_free_gas_bound << ","
+            << "\"loop_body_gas\":" << result.loop_body_gas << ","
+            << "\"diagnostics\":[";
+  bool first = true;
+  for (const sc::analysis::Diagnostic& d : result.diagnostics) {
+    if (!first) std::cout << ',';
+    first = false;
+    std::cout << "{\"check\":\"" << sc::analysis::check_name(d.check) << "\","
+              << "\"severity\":\"" << sc::analysis::severity_name(d.severity) << "\","
+              << "\"offset\":" << d.offset << ","
+              << "\"message\":\"" << json_escape(d.message) << "\"}";
+  }
+  std::cout << "]}\n";
 }
 
 std::string read_all(std::istream& in) {
@@ -48,6 +98,7 @@ std::string normalize_hex(const std::string& raw) {
 
 int main(int argc, char** argv) {
   bool quiet = false;
+  bool json = false;
   bool use_smartcrowd = false;
   bool from_asm = false;
   std::string input;
@@ -56,6 +107,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--smartcrowd") {
       use_smartcrowd = true;
     } else if (arg == "--asm") {
@@ -112,6 +165,10 @@ int main(int argc, char** argv) {
   }
 
   const sc::analysis::AnalysisResult result = sc::analysis::analyze(code);
+  if (json) {
+    print_json(use_smartcrowd ? "smartcrowd" : input, result);
+    return result.ok() ? 0 : 1;
+  }
   if (!quiet) {
     std::cout << "disassembly:\n" << sc::vm::disassemble(code) << "\n";
   }
