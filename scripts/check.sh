@@ -27,10 +27,16 @@ cmp build/metrics_a.prom build/metrics_b.prom
 echo "== telemetry_bench: overhead smoke =="
 ./build/bench/telemetry_bench --runs=small --out=build/BENCH_telemetry_smoke.json
 
+echo "== state_bench: journaled-state smoke =="
+./build/bench/state_bench --runs=small --out=build/BENCH_state_smoke.json
+
 echo "== ASan/UBSan build + tests =="
 cmake -B build-asan -S . -DSC_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "== ASan/UBSan: state differential (journaled vs copy-based oracle) =="
+ctest --test-dir build-asan --output-on-failure -R StateDifferential
 
 if [ -z "${SKIP_TSAN:-}" ]; then
   echo "== TSan: parallel PoW miner =="

@@ -7,7 +7,11 @@
 namespace sc::chain {
 
 Blockchain::Blockchain(const GenesisConfig& genesis, telemetry::Telemetry* tel)
-    : telemetry_(tel), dynamic_difficulty_(genesis.dynamic_difficulty) {
+    : telemetry_(tel),
+      state_cfg_(genesis.state_store),
+      dynamic_difficulty_(genesis.dynamic_difficulty) {
+  if (state_cfg_.flatten_interval == 0) state_cfg_.flatten_interval = 1;
+
   Block genesis_block;
   genesis_block.header.height = 0;
   genesis_block.header.timestamp = genesis.timestamp;
@@ -17,14 +21,67 @@ Blockchain::Blockchain(const GenesisConfig& genesis, telemetry::Telemetry* tel)
   Entry entry;
   entry.block = genesis_block;
   entry.cumulative_difficulty = 0;
-  for (const auto& [addr, amount] : genesis.allocations)
-    entry.post_state.add_balance(addr, amount);
+  {
+    JournaledState journal(tip_state_);
+    for (const auto& [addr, amount] : genesis.allocations)
+      journal.add_balance(addr, amount);
+    entry.delta = journal.collect_delta();
+    journal.commit(0);
+  }
   entry.arrival_order = arrival_counter_++;
 
   genesis_id_ = genesis_block.id();
   best_head_ = genesis_id_;
+  tip_at_ = genesis_id_;
+  flatten_into(entry);  // Genesis is always a materialization anchor.
   entries_.emplace(genesis_id_, std::move(entry));
   reindex_canonical();
+}
+
+void Blockchain::flatten_into(Entry& entry) {
+  entry.snapshot = std::make_unique<WorldState>(tip_state_);
+  snapshot_bytes_ += entry.snapshot->approx_bytes();
+  auto& tel = telemetry::resolve(telemetry_);
+  tel.registry
+      .counter("chain_delta_flattens_total",
+               "Full state snapshots taken at flatten-interval heights")
+      .inc();
+  tel.registry
+      .gauge("state_snapshot_bytes",
+             "Approximate retained bytes of all full state snapshots")
+      .set(static_cast<double>(snapshot_bytes_));
+}
+
+void Blockchain::move_tip_to(const Hash256& target) {
+  if (tip_at_ == target) return;
+  // Collect the deltas to unapply (tip side) and apply (target side) up to
+  // the two branches' common ancestor.
+  std::vector<const StateDelta*> undo, redo;
+  Hash256 a = tip_at_;
+  Hash256 b = target;
+  const Entry* ea = &entries_.at(a);
+  const Entry* eb = &entries_.at(b);
+  while (ea->block.header.height > eb->block.header.height) {
+    undo.push_back(&ea->delta);
+    a = ea->block.header.prev_id;
+    ea = &entries_.at(a);
+  }
+  while (eb->block.header.height > ea->block.header.height) {
+    redo.push_back(&eb->delta);
+    b = eb->block.header.prev_id;
+    eb = &entries_.at(b);
+  }
+  while (a != b) {
+    undo.push_back(&ea->delta);
+    a = ea->block.header.prev_id;
+    ea = &entries_.at(a);
+    redo.push_back(&eb->delta);
+    b = eb->block.header.prev_id;
+    eb = &entries_.at(b);
+  }
+  for (const StateDelta* delta : undo) delta->unapply(tip_state_);
+  for (auto it = redo.rbegin(); it != redo.rend(); ++it) (*it)->apply(tip_state_);
+  tip_at_ = target;
 }
 
 bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_pow) {
@@ -63,20 +120,29 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
     if (!validate_transaction(tx)) return fail("invalid transaction in body");
   }
 
-  // Execute on a copy of the parent's post-state.
+  // Execute journaled on the materialized tip, walked to the parent first
+  // (a no-op when the block extends the current head). Only the block's net
+  // diff is retained.
   Entry entry;
   entry.block = block;
-  entry.post_state = parent.post_state;
   entry.cumulative_difficulty =
       parent.cumulative_difficulty + std::max<std::uint64_t>(1, block.header.difficulty);
   entry.arrival_order = arrival_counter_++;
 
-  BlockEnv env;
-  env.number = block.header.height;
-  env.timestamp = block.header.timestamp;
-  env.miner = block.header.miner;
-  entry.receipts = apply_block_body(entry.post_state, env, block.transactions,
-                                    kBlockReward, telemetry_);
+  move_tip_to(block.header.prev_id);
+  {
+    BlockEnv env;
+    env.number = block.header.height;
+    env.timestamp = block.header.timestamp;
+    env.miner = block.header.miner;
+    JournaledState journal(tip_state_);
+    entry.receipts = apply_block_body(journal, env, block.transactions,
+                                      kBlockReward, telemetry_);
+    entry.delta = journal.collect_delta();
+    journal.commit(0);
+  }
+  tip_at_ = id;  // Tip now equals the new block's post-state.
+  if (block.header.height % state_cfg_.flatten_interval == 0) flatten_into(entry);
 
   const Entry& current_best = entries_.at(best_head_);
   const bool better =
@@ -103,7 +169,13 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
             .add(depth);
       }
     }
+  } else {
+    // The block lost fork choice: walk the tip back to the canonical head.
+    move_tip_to(best_head_);
   }
+  tel.registry
+      .gauge("state_accounts", "Accounts in the canonical-head state")
+      .set(static_cast<double>(tip_state_.account_count()));
   return true;
 }
 
@@ -129,12 +201,41 @@ std::uint64_t Blockchain::best_height() const {
 }
 
 const WorldState& Blockchain::best_state() const {
-  return entries_.at(best_head_).post_state;
+  // Invariant: between submit_block calls the tip sits at the best head.
+  return tip_state_;
 }
 
 const WorldState* Blockchain::state_of(const Hash256& block_id) const {
   const auto it = entries_.find(block_id);
-  return it == entries_.end() ? nullptr : &it->second.post_state;
+  if (it == entries_.end()) return nullptr;
+  if (it->second.snapshot) return it->second.snapshot.get();
+  if (const auto cached = state_cache_.find(block_id); cached != state_cache_.end())
+    return &cached->second;
+
+  // Materialize: copy the nearest ancestor snapshot, replay deltas forward.
+  std::vector<const StateDelta*> path;
+  const Entry* entry = &it->second;
+  while (!entry->snapshot) {
+    path.push_back(&entry->delta);
+    entry = &entries_.at(entry->block.header.prev_id);
+  }
+  WorldState state = *entry->snapshot;
+  for (auto delta = path.rbegin(); delta != path.rend(); ++delta)
+    (*delta)->apply(state);
+
+  if (state_cfg_.max_cached_states > 0 &&
+      state_cache_.size() >= state_cfg_.max_cached_states) {
+    state_cache_.erase(state_cache_order_.front());
+    state_cache_order_.erase(state_cache_order_.begin());
+  }
+  const auto [inserted, fresh] = state_cache_.emplace(block_id, std::move(state));
+  if (fresh) state_cache_order_.push_back(block_id);
+  return &inserted->second;
+}
+
+void Blockchain::prune_state_cache() const {
+  state_cache_.clear();
+  state_cache_order_.clear();
 }
 
 const Block* Blockchain::block(const Hash256& id) const {
@@ -150,6 +251,11 @@ const Block* Blockchain::block_at(std::uint64_t height) const {
 const std::vector<Receipt>* Blockchain::receipts(const Hash256& block_id) const {
   const auto it = entries_.find(block_id);
   return it == entries_.end() ? nullptr : &it->second.receipts;
+}
+
+const StateDelta* Blockchain::delta_of(const Hash256& block_id) const {
+  const auto it = entries_.find(block_id);
+  return it == entries_.end() ? nullptr : &it->second.delta;
 }
 
 bool Blockchain::is_confirmed(const Hash256& block_id, std::uint64_t depth) const {

@@ -8,8 +8,18 @@
 // kConfirmationDepth descendants extend it, after which its records — SRAs
 // and detection reports — are treated as authoritative by consumers and the
 // incentive layer.
+//
+// State storage is diff-based: each block keeps only the `StateDelta` its
+// transactions introduced (O(diff) memory), with a full `WorldState`
+// snapshot every `StateStoreConfig::flatten_interval` blocks as a
+// materialization anchor. The canonical-tip state is one mutable
+// `WorldState` that submit_block walks across the block tree by
+// unapplying/applying deltas — fork switches and reorgs cost O(changed
+// entries along the fork), not O(accounts). Historic states
+// (`state_of`) are rebuilt from the nearest snapshot on demand and cached.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -18,8 +28,20 @@
 #include "chain/block.hpp"
 #include "chain/executor.hpp"
 #include "chain/state.hpp"
+#include "chain/state_journal.hpp"
 
 namespace sc::chain {
+
+/// Knobs for the diff-based state store.
+struct StateStoreConfig {
+  /// A full post-state snapshot is kept every `flatten_interval` blocks
+  /// (heights divisible by it; genesis is always anchored). Smaller values
+  /// trade memory for faster historic materialization.
+  std::uint64_t flatten_interval = 32;
+  /// Pruning knob for the historic-state cache filled by `state_of`: oldest
+  /// materializations are dropped beyond this many entries (0 = unbounded).
+  std::size_t max_cached_states = 8;
+};
 
 /// Genesis configuration: initial balances (stakeholder endowments).
 struct GenesisConfig {
@@ -30,6 +52,8 @@ struct GenesisConfig {
   /// retarget of its parent (chain/difficulty.hpp) — consensus-enforced
   /// difficulty control instead of the paper's fixed testbed value.
   bool dynamic_difficulty = false;
+  /// Diff/snapshot trade-off of the state store.
+  StateStoreConfig state_store;
 };
 
 /// Where a transaction landed.
@@ -57,15 +81,22 @@ class Blockchain {
   const Hash256& genesis_id() const { return genesis_id_; }
   const Hash256& best_head() const { return best_head_; }
   std::uint64_t best_height() const;
-  /// Post-state of the best head.
+  /// Post-state of the best head. The reference stays valid for the chain's
+  /// lifetime but its *contents* advance with the canonical head.
   const WorldState& best_state() const;
-  /// Post-state of an arbitrary stored block (nullptr if unknown).
+  /// Post-state of an arbitrary stored block (nullptr if unknown). Blocks
+  /// without a retained snapshot are materialized from the nearest ancestor
+  /// snapshot and cached; pointers into the cache stay valid until
+  /// `max_cached_states` forces eviction of that entry.
   const WorldState* state_of(const Hash256& block_id) const;
 
   const Block* block(const Hash256& id) const;
   /// Block at `height` on the canonical chain (nullptr if beyond tip).
   const Block* block_at(std::uint64_t height) const;
   const std::vector<Receipt>* receipts(const Hash256& block_id) const;
+
+  /// Per-block state diff (always present; empty for no-op blocks).
+  const StateDelta* delta_of(const Hash256& block_id) const;
 
   /// True if the block sits on the canonical chain with at least `depth`
   /// blocks on top (default: protocol confirmation depth).
@@ -94,6 +125,10 @@ class Blockchain {
 
   std::size_t block_count() const { return entries_.size(); }
 
+  /// Drops every cached historic materialization (the snapshots kept at
+  /// flatten heights stay). Explicit form of the max_cached_states knob.
+  void prune_state_cache() const;
+
   /// All canonical transactions with the given protocol kind, oldest first —
   /// the consumer query surface ("look up the blockchain", Section VI-A).
   std::vector<std::pair<TxLocation, const Transaction*>> protocol_records(
@@ -103,7 +138,8 @@ class Blockchain {
   struct Entry {
     Block block;
     std::uint64_t cumulative_difficulty = 0;
-    WorldState post_state;
+    StateDelta delta;                      ///< This block's diff over its parent.
+    std::unique_ptr<WorldState> snapshot;  ///< Full post-state at flatten heights.
     std::vector<Receipt> receipts;
     std::uint64_t arrival_order = 0;  ///< Tie-break: first seen wins.
   };
@@ -112,8 +148,16 @@ class Blockchain {
   /// Blocks abandoned when the head moved from `old_head` to a block that
   /// does not extend it (0 for plain extensions).
   std::uint64_t reorg_depth(const Hash256& old_head) const;
+  /// Walks tip_state_ from tip_at_ to `target` (both must be stored) by
+  /// unapplying deltas up to the common ancestor and applying down the other
+  /// branch. O(changed entries along the two branches).
+  void move_tip_to(const Hash256& target);
+  /// Stores a full snapshot for `entry` (assumed == tip_state_) and updates
+  /// the flatten telemetry.
+  void flatten_into(Entry& entry);
 
   telemetry::Telemetry* telemetry_ = nullptr;
+  StateStoreConfig state_cfg_;
   std::unordered_map<Hash256, Entry> entries_;
   bool dynamic_difficulty_ = false;
   Hash256 genesis_id_;
@@ -122,6 +166,15 @@ class Blockchain {
   /// Canonical chain indices, rebuilt on head change.
   std::vector<Hash256> canonical_;                       ///< height -> block id
   std::unordered_map<Hash256, TxLocation> tx_index_;     ///< canonical txs
+
+  /// The one materialized state, walked across the tree via deltas.
+  WorldState tip_state_;
+  Hash256 tip_at_;  ///< Block whose post-state tip_state_ currently equals.
+  std::uint64_t snapshot_bytes_ = 0;  ///< Running approx bytes of all snapshots.
+  /// Historic materializations built by state_of (value pointers are stable
+  /// under insertion; eviction is FIFO via state_cache_order_).
+  mutable std::unordered_map<Hash256, WorldState> state_cache_;
+  mutable std::vector<Hash256> state_cache_order_;
 };
 
 }  // namespace sc::chain

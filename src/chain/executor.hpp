@@ -1,9 +1,16 @@
 // Transaction execution: validation, gas accounting, VM dispatch, receipts.
 //
-// The executor is a pure function over (state, tx): it mutates a WorldState
-// and returns a receipt. Failed executions (revert/OOG/invalid) roll the
-// state back to the pre-VM checkpoint but still charge gas — this is what
-// makes report submission costly enough to deter spam (Eq. 10's cost c).
+// The executor is a pure function over (state, tx): it mutates the state and
+// returns a receipt. Failed executions (revert/OOG/invalid) roll the state
+// back to the pre-VM checkpoint but still charge gas — this is what makes
+// report submission costly enough to deter spam (Eq. 10's cost c).
+//
+// Rollback is journaled (state_journal.hpp): the per-tx checkpoint and every
+// VM sub-call snapshot are O(changes) journal marks, never whole-state
+// copies. The primary entry points take a JournaledState so a block's worth
+// of transactions shares one journal (the blockchain folds it into the
+// block's StateDelta); the WorldState overloads wrap a local journal for
+// callers that apply standalone transactions.
 #pragma once
 
 #include <string>
@@ -11,6 +18,7 @@
 #include <vector>
 
 #include "chain/state.hpp"
+#include "chain/state_journal.hpp"
 #include "chain/transaction.hpp"
 #include "vm/vm.hpp"
 
@@ -56,18 +64,32 @@ struct BlockEnv {
   Address miner;
 };
 
-/// Applies one transaction. On any failure after the nonce/balance gate, the
-/// nonce still advances and gas is charged (Ethereum semantics); on
-/// structural failure (kInvalid) the state is untouched.
+/// Applies one transaction through the journal. On any failure after the
+/// nonce/balance gate, the nonce still advances and gas is charged (Ethereum
+/// semantics); on structural failure (kInvalid) the state is untouched.
+/// Journal entries recorded by the call survive in `state` for the caller to
+/// collect/commit/revert.
 ///
 /// `tel` is the metrics sink (nullptr → telemetry::global()); each call
-/// records the receipt status and gas-used histogram and forwards the sink to
-/// the VM for step/gas-class attribution.
+/// records the receipt status, the gas-used histogram and the
+/// state_journal_depth gauge, and forwards the sink to the VM for
+/// step/gas-class attribution.
+Receipt apply_transaction(JournaledState& state, const BlockEnv& env,
+                          const Transaction& tx,
+                          telemetry::Telemetry* tel = nullptr);
+
+/// Convenience overload over a bare WorldState: wraps a local journal and
+/// commits it on return.
 Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transaction& tx,
                           telemetry::Telemetry* tel = nullptr);
 
 /// Applies a whole block body: all transactions in order, then credits the
 /// miner with the block reward plus collected fees. Returns receipts.
+std::vector<Receipt> apply_block_body(JournaledState& state, const BlockEnv& env,
+                                      const std::vector<Transaction>& txs,
+                                      Amount block_reward,
+                                      telemetry::Telemetry* tel = nullptr);
+
 std::vector<Receipt> apply_block_body(WorldState& state, const BlockEnv& env,
                                       const std::vector<Transaction>& txs,
                                       Amount block_reward,

@@ -1,19 +1,16 @@
-#include "chain/executor.hpp"
+#include "chain/legacy_executor.hpp"
 
 #include "analysis/verifier.hpp"
-#include "telemetry/telemetry.hpp"
 #include "vm/opcode.hpp"
 
-namespace sc::chain {
+namespace sc::chain::legacy {
 
 namespace {
 
-/// vm::Host implementation over a JournaledState + block environment. A VM
-/// snapshot is a journal mark plus the log count — pushing one is O(1), and
-/// reverting undoes exactly the sub-call's writes.
-class StateHost final : public vm::Host {
+/// The pre-journal vm::Host: snapshot() deep-copies the entire WorldState.
+class CopyStateHost final : public vm::Host {
  public:
-  StateHost(JournaledState& state, const BlockEnv& env, std::vector<vm::LogEntry>& logs)
+  CopyStateHost(WorldState& state, const BlockEnv& env, std::vector<vm::LogEntry>& logs)
       : state_(state), env_(env), logs_(logs) {}
 
   crypto::U256 get_storage(const Address& contract, const crypto::U256& key) override {
@@ -36,31 +33,26 @@ class StateHost final : public vm::Host {
     return util::Bytes(code.begin(), code.end());
   }
   std::uint64_t snapshot() override {
-    snapshots_.push_back({state_.mark(), logs_.size()});
-    if (snapshots_.size() > depth_high_water_) depth_high_water_ = snapshots_.size();
+    snapshots_.push_back({state_, logs_.size()});
     return snapshots_.size() - 1;
   }
   void revert_to(std::uint64_t id) override {
     if (id >= snapshots_.size()) return;
-    state_.revert_to(snapshots_[id].mark);
+    state_ = snapshots_[id].state;
     logs_.resize(snapshots_[id].log_count);
     snapshots_.resize(id);
   }
 
-  /// High-water count of concurrently-open VM snapshots.
-  std::size_t depth_high_water() const { return depth_high_water_; }
-
  private:
   struct Snapshot {
-    std::size_t mark;       ///< Journal length at snapshot time.
+    WorldState state;
     std::size_t log_count;
   };
 
-  JournaledState& state_;
+  WorldState& state_;
   const BlockEnv& env_;
   std::vector<vm::LogEntry>& logs_;
   std::vector<Snapshot> snapshots_;
-  std::size_t depth_high_water_ = 0;
 };
 
 TxStatus status_from_outcome(vm::Outcome outcome) {
@@ -72,77 +64,10 @@ TxStatus status_from_outcome(vm::Outcome outcome) {
   }
 }
 
-/// The untracked body of apply_transaction; the public wrapper records the
-/// receipt into the metrics registry on every exit path. `journal_depth` gets
-/// the high-water nested checkpoint depth (tx mark + VM snapshots).
-Receipt apply_transaction_impl(JournaledState& state, const BlockEnv& env,
-                               const Transaction& tx, telemetry::Telemetry* tel,
-                               std::size_t& journal_depth);
-
 }  // namespace
 
-std::string_view to_string(TxStatus status) {
-  switch (status) {
-    case TxStatus::kSuccess: return "success";
-    case TxStatus::kReverted: return "reverted";
-    case TxStatus::kOutOfGas: return "out_of_gas";
-    case TxStatus::kInvalid: return "invalid";
-    case TxStatus::kInvalidCode: return "invalid_code";
-  }
-  return "unknown";
-}
-
-bool validate_transaction(const Transaction& tx, std::string* why) {
-  auto fail = [&](const char* msg) {
-    if (why) *why = msg;
-    return false;
-  };
-  if (!tx.verify_signature()) return fail("bad signature");
-  if (tx.gas_limit == 0) return fail("zero gas limit");
-  if (tx.gas_price == 0) return fail("zero gas price");
-  if (tx.kind == TxKind::kDeploy && tx.data.empty()) return fail("empty deploy code");
-  // Guard fee arithmetic against Amount overflow.
-  const Amount fee_cap = tx.gas_limit * tx.gas_price;
-  if (tx.gas_limit != 0 && fee_cap / tx.gas_limit != tx.gas_price)
-    return fail("fee overflow");
-  if (tx.value > tx.value + fee_cap) return fail("cost overflow");
-  return true;
-}
-
-Receipt apply_transaction(JournaledState& state, const BlockEnv& env,
+Receipt apply_transaction(WorldState& state, const BlockEnv& env,
                           const Transaction& tx, telemetry::Telemetry* tel) {
-  std::size_t journal_depth = 0;
-  Receipt receipt = apply_transaction_impl(state, env, tx, tel, journal_depth);
-  auto& registry = telemetry::resolve(tel).registry;
-  registry
-      .counter("chain_tx_total", "Transactions applied, by receipt status",
-               {{"status", std::string(to_string(receipt.status))}})
-      .inc();
-  registry
-      .histogram("chain_tx_gas_used", "Gas consumed per applied transaction",
-                 telemetry::HistogramSpec::gas())
-      .observe(static_cast<double>(receipt.gas_used));
-  registry
-      .gauge("state_journal_depth",
-             "High-water nested state checkpoint depth (tx mark + VM sub-call "
-             "snapshots) of the last applied transaction")
-      .set(static_cast<double>(journal_depth));
-  return receipt;
-}
-
-Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transaction& tx,
-                          telemetry::Telemetry* tel) {
-  JournaledState journal(state);
-  Receipt receipt = apply_transaction(journal, env, tx, tel);
-  journal.commit(0);
-  return receipt;
-}
-
-namespace {
-
-Receipt apply_transaction_impl(JournaledState& state, const BlockEnv& env,
-                               const Transaction& tx, telemetry::Telemetry* tel,
-                               std::size_t& journal_depth) {
   Receipt receipt;
   receipt.tx_id = tx.id();
 
@@ -184,8 +109,6 @@ Receipt apply_transaction_impl(JournaledState& state, const BlockEnv& env,
     receipt.gas_used = gas_used;
     receipt.fee_paid = gas_used * tx.gas_price;
     receipt.error = std::move(error);
-    // Refund unspent gas. The fee itself is credited by apply_block_body so
-    // a lone apply_transaction in tests conserves value minus the fee sink.
     state.add_balance(sender, (tx.gas_limit - gas_used) * tx.gas_price);
     return receipt;
   };
@@ -202,11 +125,6 @@ Receipt apply_transaction_impl(JournaledState& state, const BlockEnv& env,
       if (state.find(addr) != nullptr && state.find(addr)->is_contract())
         return finish(TxStatus::kReverted, "address collision");
 
-      // Static verification gate: code that provably faults (undefined
-      // opcodes, jumps to bad static destinations, guaranteed stack
-      // under/overflow, dead trailing bytes) never lands on-chain and never
-      // reaches the VM. The sender still pays intrinsic gas for the attempt,
-      // mirroring the failed-deploy path below.
       std::string verify_why;
       if (!analysis::verify_code(tx.data, &verify_why))
         return finish(TxStatus::kInvalidCode, "static verification: " + verify_why);
@@ -219,15 +137,13 @@ Receipt apply_transaction_impl(JournaledState& state, const BlockEnv& env,
       gas_used += deposit;
 
       // Install code + endowment, then run the constructor calldata against
-      // the fresh contract. Roll everything back to the mark if the
-      // constructor fails: the gas purchase and nonce bump sit *before* the
-      // mark, so a failed deploy stays charged but state-neutral.
-      const std::size_t checkpoint = state.mark();
+      // the fresh contract. Roll everything back if the constructor fails.
+      const WorldState checkpoint = state;
       state.set_code(addr, tx.data);
       state.transfer(sender, addr, tx.value);
 
       if (!tx.ctor_calldata.empty()) {
-        StateHost host(state, env, receipt.logs);
+        CopyStateHost host(state, env, receipt.logs);
         vm::Context ctx;
         ctx.contract = addr;
         ctx.caller = sender;
@@ -235,11 +151,16 @@ Receipt apply_transaction_impl(JournaledState& state, const BlockEnv& env,
         ctx.calldata = tx.ctor_calldata;
         ctx.gas_limit = tx.gas_limit - gas_used;
         ctx.telemetry = tel;
-        const vm::ExecResult run = vm::execute(host, ctx, state.code(addr));
-        journal_depth = 1 + host.depth_high_water();
+        // Lifetime-only deviation from the original: copy the code so a
+        // sub-call revert (which replaces the whole state mid-run) cannot
+        // invalidate the span the interpreter is reading.
+        const util::Bytes ctor_code(tx.data.begin(), tx.data.end());
+        const vm::ExecResult run = vm::execute(host, ctx, ctor_code);
         gas_used += run.gas_used;
         if (!run.ok()) {
-          state.revert_to(checkpoint);
+          // The checkpoint already reflects the gas purchase and nonce bump,
+          // so restoring it keeps the failed deploy charged but state-neutral.
+          state = checkpoint;
           receipt.logs.clear();
           return finish(status_from_outcome(run.outcome), run.error);
         }
@@ -252,7 +173,7 @@ Receipt apply_transaction_impl(JournaledState& state, const BlockEnv& env,
     }
 
     case TxKind::kCall: {
-      const std::size_t checkpoint = state.mark();
+      const WorldState checkpoint = state;
       if (!state.transfer(sender, tx.to, tx.value))
         return finish(TxStatus::kInvalid, "value transfer underflow");
 
@@ -262,7 +183,7 @@ Receipt apply_transaction_impl(JournaledState& state, const BlockEnv& env,
         return finish(TxStatus::kSuccess, {});
       }
 
-      StateHost host(state, env, receipt.logs);
+      CopyStateHost host(state, env, receipt.logs);
       vm::Context ctx;
       ctx.contract = tx.to;
       ctx.caller = sender;
@@ -270,15 +191,13 @@ Receipt apply_transaction_impl(JournaledState& state, const BlockEnv& env,
       ctx.calldata = tx.data;
       ctx.gas_limit = tx.gas_limit - gas_used;
       ctx.telemetry = tel;
-      // Copy the code: a revert inside the VM could otherwise move the bytes
-      // the interpreter is reading.
+      // Copy the code: the rollback below may otherwise invalidate the span.
       const util::Bytes code_copy(code.begin(), code.end());
       const vm::ExecResult run = vm::execute(host, ctx, code_copy);
-      journal_depth = 1 + host.depth_high_water();
       gas_used += run.gas_used;
       if (!run.ok()) {
-        // The mark sits after the gas purchase and nonce bump, so those stay.
-        state.revert_to(checkpoint);
+        // Checkpoint already includes the gas purchase and nonce bump.
+        state = checkpoint;
         receipt.logs.clear();
         return finish(status_from_outcome(run.outcome), run.error);
       }
@@ -291,9 +210,7 @@ Receipt apply_transaction_impl(JournaledState& state, const BlockEnv& env,
   return finish(TxStatus::kInvalid, "unknown kind");
 }
 
-}  // namespace
-
-std::vector<Receipt> apply_block_body(JournaledState& state, const BlockEnv& env,
+std::vector<Receipt> apply_block_body(WorldState& state, const BlockEnv& env,
                                       const std::vector<Transaction>& txs,
                                       Amount block_reward,
                                       telemetry::Telemetry* tel) {
@@ -301,23 +218,11 @@ std::vector<Receipt> apply_block_body(JournaledState& state, const BlockEnv& env
   receipts.reserve(txs.size());
   Amount fees = 0;
   for (const Transaction& tx : txs) {
-    receipts.push_back(apply_transaction(state, env, tx, tel));
+    receipts.push_back(legacy::apply_transaction(state, env, tx, tel));
     fees += receipts.back().fee_paid;
   }
-  // Miner income: new issuance χ·ν plus the transaction fees ψ·ω (Eq. 8).
   state.add_balance(env.miner, block_reward + fees);
   return receipts;
 }
 
-std::vector<Receipt> apply_block_body(WorldState& state, const BlockEnv& env,
-                                      const std::vector<Transaction>& txs,
-                                      Amount block_reward,
-                                      telemetry::Telemetry* tel) {
-  JournaledState journal(state);
-  std::vector<Receipt> receipts =
-      apply_block_body(journal, env, txs, block_reward, tel);
-  journal.commit(0);
-  return receipts;
-}
-
-}  // namespace sc::chain
+}  // namespace sc::chain::legacy

@@ -1,0 +1,37 @@
+// Frozen copy-based execution path — the differential baseline.
+//
+// This is the executor exactly as it was before the journaled state layer:
+// the VM host deep-copies the whole WorldState per snapshot() and the
+// deploy/call paths keep a full-state checkpoint per transaction. It is kept
+// (unused by production code) for two purposes:
+//
+//   1. the differential state test replays randomized workloads through both
+//      paths and requires byte-identical receipts and states, and
+//   2. bench/state_bench measures the journaled speedup against it.
+//
+// Do not "improve" this file; its value is being a faithful oracle of the
+// old semantics.
+#pragma once
+
+#include <vector>
+
+#include "chain/executor.hpp"
+#include "chain/state.hpp"
+#include "chain/transaction.hpp"
+
+namespace sc::chain::legacy {
+
+/// Copy-based apply_transaction: identical receipts/state transitions to
+/// chain::apply_transaction, O(accounts) rollback cost. Does not record
+/// chain_tx_total/gas metrics (the production path owns those series); `tel`
+/// is still forwarded to the VM.
+Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transaction& tx,
+                          telemetry::Telemetry* tel = nullptr);
+
+/// Copy-based block-body application (per-tx copies + miner credit).
+std::vector<Receipt> apply_block_body(WorldState& state, const BlockEnv& env,
+                                      const std::vector<Transaction>& txs,
+                                      Amount block_reward,
+                                      telemetry::Telemetry* tel = nullptr);
+
+}  // namespace sc::chain::legacy

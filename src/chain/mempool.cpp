@@ -62,7 +62,7 @@ bool Mempool::add(const Transaction& tx, std::string* why) {
   return true;
 }
 
-std::vector<Transaction> Mempool::select(const WorldState& state,
+std::vector<Transaction> Mempool::select(const StateView& state,
                                          std::size_t max_count) const {
   // Group by sender, order each group by nonce, then greedily pick the
   // highest-gas-price executable transaction across senders.
@@ -107,7 +107,7 @@ void Mempool::remove(const std::vector<Transaction>& txs) {
   update_depth_gauge();
 }
 
-void Mempool::prune_stale(const WorldState& state) {
+void Mempool::prune_stale(const StateView& state) {
   std::erase_if(pool_, [&](const auto& entry) {
     return entry.second.nonce < state.nonce(entry.second.sender());
   });

@@ -56,12 +56,12 @@ class Mempool {
 
   /// Picks up to `max_count` transactions executable against `state`:
   /// fee-price descending, nonces contiguous per sender, total cost covered.
-  std::vector<Transaction> select(const WorldState& state, std::size_t max_count) const;
+  std::vector<Transaction> select(const StateView& state, std::size_t max_count) const;
 
   /// Drops the given transactions (after block inclusion).
   void remove(const std::vector<Transaction>& txs);
   /// Drops transactions whose nonce is already consumed in `state`.
-  void prune_stale(const WorldState& state);
+  void prune_stale(const StateView& state);
 
  private:
   bool reject(const char* reason, std::string* why, std::string detail = {});

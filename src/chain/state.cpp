@@ -9,16 +9,6 @@ const Account* WorldState::find(const Address& addr) const {
 
 Account& WorldState::touch(const Address& addr) { return accounts_[addr]; }
 
-Amount WorldState::balance(const Address& addr) const {
-  const Account* acct = find(addr);
-  return acct ? acct->balance : 0;
-}
-
-std::uint64_t WorldState::nonce(const Address& addr) const {
-  const Account* acct = find(addr);
-  return acct ? acct->nonce : 0;
-}
-
 void WorldState::add_balance(const Address& addr, Amount amount) {
   touch(addr).balance += amount;
 }
@@ -36,14 +26,6 @@ bool WorldState::transfer(const Address& from, const Address& to, Amount amount)
   return true;
 }
 
-crypto::U256 WorldState::get_storage(const Address& contract,
-                                     const crypto::U256& key) const {
-  const Account* acct = find(contract);
-  if (!acct) return {};
-  const auto it = acct->storage.find(key);
-  return it == acct->storage.end() ? crypto::U256{} : it->second;
-}
-
 void WorldState::set_storage(const Address& contract, const crypto::U256& key,
                              const crypto::U256& value) {
   Account& acct = touch(contract);
@@ -54,14 +36,23 @@ void WorldState::set_storage(const Address& contract, const crypto::U256& key,
   }
 }
 
-util::ByteSpan WorldState::code(const Address& addr) const {
-  const Account* acct = find(addr);
-  return acct ? util::ByteSpan{acct->code} : util::ByteSpan{};
-}
-
 Amount WorldState::total_supply() const {
   Amount total = 0;
   for (const auto& [addr, acct] : accounts_) total += acct.balance;
+  return total;
+}
+
+std::size_t WorldState::approx_bytes() const {
+  // Per-account fixed cost (key + Account header + hash-map node overhead)
+  // plus dynamic payloads: code bytes and 2x32-byte storage slots with tree
+  // node overhead. An estimate, not an allocator audit — it only needs to be
+  // deterministic and proportional.
+  constexpr std::size_t kPerAccount = sizeof(Address) + sizeof(Account) + 32;
+  constexpr std::size_t kPerSlot = 2 * 32 + 48;
+  std::size_t total = sizeof(WorldState);
+  for (const auto& [addr, acct] : accounts_) {
+    total += kPerAccount + acct.code.size() + acct.storage.size() * kPerSlot;
+  }
   return total;
 }
 

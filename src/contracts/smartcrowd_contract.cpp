@@ -374,7 +374,7 @@ util::Bytes selector_bytes(std::uint32_t sel) {
           static_cast<std::uint8_t>(sel >> 8), static_cast<std::uint8_t>(sel)};
 }
 
-U256 read_slot(const chain::WorldState& state, const Address& contract,
+U256 read_slot(const chain::StateView& state, const Address& contract,
                std::uint64_t slot) {
   return state.get_storage(contract, U256{slot});
 }
@@ -447,7 +447,7 @@ U256 commitment_key(const Address& detector, const Hash256& detailed_hash) {
   return U256::from_hash(crypto::keccak256(preimage));
 }
 
-Address provider_of(const chain::WorldState& state, const Address& contract) {
+Address provider_of(const chain::StateView& state, const Address& contract) {
   std::uint8_t buf[32];
   read_slot(state, contract, 0).to_be_bytes(buf);
   Address a;
@@ -455,34 +455,34 @@ Address provider_of(const chain::WorldState& state, const Address& contract) {
   return a;
 }
 
-Amount bounty_of(const chain::WorldState& state, const Address& contract) {
+Amount bounty_of(const chain::StateView& state, const Address& contract) {
   return read_slot(state, contract, 1).low64();
 }
 
-BountySchedule bounty_schedule_of(const chain::WorldState& state,
+BountySchedule bounty_schedule_of(const chain::StateView& state,
                                   const Address& contract) {
   return {read_slot(state, contract, 1).low64(),
           read_slot(state, contract, 8).low64(),
           read_slot(state, contract, 9).low64()};
 }
 
-Amount initial_insurance_of(const chain::WorldState& state, const Address& contract) {
+Amount initial_insurance_of(const chain::StateView& state, const Address& contract) {
   return read_slot(state, contract, 2).low64();
 }
 
-std::uint64_t vuln_count_of(const chain::WorldState& state, const Address& contract) {
+std::uint64_t vuln_count_of(const chain::StateView& state, const Address& contract) {
   return read_slot(state, contract, 3).low64();
 }
 
-bool is_closed(const chain::WorldState& state, const Address& contract) {
+bool is_closed(const chain::StateView& state, const Address& contract) {
   return !read_slot(state, contract, 6).is_zero();
 }
 
-Hash256 system_hash_of(const chain::WorldState& state, const Address& contract) {
+Hash256 system_hash_of(const chain::StateView& state, const Address& contract) {
   return read_slot(state, contract, 4).to_hash();
 }
 
-std::uint64_t commitment_state(const chain::WorldState& state, const Address& contract,
+std::uint64_t commitment_state(const chain::StateView& state, const Address& contract,
                                const Address& detector, const Hash256& detailed_hash) {
   return state.get_storage(contract, commitment_key(detector, detailed_hash)).low64();
 }

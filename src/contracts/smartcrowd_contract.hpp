@@ -106,18 +106,18 @@ util::Bytes view_calldata(Selector sel);
 /// Storage key for a detector's commitment on H_R*.
 U256 commitment_key(const Address& detector, const Hash256& detailed_hash);
 
-Address provider_of(const chain::WorldState& state, const Address& contract);
+Address provider_of(const chain::StateView& state, const Address& contract);
 /// High-tier bounty (slot 1); for uniform schedules this is THE bounty.
-Amount bounty_of(const chain::WorldState& state, const Address& contract);
+Amount bounty_of(const chain::StateView& state, const Address& contract);
 /// Full tier schedule as stored on chain.
-BountySchedule bounty_schedule_of(const chain::WorldState& state,
+BountySchedule bounty_schedule_of(const chain::StateView& state,
                                   const Address& contract);
-Amount initial_insurance_of(const chain::WorldState& state, const Address& contract);
-std::uint64_t vuln_count_of(const chain::WorldState& state, const Address& contract);
-bool is_closed(const chain::WorldState& state, const Address& contract);
-Hash256 system_hash_of(const chain::WorldState& state, const Address& contract);
+Amount initial_insurance_of(const chain::StateView& state, const Address& contract);
+std::uint64_t vuln_count_of(const chain::StateView& state, const Address& contract);
+bool is_closed(const chain::StateView& state, const Address& contract);
+Hash256 system_hash_of(const chain::StateView& state, const Address& contract);
 /// 0 = none, 1 = committed, 2 = paid.
-std::uint64_t commitment_state(const chain::WorldState& state, const Address& contract,
+std::uint64_t commitment_state(const chain::StateView& state, const Address& contract,
                                const Address& detector, const Hash256& detailed_hash);
 
 /// Builds a ready-to-sign deploy transaction for an SRA release.

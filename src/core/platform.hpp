@@ -18,10 +18,11 @@
 // DESIGN.md §1.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chain/blockchain.hpp"
@@ -211,19 +212,33 @@ class Platform {
   chain::Mempool mempool_;
   sim::MiningRace race_;
 
-  std::map<Address, std::uint64_t> next_nonce_;
-  std::map<Hash256, SraRuntime> sras_;                  ///< by Δ_id
-  std::map<Hash256, InitialReport> initials_by_id_;     ///< R† id → R†
-  std::map<std::pair<Hash256, Address>, std::vector<Hash256>> initials_by_sra_detector_;
+  /// Hash for the (Δ_id, detector) composite key below. These indices are
+  /// lookup-only (never iterated), so hashed containers are safe — and they
+  /// sit on the per-receipt hot path.
+  struct SraDetectorHash {
+    std::size_t operator()(const std::pair<Hash256, Address>& key) const {
+      const std::size_t a = std::hash<Hash256>{}(key.first);
+      const std::size_t b = std::hash<Address>{}(key.second);
+      return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    }
+  };
+
+  std::unordered_map<Address, std::uint64_t> next_nonce_;
+  std::unordered_map<Hash256, SraRuntime> sras_;              ///< by Δ_id
+  std::unordered_map<Hash256, InitialReport> initials_by_id_; ///< R† id → R†
+  std::unordered_map<std::pair<Hash256, Address>, std::vector<Hash256>,
+                     SraDetectorHash>
+      initials_by_sra_detector_;
   std::vector<PendingReveal> pending_reveals_;
   std::vector<Hash256> pending_activations_;  ///< SRAs not yet on chain.
-  std::map<Hash256, std::pair<std::size_t, Hash256>> pending_reclaims_;  ///< tx→(provider, sra)
+  std::unordered_map<Hash256, std::pair<std::size_t, Hash256>>
+      pending_reclaims_;  ///< tx→(provider, sra)
 
   ReputationLedger reputation_;
   std::vector<ProviderStats> provider_stats_;
   std::vector<DetectorStats> detector_stats_;
-  std::map<Address, std::size_t> provider_index_;
-  std::map<Address, std::size_t> detector_index_;
+  std::unordered_map<Address, std::size_t> provider_index_;
+  std::unordered_map<Address, std::size_t> detector_index_;
   std::vector<double> block_intervals_;
   double last_block_time_ = 0.0;
   std::uint64_t total_reports_recorded_ = 0;

@@ -56,7 +56,12 @@ class Host {
   /// which makes every CALL a plain value transfer.
   virtual util::Bytes account_code(const Address&) { return {}; }
   /// Checkpoints world state before a sub-call; `revert_to` undoes all
-  /// mutations made after the matching snapshot. Hosts that do not support
+  /// mutations made after the matching snapshot. The chain executor backs
+  /// these with journal marks (chain/state_journal.hpp): snapshot() records
+  /// the current journal length and revert_to() pops the recorded reverse
+  /// ops, so a checkpoint costs O(1) and a revert costs O(changes since the
+  /// mark) — not a state copy. Snapshot ids nest like a stack; reverting to
+  /// an id invalidates every id taken after it. Hosts that do not support
   /// nesting may return 0 / ignore (fine when account_code is empty).
   virtual std::uint64_t snapshot() { return 0; }
   virtual void revert_to(std::uint64_t) {}

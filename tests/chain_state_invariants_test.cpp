@@ -1,0 +1,244 @@
+// Conservation invariants over the journaled state layer: total supply must
+// stay exact across forced multi-block reorgs (delta unapply/apply walks)
+// and across revert-heavy nested contract calls in a single block.
+#include <gtest/gtest.h>
+
+#include "chain/blockchain.hpp"
+#include "util/rng.hpp"
+#include "vm/assembler.hpp"
+
+namespace sc::chain {
+namespace {
+
+crypto::KeyPair key(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return crypto::KeyPair::generate(rng);
+}
+
+Transaction transfer(const crypto::KeyPair& from, const Address& to, Amount value,
+                     std::uint64_t nonce) {
+  Transaction tx;
+  tx.kind = TxKind::kTransfer;
+  tx.nonce = nonce;
+  tx.to = to;
+  tx.value = value;
+  tx.gas_limit = 21'000;
+  tx.sign_with(from);
+  return tx;
+}
+
+Block make_block(const Blockchain& chain, const Hash256& parent_id,
+                 std::uint64_t height, std::uint64_t timestamp,
+                 std::uint64_t difficulty, const Address& miner,
+                 std::vector<Transaction> txs) {
+  Block block;
+  block.header.height = height;
+  block.header.prev_id = parent_id;
+  block.header.timestamp = timestamp;
+  block.header.difficulty = difficulty;
+  block.header.miner = miner;
+  block.transactions = std::move(txs);
+  block.seal_merkle_root();
+  (void)chain;
+  return block;
+}
+
+// Supply grows by exactly one block reward per canonical *height*, whatever
+// path fork choice took to get there — and the abandoned branch's states
+// remain intact and conserved too.
+TEST(StateInvariants, TotalSupplyExactAcrossThreeBlockReorg) {
+  const auto alice = key(1);
+  const auto bob = key(2);
+  const auto miner_a = key(3);
+  const auto miner_b = key(4);
+  GenesisConfig genesis{{{alice.address(), 100 * kEther}, {bob.address(), 50 * kEther}},
+                        0,
+                        1};
+  genesis.state_store.flatten_interval = 2;  // snapshots land mid-branch
+  Blockchain chain(genesis);
+  const Amount genesis_supply = chain.best_state().total_supply();
+
+  // Branch A: three blocks of alice -> bob payments.
+  std::vector<Hash256> branch_a{chain.genesis_id()};
+  for (std::uint64_t h = 1; h <= 3; ++h) {
+    const Block block =
+        make_block(chain, branch_a.back(), h, 10 * h, /*difficulty=*/1,
+                   miner_a.address(),
+                   {transfer(alice, bob.address(), h * kEther, h - 1)});
+    std::string why;
+    ASSERT_TRUE(chain.submit_block(block, &why, /*skip_pow=*/true)) << why;
+    branch_a.push_back(block.id());
+  }
+  ASSERT_EQ(chain.best_head(), branch_a.back());
+  EXPECT_EQ(chain.best_state().total_supply(), genesis_supply + 3 * kBlockReward);
+
+  // Branch B: heavier 3-block fork from genesis with different payments —
+  // forces a full 3-block reorg (unapply A entirely, apply B entirely).
+  std::vector<Hash256> branch_b{chain.genesis_id()};
+  for (std::uint64_t h = 1; h <= 3; ++h) {
+    const Block block =
+        make_block(chain, branch_b.back(), h, 10 * h + 5, /*difficulty=*/4,
+                   miner_b.address(),
+                   {transfer(bob, alice.address(), h * kEther / 2, h - 1)});
+    std::string why;
+    ASSERT_TRUE(chain.submit_block(block, &why, /*skip_pow=*/true)) << why;
+    branch_b.push_back(block.id());
+  }
+  ASSERT_EQ(chain.best_head(), branch_b.back());
+
+  const WorldState& canonical = chain.best_state();
+  EXPECT_EQ(canonical.total_supply(), genesis_supply + 3 * kBlockReward);
+  // The reorg really replaced the history: miner A's rewards are gone from
+  // the canonical state, miner B holds all three.
+  EXPECT_EQ(canonical.balance(miner_a.address()), 0u);
+  EXPECT_GE(canonical.balance(miner_b.address()), 3 * kBlockReward);
+
+  // Both branches' historic states are still materializable and conserved.
+  for (std::size_t h = 1; h < branch_a.size(); ++h) {
+    const WorldState* state_a = chain.state_of(branch_a[h]);
+    const WorldState* state_b = chain.state_of(branch_b[h]);
+    ASSERT_NE(state_a, nullptr);
+    ASSERT_NE(state_b, nullptr);
+    EXPECT_EQ(state_a->total_supply(), genesis_supply + h * kBlockReward);
+    EXPECT_EQ(state_b->total_supply(), genesis_supply + h * kBlockReward);
+  }
+
+  // Flapping back: an even heavier 4th block on branch A reorgs again, and
+  // supply still tracks height exactly.
+  const Block flap =
+      make_block(chain, branch_a.back(), 4, 100, /*difficulty=*/32,
+                 miner_a.address(),
+                 {transfer(alice, bob.address(), kEther, 3)});
+  std::string why;
+  ASSERT_TRUE(chain.submit_block(flap, &why, /*skip_pow=*/true)) << why;
+  ASSERT_EQ(chain.best_head(), flap.id());
+  EXPECT_EQ(chain.best_state().total_supply(), genesis_supply + 4 * kBlockReward);
+}
+
+// One block whose transactions hit a nested-call contract three ways —
+// success, inner revert, out-of-gas — plus the deploy itself. Fees move
+// value to the miner; nothing is minted or burned beyond the block reward.
+TEST(StateInvariants, SupplyConservedUnderRevertHeavyNestedCalls) {
+  const auto alice = key(10);
+  const auto miner = key(11);
+  GenesisConfig genesis{{{alice.address(), 200 * kEther}}, 0, 1};
+  Blockchain chain(genesis);
+  const Amount genesis_supply = chain.best_state().total_supply();
+
+  // Callee: calldata byte 0 selects store-and-return (1), store-and-revert
+  // (2) or infinite burn (3).
+  const auto callee_code = vm::assemble(R"(
+    PUSH1 0x00
+    CALLDATALOAD
+    PUSH1 0xf8
+    SHR
+    DUP1
+    PUSH1 0x02
+    EQ
+    PUSHL @revert
+    JUMPI
+    PUSH1 0x03
+    EQ
+    PUSHL @burn
+    JUMPI
+    PUSH1 0x2a
+    PUSH1 0x00
+    SSTORE
+    STOP
+  revert:
+    JUMPDEST
+    PUSH1 0x63
+    PUSH1 0x01
+    SSTORE
+    PUSH1 0x00
+    PUSH1 0x00
+    REVERT
+  burn:
+    JUMPDEST
+    PUSH1 0x05
+    PUSH1 0x02
+    SSTORE
+    PUSHL @burn
+    JUMP
+  )");
+  ASSERT_TRUE(callee_code.ok());
+  const Address callee_addr = contract_address(alice.address(), 0);
+
+  // Caller: forwards calldata byte 0 to the callee with a value attached,
+  // then stores the sub-call's success flag — every outer tx exercises a
+  // nested snapshot/revert inside the VM.
+  const auto caller_code = vm::assemble(
+      "PUSH1 0x00\n"
+      "CALLDATALOAD\n"
+      "PUSH1 0x00\n"
+      "MSTORE\n"
+      "PUSH1 0x00\n"   // out_len
+      "PUSH1 0x40\n"   // out_off
+      "PUSH1 0x01\n"   // in_len: 1 byte of forwarded selector
+      "PUSH1 0x00\n"   // in_off
+      "PUSH1 0x64\n"   // value: 100 neth rides along
+      "PUSH20 0x" + util::to_hex(callee_addr.span()) + "\n"
+      "PUSH3 0x00c350\n"  // 50k gas for the sub-call
+      "CALL\n"
+      "PUSH1 0x07\n"
+      "SSTORE\n"
+      "STOP");
+  ASSERT_TRUE(caller_code.ok());
+
+  auto make_tx = [&](TxKind kind, const Address& to, util::Bytes data,
+                     std::uint64_t nonce, Gas gas_limit, Amount value) {
+    Transaction tx;
+    tx.kind = kind;
+    tx.nonce = nonce;
+    tx.to = to;
+    tx.data = std::move(data);
+    tx.gas_limit = gas_limit;
+    tx.value = value;
+    tx.sign_with(alice);
+    return tx;
+  };
+
+  std::vector<Transaction> txs;
+  txs.push_back(make_tx(TxKind::kDeploy, {}, callee_code.code, 0, 500'000, 0));
+  txs.push_back(make_tx(TxKind::kDeploy, {}, caller_code.code, 1, 500'000, 10'000));
+  // Success / inner-revert / outer OOG, all through the nested caller. The
+  // selector byte sits in the top calldata byte (CALLDATALOAD reads a word).
+  txs.push_back(make_tx(TxKind::kCall, contract_address(alice.address(), 1),
+                        util::Bytes{0x01}, 2, 300'000, 0));
+  txs.push_back(make_tx(TxKind::kCall, contract_address(alice.address(), 1),
+                        util::Bytes{0x02}, 3, 300'000, 0));
+  txs.push_back(make_tx(TxKind::kCall, contract_address(alice.address(), 1),
+                        util::Bytes{0x03}, 4, 60'000, 0));
+
+  const Block block = make_block(chain, chain.genesis_id(), 1, 10, 1,
+                                 miner.address(), std::move(txs));
+  std::string why;
+  ASSERT_TRUE(chain.submit_block(block, &why, /*skip_pow=*/true)) << why;
+
+  const auto* receipts = chain.receipts(block.id());
+  ASSERT_NE(receipts, nullptr);
+  ASSERT_EQ(receipts->size(), 5u);
+  EXPECT_TRUE((*receipts)[0].ok());
+  EXPECT_TRUE((*receipts)[1].ok());
+  EXPECT_TRUE((*receipts)[2].ok());  // sub-call success
+  EXPECT_TRUE((*receipts)[3].ok());  // inner revert, outer still succeeds
+  EXPECT_EQ((*receipts)[4].status, TxStatus::kOutOfGas);
+
+  const WorldState& state = chain.best_state();
+  const Address caller_addr = contract_address(alice.address(), 1);
+  // Selector 1 committed the callee's write and its 100-neth value transfer.
+  // Selector 2's inner write and value rolled back, and its outer tx stored
+  // success=0 over tx 2's success=1 in the caller's flag slot 7. The OOG tx
+  // rolled back entirely (its slot-2 write is absent).
+  EXPECT_EQ(state.get_storage(callee_addr, crypto::U256::zero()), crypto::U256{0x2a});
+  EXPECT_TRUE(state.get_storage(callee_addr, crypto::U256::one()).is_zero());
+  EXPECT_TRUE(state.get_storage(callee_addr, crypto::U256{2}).is_zero());
+  EXPECT_EQ(state.get_storage(caller_addr, crypto::U256{7}), crypto::U256::zero());
+  EXPECT_EQ(state.balance(callee_addr), 100u);  // exactly one committed transfer
+
+  // The conservation claim: inflow == block reward, exactly.
+  EXPECT_EQ(state.total_supply(), genesis_supply + kBlockReward);
+}
+
+}  // namespace
+}  // namespace sc::chain

@@ -1,0 +1,214 @@
+// JournaledState and StateDelta unit tests: reverse-op bookkeeping, nested
+// checkpoints, commit semantics and delta apply/unapply round-trips.
+#include <gtest/gtest.h>
+
+#include "chain/state_journal.hpp"
+#include "util/rng.hpp"
+
+namespace sc::chain {
+namespace {
+
+Address addr(std::uint8_t tag) {
+  Address a{};
+  a.bytes[0] = tag;
+  return a;
+}
+
+bool states_equal(const WorldState& a, const WorldState& b) {
+  if (a.account_count() != b.account_count()) return false;
+  for (const auto& [address, acct] : a.accounts()) {
+    const Account* other = b.find(address);
+    if (!other) return false;
+    if (acct.balance != other->balance || acct.nonce != other->nonce ||
+        acct.code != other->code || acct.storage != other->storage)
+      return false;
+  }
+  return true;
+}
+
+TEST(StateJournal, RevertRestoresEveryFieldKind) {
+  WorldState state;
+  state.add_balance(addr(1), 1000);
+  state.touch(addr(1)).nonce = 7;
+  state.set_code(addr(2), util::Bytes{0xAA});
+  state.set_storage(addr(2), crypto::U256{5}, crypto::U256{42});
+  const WorldState before = state;
+
+  JournaledState js(state);
+  const std::size_t mark = js.mark();
+  EXPECT_EQ(mark, 0u);
+
+  js.add_balance(addr(1), 500);
+  js.bump_nonce(addr(1));
+  js.set_code(addr(2), util::Bytes{0xBB, 0xCC});
+  js.set_storage(addr(2), crypto::U256{5}, crypto::U256{43});
+  js.set_storage(addr(2), crypto::U256{9}, crypto::U256{1});
+  js.add_balance(addr(3), 10);  // creates a brand-new account
+  EXPECT_GT(js.journal_size(), 0u);
+
+  js.revert_to(mark);
+  EXPECT_EQ(js.journal_size(), 0u);
+  EXPECT_TRUE(states_equal(state, before));
+  // The created account is gone entirely, not left as an empty shell.
+  EXPECT_FALSE(state.exists(addr(3)));
+}
+
+TEST(StateJournal, NestedMarksRevertIndependently) {
+  WorldState state;
+  state.add_balance(addr(1), 100);
+
+  JournaledState js(state);
+  js.add_balance(addr(1), 1);  // outer write
+  const std::size_t inner = js.mark();
+  js.add_balance(addr(1), 10);  // inner write
+  js.set_storage(addr(4), crypto::U256{1}, crypto::U256{2});
+
+  js.revert_to(inner);  // undo only the inner writes
+  EXPECT_EQ(state.balance(addr(1)), 101u);
+  EXPECT_FALSE(state.exists(addr(4)));
+
+  js.revert_to(0);  // undo the outer write too
+  EXPECT_EQ(state.balance(addr(1)), 100u);
+}
+
+TEST(StateJournal, InnerCommitKeepsOpsForOuterRevert) {
+  WorldState state;
+  state.add_balance(addr(1), 100);
+
+  JournaledState js(state);
+  const std::size_t outer = js.mark();
+  js.add_balance(addr(1), 10);
+  const std::size_t inner = js.mark();
+  js.add_balance(addr(1), 5);
+  js.commit(inner);  // inner scope accepts its writes...
+  EXPECT_EQ(state.balance(addr(1)), 115u);
+  EXPECT_GT(js.journal_size(), 0u);  // ...but ops survive for the outer mark
+
+  js.revert_to(outer);  // outer revert undoes the committed inner writes too
+  EXPECT_EQ(state.balance(addr(1)), 100u);
+
+  js.add_balance(addr(1), 3);
+  js.commit(0);  // committing the outermost mark clears the journal
+  EXPECT_EQ(js.journal_size(), 0u);
+  EXPECT_EQ(state.balance(addr(1)), 103u);
+}
+
+TEST(StateJournal, FailedSubBalanceLeavesNoTrace) {
+  WorldState state;
+  state.add_balance(addr(1), 10);
+
+  JournaledState js(state);
+  EXPECT_FALSE(js.sub_balance(addr(1), 11));
+  EXPECT_FALSE(js.transfer(addr(1), addr(2), 11));
+  EXPECT_EQ(js.journal_size(), 0u);
+  EXPECT_EQ(state.balance(addr(1)), 10u);
+  EXPECT_FALSE(state.exists(addr(2)));
+
+  EXPECT_TRUE(js.transfer(addr(1), addr(2), 4));
+  EXPECT_EQ(state.balance(addr(2)), 4u);
+}
+
+TEST(StateJournal, HighWaterTracksDeepestJournal) {
+  WorldState state;
+  JournaledState js(state);
+  js.add_balance(addr(1), 1);
+  js.add_balance(addr(1), 1);
+  const std::size_t deep = js.journal_size();
+  js.revert_to(0);
+  EXPECT_EQ(js.journal_size(), 0u);
+  EXPECT_GE(js.journal_high_water(), deep);
+}
+
+TEST(StateDelta, CollectDropsNetNoOps) {
+  WorldState state;
+  state.add_balance(addr(1), 100);
+  JournaledState js(state);
+
+  // Net no-op on an existing account: +5 then -5.
+  js.add_balance(addr(1), 5);
+  ASSERT_TRUE(js.sub_balance(addr(1), 5));
+  // Real change on another account.
+  js.add_balance(addr(2), 7);
+
+  const StateDelta delta = js.collect_delta();
+  EXPECT_EQ(delta.account_count(), 1u);
+  ASSERT_TRUE(delta.changes.contains(addr(2)));
+  const auto& change = delta.changes.at(addr(2));
+  EXPECT_TRUE(change.created);
+  ASSERT_TRUE(change.balance.has_value());
+  EXPECT_EQ(change.balance->first, 0u);
+  EXPECT_EQ(change.balance->second, 7u);
+}
+
+TEST(StateDelta, BeforeValuesComeFromEarliestOp) {
+  WorldState state;
+  state.add_balance(addr(1), 100);
+  state.set_storage(addr(1), crypto::U256{3}, crypto::U256{30});
+  JournaledState js(state);
+
+  js.add_balance(addr(1), 1);
+  js.add_balance(addr(1), 2);  // several writes; before must still be 100
+  js.set_storage(addr(1), crypto::U256{3}, crypto::U256{31});
+  js.set_storage(addr(1), crypto::U256{3}, crypto::U256{32});
+
+  const StateDelta delta = js.collect_delta();
+  const auto& change = delta.changes.at(addr(1));
+  EXPECT_FALSE(change.created);
+  ASSERT_TRUE(change.balance.has_value());
+  EXPECT_EQ(change.balance->first, 100u);
+  EXPECT_EQ(change.balance->second, 103u);
+  ASSERT_TRUE(change.storage.contains(crypto::U256{3}));
+  EXPECT_EQ(change.storage.at(crypto::U256{3}).before, crypto::U256{30});
+  EXPECT_EQ(change.storage.at(crypto::U256{3}).after, crypto::U256{32});
+}
+
+TEST(StateDelta, ApplyUnapplyRoundTrip) {
+  util::Rng rng(42);
+  WorldState parent;
+  // Lots of bystander accounts: the delta must scale with what was touched,
+  // not with the account set.
+  for (int i = 0; i < 2000; ++i) {
+    Address bystander{};
+    bystander.bytes[0] = 0xEE;
+    bystander.bytes[1] = static_cast<std::uint8_t>(i >> 8);
+    bystander.bytes[2] = static_cast<std::uint8_t>(i & 0xFF);
+    parent.add_balance(bystander, 1 + rng.uniform(1'000'000));
+  }
+  for (int i = 0; i < 20; ++i)
+    parent.add_balance(addr(static_cast<std::uint8_t>(i)), rng.uniform(1'000'000));
+  parent.set_code(addr(3), util::Bytes{0x60, 0x00});
+  parent.set_storage(addr(3), crypto::U256{1}, crypto::U256{11});
+
+  WorldState child = parent;  // the one copy: test scaffolding only
+  JournaledState js(child);
+  for (int i = 0; i < 200; ++i) {
+    const Address a = addr(static_cast<std::uint8_t>(rng.uniform(32)));
+    switch (rng.uniform(4)) {
+      case 0: js.add_balance(a, rng.uniform(1000)); break;
+      case 1: js.sub_balance(a, rng.uniform(1000)); break;
+      case 2: js.bump_nonce(a); break;
+      default:
+        js.set_storage(a, crypto::U256{rng.uniform(8)}, crypto::U256{rng.uniform(5)});
+    }
+  }
+  const StateDelta delta = js.collect_delta();
+
+  // apply(parent copy) reproduces the child exactly.
+  WorldState replay = parent;
+  delta.apply(replay);
+  EXPECT_TRUE(states_equal(replay, child));
+
+  // unapply(child copy) restores the parent exactly.
+  WorldState rewound = child;
+  delta.unapply(rewound);
+  EXPECT_TRUE(states_equal(rewound, parent));
+
+  // O(diff), not O(accounts): at most the 32 touched accounts appear, and
+  // the delta is a small fraction of a full snapshot's footprint.
+  EXPECT_GT(delta.approx_bytes(), 0u);
+  EXPECT_LE(delta.account_count(), 32u);
+  EXPECT_LT(delta.approx_bytes(), parent.approx_bytes() / 4);
+}
+
+}  // namespace
+}  // namespace sc::chain
