@@ -30,6 +30,9 @@ echo "== telemetry_bench: overhead smoke =="
 echo "== state_bench: journaled-state smoke =="
 ./build/bench/state_bench --runs=small --out=build/BENCH_state_smoke.json
 
+echo "== exec_bench: parallel-executor smoke =="
+./build/bench/exec_bench --runs=small --out=build/BENCH_exec_smoke.json
+
 echo "== ASan/UBSan build + tests =="
 cmake -B build-asan -S . -DSC_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$jobs"
@@ -43,6 +46,10 @@ if [ -z "${SKIP_TSAN:-}" ]; then
   cmake -B build-tsan -S . -DSC_SANITIZE=thread >/dev/null
   cmake --build build-tsan --target chain_test -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -R MineParallel
+
+  echo "== TSan: parallel executor differential (vs sequential + legacy) =="
+  cmake --build build-tsan --target chain_parallel_test -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -R ParallelExec
 fi
 
 echo "== all checks passed =="

@@ -1,16 +1,28 @@
 #include "chain/blockchain.hpp"
 
+#include <thread>
+
 #include "chain/difficulty.hpp"
+#include "chain/parallel_executor.hpp"
 #include "chain/pow.hpp"
+#include "crypto/batch_verify.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sc::chain {
 
 Blockchain::Blockchain(const GenesisConfig& genesis, telemetry::Telemetry* tel)
     : telemetry_(tel),
       state_cfg_(genesis.state_store),
+      sig_cache_(genesis.execution.sig_cache_capacity),
       dynamic_difficulty_(genesis.dynamic_difficulty) {
   if (state_cfg_.flatten_interval == 0) state_cfg_.flatten_interval = 1;
+
+  unsigned lanes = genesis.execution.threads;
+  if (lanes == 0) lanes = std::max(1u, std::thread::hardware_concurrency());
+  // The submitting thread is a lane too, so a pool of lanes-1 workers gives
+  // exactly `lanes` concurrent executors; one lane means sequential.
+  if (lanes > 1) exec_pool_ = std::make_unique<util::ThreadPool>(lanes - 1);
 
   Block genesis_block;
   genesis_block.header.height = 0;
@@ -37,6 +49,9 @@ Blockchain::Blockchain(const GenesisConfig& genesis, telemetry::Telemetry* tel)
   entries_.emplace(genesis_id_, std::move(entry));
   reindex_canonical();
 }
+
+// Defined where ThreadPool is complete (the header only forward-declares it).
+Blockchain::~Blockchain() = default;
 
 void Blockchain::flatten_into(Entry& entry) {
   entry.snapshot = std::make_unique<WorldState>(tip_state_);
@@ -116,8 +131,40 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
   // re-hashing the header inside the PoW check.
   if (!skip_pow && !check_pow(block.header, id)) return fail("invalid proof of work");
 
+  // Batch-verify the body's signatures through the verified-tx cache before
+  // the per-transaction structural checks: uncached signatures fan out across
+  // the worker pool (inline in sequential mode), successes land in the cache,
+  // and every later check of these transactions — the validation loop below,
+  // the executor, a competing fork carrying the same tx — is a cache hit.
+  {
+    std::vector<crypto::VerifyJob> jobs;
+    std::vector<Hash256> job_keys;
+    for (const Transaction& tx : block.transactions) {
+      const Hash256 key = SigCache::key_of(tx);
+      if (sig_cache_.contains(key)) continue;
+      jobs.push_back({tx.sender_pubkey, tx.id(), tx.signature});
+      job_keys.push_back(key);
+    }
+    const std::vector<bool> ok = crypto::batch_verify(jobs, exec_pool_.get());
+    for (std::size_t i = 0; i < ok.size(); ++i)
+      if (ok[i]) sig_cache_.insert(job_keys[i]);
+    tel.registry
+        .counter("chain_sig_batch_verified_total",
+                 "Signatures verified by block-level batch pre-validation")
+        .add(jobs.size());
+  }
+
   for (const Transaction& tx : block.transactions) {
-    if (!validate_transaction(tx)) return fail("invalid transaction in body");
+    SigVerdict verdict = SigVerdict::kVerified;
+    if (!validate_transaction(tx, &sig_cache_, nullptr, &verdict))
+      return fail("invalid transaction in body");
+    if (verdict == SigVerdict::kCacheHit) {
+      tel.registry
+          .counter("chain_sig_cache_hits_total",
+                   "Block-validation signature checks satisfied by the "
+                   "verified-tx cache")
+          .inc();
+    }
   }
 
   // Execute journaled on the materialized tip, walked to the parent first
@@ -136,8 +183,12 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
     env.timestamp = block.header.timestamp;
     env.miner = block.header.miner;
     JournaledState journal(tip_state_);
-    entry.receipts = apply_block_body(journal, env, block.transactions,
-                                      kBlockReward, telemetry_);
+    entry.receipts =
+        exec_pool_ ? apply_block_body_parallel(journal, env, block.transactions,
+                                               kBlockReward, *exec_pool_,
+                                               telemetry_, &sig_cache_)
+                   : apply_block_body(journal, env, block.transactions,
+                                      kBlockReward, telemetry_, &sig_cache_);
     entry.delta = journal.collect_delta();
     journal.commit(0);
   }

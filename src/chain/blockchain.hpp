@@ -27,8 +27,13 @@
 
 #include "chain/block.hpp"
 #include "chain/executor.hpp"
+#include "chain/sig_cache.hpp"
 #include "chain/state.hpp"
 #include "chain/state_journal.hpp"
+
+namespace sc::util {
+class ThreadPool;
+}
 
 namespace sc::chain {
 
@@ -43,6 +48,20 @@ struct StateStoreConfig {
   std::size_t max_cached_states = 8;
 };
 
+/// Knobs for block execution (chain/parallel_executor.hpp).
+struct ExecutionConfig {
+  /// Worker lanes for block apply. 1 (the default) keeps the sequential
+  /// journaled executor — bit-for-bit the pre-parallel behaviour, and what
+  /// the metrics determinism gate pins. >1 enables optimistic parallel
+  /// execution over a persistent thread pool with that many lanes
+  /// (pool workers + the submitting thread); 0 means one lane per hardware
+  /// thread. Receipts, state and deltas are byte-identical across settings.
+  unsigned threads = 1;
+  /// Capacity of the verified-signature cache shared by block validation,
+  /// execution, and (via Blockchain::sig_cache) mempool admission.
+  std::size_t sig_cache_capacity = SigCache::kDefaultCapacity;
+};
+
 /// Genesis configuration: initial balances (stakeholder endowments).
 struct GenesisConfig {
   std::vector<std::pair<Address, Amount>> allocations;
@@ -54,6 +73,8 @@ struct GenesisConfig {
   bool dynamic_difficulty = false;
   /// Diff/snapshot trade-off of the state store.
   StateStoreConfig state_store;
+  /// Sequential vs parallel block execution + signature caching.
+  ExecutionConfig execution;
 };
 
 /// Where a transaction landed.
@@ -70,6 +91,12 @@ class Blockchain {
   /// also forwarded to transaction execution.
   explicit Blockchain(const GenesisConfig& genesis,
                       telemetry::Telemetry* tel = nullptr);
+  ~Blockchain();
+
+  /// The chain's verified-signature cache. Batch pre-validation in
+  /// submit_block feeds it; hand it to Mempool::set_sig_cache so admission
+  /// and block validation verify each signature once between them.
+  SigCache& sig_cache() { return sig_cache_; }
 
   /// Validates and connects a block. Returns false with a reason if the
   /// block is malformed, unlinked, fails PoW, or fails execution checks.
@@ -158,6 +185,10 @@ class Blockchain {
 
   telemetry::Telemetry* telemetry_ = nullptr;
   StateStoreConfig state_cfg_;
+  SigCache sig_cache_;
+  /// Worker pool for parallel execution + batched signature verification;
+  /// null when execution.threads resolves to 1 (sequential mode).
+  std::unique_ptr<util::ThreadPool> exec_pool_;
   std::unordered_map<Hash256, Entry> entries_;
   bool dynamic_difficulty_ = false;
   Hash256 genesis_id_;

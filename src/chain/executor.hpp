@@ -53,9 +53,22 @@ struct Receipt {
   bool ok() const { return status == TxStatus::kSuccess; }
 };
 
+class SigCache;
+enum class SigVerdict : std::uint8_t;
+
 /// Stateless pre-checks that gate mempool admission: signature validity,
 /// sane gas limit. Does not consult state.
 bool validate_transaction(const Transaction& tx, std::string* why = nullptr);
+
+/// Cache-aware variant: the signature check consults (and on a fresh verify
+/// feeds) `sig_cache`, so a signature seen at mempool admission or block
+/// pre-validation is never re-verified here. `verdict`, when given, reports
+/// how the signature check was satisfied (cache hit / verified / invalid) —
+/// the mempool uses it for its sig-cache hit counter. Both out-params are
+/// optional; a nullptr cache degrades to the plain overload.
+bool validate_transaction(const Transaction& tx, SigCache* sig_cache,
+                          std::string* why = nullptr,
+                          SigVerdict* verdict = nullptr);
 
 /// Block-environment values visible to contracts.
 struct BlockEnv {
@@ -76,23 +89,27 @@ struct BlockEnv {
 /// step/gas-class attribution.
 Receipt apply_transaction(JournaledState& state, const BlockEnv& env,
                           const Transaction& tx,
-                          telemetry::Telemetry* tel = nullptr);
+                          telemetry::Telemetry* tel = nullptr,
+                          SigCache* sig_cache = nullptr);
 
 /// Convenience overload over a bare WorldState: wraps a local journal and
 /// commits it on return.
 Receipt apply_transaction(WorldState& state, const BlockEnv& env, const Transaction& tx,
-                          telemetry::Telemetry* tel = nullptr);
+                          telemetry::Telemetry* tel = nullptr,
+                          SigCache* sig_cache = nullptr);
 
 /// Applies a whole block body: all transactions in order, then credits the
 /// miner with the block reward plus collected fees. Returns receipts.
 std::vector<Receipt> apply_block_body(JournaledState& state, const BlockEnv& env,
                                       const std::vector<Transaction>& txs,
                                       Amount block_reward,
-                                      telemetry::Telemetry* tel = nullptr);
+                                      telemetry::Telemetry* tel = nullptr,
+                                      SigCache* sig_cache = nullptr);
 
 std::vector<Receipt> apply_block_body(WorldState& state, const BlockEnv& env,
                                       const std::vector<Transaction>& txs,
                                       Amount block_reward,
-                                      telemetry::Telemetry* tel = nullptr);
+                                      telemetry::Telemetry* tel = nullptr,
+                                      SigCache* sig_cache = nullptr);
 
 }  // namespace sc::chain

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "chain/sig_cache.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace sc::chain {
@@ -25,7 +26,16 @@ void Mempool::update_depth_gauge() {
 
 bool Mempool::add(const Transaction& tx, std::string* why) {
   std::string reason;
-  if (!validate_transaction(tx, &reason)) return reject("invalid", why, reason);
+  SigVerdict sig_verdict = SigVerdict::kVerified;
+  if (!validate_transaction(tx, sig_cache_, &reason, &sig_verdict))
+    return reject("invalid", why, reason);
+  if (sig_verdict == SigVerdict::kCacheHit) {
+    telemetry::resolve(telemetry_)
+        .registry
+        .counter("mempool_sig_cache_hits_total",
+                 "Admission signature checks satisfied by the verified-tx cache")
+        .inc();
+  }
   if (gate_ && !gate_(tx, reason))
     return reject("gate", why,
                   reason.empty() ? "rejected by admission gate" : reason);

@@ -29,6 +29,8 @@ struct Telemetry;
 
 namespace sc::chain {
 
+class SigCache;
+
 class Mempool {
  public:
   /// Extra admission predicate (e.g. Algorithm 1 verification of protocol
@@ -36,6 +38,14 @@ class Mempool {
   using AdmissionGate = std::function<bool(const Transaction&, std::string& why)>;
 
   void set_gate(AdmissionGate gate) { gate_ = std::move(gate); }
+
+  /// Shares a verified-signature cache (chain/sig_cache.hpp) with admission:
+  /// a signature the node already verified — at a previous admission attempt
+  /// or during block validation — is not re-verified, and a signature first
+  /// verified here is not re-verified when the transaction reaches a block.
+  /// Cache hits are counted in mempool_sig_cache_hits_total. Not owned; pass
+  /// Blockchain::sig_cache() to share with block validation.
+  void set_sig_cache(SigCache* cache) { sig_cache_ = cache; }
 
   /// Bounds the pool to `capacity` transactions; 0 (the default) means
   /// unbounded. Shrinking below the current size only takes effect through
@@ -72,6 +82,7 @@ class Mempool {
   std::size_t capacity_ = 0;  ///< 0 = unbounded.
   std::uint64_t evictions_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
+  SigCache* sig_cache_ = nullptr;  ///< Optional, not owned.
 };
 
 }  // namespace sc::chain

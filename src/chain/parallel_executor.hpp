@@ -1,0 +1,140 @@
+// Optimistic (Block-STM-style) parallel block execution.
+//
+// A block's transactions are executed speculatively, all in parallel, each
+// against the block's *parent* state (immutable for the duration), with
+// reads recorded per transaction and writes buffered in a private overlay
+// (`SpecState`). A sequential commit pass then walks the transactions in
+// canonical order: transaction i is valid iff its read set is disjoint from
+// the union of account keys written by transactions 0..i-1 — in that case
+// executing against the parent state and executing against the committed
+// prefix are indistinguishable, and its buffered writes are replayed onto
+// the block's journal as-is. A conflicting transaction is re-executed on the
+// live journal (always correct, never cascades: re-execution sees the true
+// committed prefix). Results — receipts, state, per-block delta — are
+// byte-identical to the sequential executor by construction, because both
+// paths run the same templated execution core (exec_core.hpp).
+//
+// This is the single-round variant of Block-STM: one speculation wave, one
+// validation pass, conflicts fall back to sequential execution. For the
+// low-conflict workloads a chain actually carries (mostly-disjoint
+// transfers), almost every transaction commits from its speculative run and
+// block apply scales with the worker pool; a fully serial dependency chain
+// degrades gracefully to sequential execution plus one wasted wave.
+//
+// Conflict detection is account-granular (chain/state_journal.hpp ReadSet):
+// two transactions touching different storage slots of one contract do
+// conflict — coarser than slot-level, never incorrect, and the right
+// trade-off while contract state is a per-account map.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/executor.hpp"
+#include "chain/state_journal.hpp"
+
+namespace sc::util {
+class ThreadPool;
+}
+
+namespace sc::chain {
+
+/// Buffered (write-combined) output of one speculative execution: per
+/// account, the final value of every field the transaction wrote. Zero
+/// storage values mean "slot erased", matching WorldState::set_storage.
+struct SpecWrites {
+  std::unordered_map<Address, Amount> balances;
+  std::unordered_map<Address, std::uint64_t> nonces;
+  std::unordered_map<Address, util::Bytes> codes;
+  std::unordered_map<Address, std::map<crypto::U256, crypto::U256>> storage;
+
+  bool empty() const {
+    return balances.empty() && nonces.empty() && codes.empty() && storage.empty();
+  }
+  /// Inserts every written account key into `into` (the committed-writes
+  /// union the validation pass intersects read sets against).
+  void collect_addresses(ReadSet& into) const;
+  /// Replays the final values onto a live journal in canonical commit order.
+  /// Journaled setters are used throughout, so deltas/reverts treat replayed
+  /// writes exactly like executed ones.
+  void replay(JournaledState& state) const;
+};
+
+/// Speculative state: the execution-core backend for the parallel wave. All
+/// reads fall through to the immutable base (recording the account key);
+/// writes land field-granular in a private overlay. Checkpoints (mark /
+/// revert_to) are backed by a reverse-op journal over the overlay, so the
+/// VM's nested sub-call snapshots behave exactly as they do on the
+/// journaled path.
+class SpecState {
+ public:
+  explicit SpecState(const StateView& base) : base_(base) {}
+
+  // -- Read surface (exec_core template contract) ---------------------------
+  Amount balance(const Address& addr) const;
+  std::uint64_t nonce(const Address& addr) const;
+  util::ByteSpan code(const Address& addr) const;
+  crypto::U256 get_storage(const Address& contract, const crypto::U256& key) const;
+
+  // -- Mutations ------------------------------------------------------------
+  void add_balance(const Address& addr, Amount amount);
+  bool sub_balance(const Address& addr, Amount amount);
+  bool transfer(const Address& from, const Address& to, Amount amount);
+  void bump_nonce(const Address& addr);
+  void set_storage(const Address& contract, const crypto::U256& key,
+                   const crypto::U256& value);
+  void set_code(const Address& addr, util::Bytes code);
+
+  // -- Checkpoints ----------------------------------------------------------
+  std::size_t mark() const { return ops_.size(); }
+  void revert_to(std::size_t mark);
+
+  // -- Speculation results --------------------------------------------------
+  const ReadSet& reads() const { return reads_; }
+  const SpecWrites& writes() const { return writes_; }
+  ReadSet take_reads() { return std::move(reads_); }
+  SpecWrites take_writes() { return std::move(writes_); }
+
+ private:
+  enum class OpKind : std::uint8_t { kBalance, kNonce, kCode, kStorage };
+  /// Reverse op over the *overlay*: restores the prior overlay entry
+  /// (`had_prior == false` means "erase; fall back to base").
+  struct Op {
+    OpKind kind;
+    Address addr;
+    bool had_prior = false;
+    Amount balance = 0;
+    std::uint64_t nonce = 0;
+    util::Bytes code;
+    crypto::U256 key;
+    crypto::U256 value;
+  };
+
+  const Address& note_read(const Address& addr) const {
+    reads_.insert(addr);
+    return addr;
+  }
+
+  const StateView& base_;
+  SpecWrites writes_;
+  std::vector<Op> ops_;
+  mutable ReadSet reads_;
+};
+
+/// Parallel counterpart of apply_block_body: same signature semantics, same
+/// receipts, same journal-visible state transitions — validated by the
+/// differential tests, including under TSan. `pool` provides the worker
+/// lanes (pool size + the calling thread); `sig_cache` short-circuits
+/// signature verification for transactions already verified at admission or
+/// block pre-validation. Telemetry: parallel_exec_speculated_total,
+/// parallel_exec_conflicts_total, parallel_exec_reexecuted_total, plus the
+/// usual per-receipt chain_tx_total / chain_tx_gas_used families.
+std::vector<Receipt> apply_block_body_parallel(
+    JournaledState& state, const BlockEnv& env,
+    const std::vector<Transaction>& txs, Amount block_reward,
+    util::ThreadPool& pool, telemetry::Telemetry* tel = nullptr,
+    SigCache* sig_cache = nullptr);
+
+}  // namespace sc::chain

@@ -1,0 +1,42 @@
+// Batched ECDSA verification over a worker pool.
+//
+// ECDSA has no algebraic aggregate verification (unlike BLS), so "batched"
+// here means what production chains (bitcoind, geth) do at block-validation
+// time: fan the independent verify() calls out across threads and join. A
+// single secp256k1 verify costs two scalar multiplications — by far the most
+// expensive per-transaction operation in the chain — so moving a block's
+// worth of them off the critical path is the difference between signature
+// checking dominating block apply and it disappearing into the pool.
+//
+// The jobs are pure (no shared state), which makes this embarrassingly
+// parallel and TSan-trivial: each worker writes only its own result slots.
+#pragma once
+
+#include <vector>
+
+#include "crypto/hash_types.hpp"
+#include "crypto/secp256k1.hpp"
+
+namespace sc::util {
+class ThreadPool;
+}
+
+namespace sc::crypto {
+
+/// One signature to check: `pub` over digest `z` with `sig`.
+struct VerifyJob {
+  secp256k1::AffinePoint pub;
+  Hash256 z;
+  secp256k1::Signature sig;
+};
+
+/// Verifies every job, sharding across `pool` when one is given (nullptr or
+/// a single-job batch verifies inline). Returns one flag per job, in order.
+/// Jobs with off-curve or infinity public keys fail cleanly.
+std::vector<bool> batch_verify(const std::vector<VerifyJob>& jobs,
+                               util::ThreadPool* pool);
+
+/// True iff every job verifies (same work, convenience shape).
+bool batch_verify_all(const std::vector<VerifyJob>& jobs, util::ThreadPool* pool);
+
+}  // namespace sc::crypto

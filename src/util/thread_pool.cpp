@@ -1,0 +1,104 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sc::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain remaining tasks even when stopping: a destructor racing
+      // submitted work must not strand tasks (wait_idle could deadlock).
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::for_shards(unsigned shards, const std::function<void(unsigned)>& fn) {
+  if (shards == 0) return;
+  if (shards == 1) {
+    fn(0);
+    return;
+  }
+
+  // Shared claim counter: every lane (helpers + the caller) pulls the next
+  // unclaimed shard until none remain. `done` counts *finished* shards so
+  // the caller can return only once every lane has drained.
+  struct Sync {
+    std::atomic<unsigned> next{0};
+    std::atomic<unsigned> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto sync = std::make_shared<Sync>();
+  const unsigned total = shards;
+
+  auto lane = [sync, total, &fn] {
+    for (;;) {
+      const unsigned shard = sync->next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= total) break;
+      fn(shard);
+      if (sync->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        std::lock_guard lock(sync->mutex);
+        sync->cv.notify_all();
+      }
+    }
+  };
+
+  // The caller is one lane; helpers cover the rest (never more than the
+  // remaining shard count). Helper tasks capture `fn` by reference — safe
+  // because the caller does not return before `done == total`.
+  const unsigned helpers =
+      std::min(size(), total - 1);
+  for (unsigned t = 0; t < helpers; ++t) submit(lane);
+  lane();
+
+  std::unique_lock lock(sync->mutex);
+  sync->cv.wait(lock, [&] {
+    return sync->done.load(std::memory_order_acquire) == total;
+  });
+}
+
+}  // namespace sc::util

@@ -1,0 +1,82 @@
+// ThreadPool: the reusable worker pool behind parallel block execution and
+// batched signature verification.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace sc::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ran.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusableAcrossRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) pool.submit([&] { ran.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // Nothing submitted: must not block.
+}
+
+TEST(ThreadPool, ForShardsCoversEachShardExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr unsigned kShards = 17;
+  std::vector<std::atomic<int>> hits(kShards);
+  pool.for_shards(kShards, [&](unsigned shard) {
+    ASSERT_LT(shard, kShards);
+    hits[shard].fetch_add(1);
+  });
+  for (unsigned i = 0; i < kShards; ++i) EXPECT_EQ(hits[i].load(), 1) << "shard " << i;
+}
+
+TEST(ThreadPool, ForShardsSingleShardRunsOnCaller) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id observed;
+  pool.for_shards(1, [&](unsigned) { observed = std::this_thread::get_id(); });
+  EXPECT_EQ(observed, caller);
+}
+
+TEST(ThreadPool, ForShardsIsReusable) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 4; ++round) {
+    std::atomic<int> sum{0};
+    pool.for_shards(8, [&](unsigned shard) { sum.fetch_add(static_cast<int>(shard)); });
+    EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ran.fetch_add(1); });
+    // No wait_idle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sc::util

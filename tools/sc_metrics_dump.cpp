@@ -50,7 +50,13 @@ int usage() {
 void run_cluster_phase(std::uint64_t seed, telemetry::Telemetry& tel) {
   util::Rng key_rng(0x5eed + seed);
   const auto funder = crypto::KeyPair::generate(key_rng);
-  const chain::GenesisConfig genesis{{{funder.address(), 1000 * kEther}}, 0, 1};
+  chain::GenesisConfig genesis{{{funder.address(), 1000 * kEther}}, 0, 1};
+  // The determinism gate (--check + byte-compare) requires sequential
+  // execution: with worker lanes, the parallel_exec_* counters and the
+  // speculation-phase scvm_* attribution would depend on thread scheduling.
+  // One lane is the ExecutionConfig default; pin it anyway so a default
+  // change can never silently break byte-stability.
+  genesis.execution.threads = 1;
   const core::RecordGate gate = [](const chain::Transaction& tx) {
     return tx.protocol != chain::ProtocolKind::kDetailedReport ||
            !tx.protocol_payload.empty();
