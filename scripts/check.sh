@@ -19,10 +19,19 @@ echo "== scvm_lint: SmartCrowd contract must verify =="
 ./build/tools/scvm_lint --smartcrowd --quiet
 ./build/tools/scvm_lint --smartcrowd --json >/dev/null
 
+echo "== scvm_lint --deep: symbolic invariant proofs (60s budget) =="
+# The deep pass must prove both economic invariants on SmartCrowd and refute
+# every adversarial-corpus contract, well inside a CI-friendly wall clock.
+timeout 60 ./build/tools/scvm_lint --smartcrowd --deep --quiet
+timeout 60 ./build/tools/scvm_lint --corpus
+
 echo "== sc_metrics_dump: valid + deterministic Prometheus output =="
 ./build/tools/sc_metrics_dump --seed 7 --prom build/metrics_a.prom --check
 ./build/tools/sc_metrics_dump --seed 7 --prom build/metrics_b.prom --check
 cmp build/metrics_a.prom build/metrics_b.prom
+
+echo "== analysis_bench: static + symex throughput smoke =="
+./build/bench/analysis_bench --runs=small --out=build/BENCH_analysis_smoke.json
 
 echo "== telemetry_bench: overhead smoke =="
 ./build/bench/telemetry_bench --runs=small --out=build/BENCH_telemetry_smoke.json
@@ -40,6 +49,13 @@ ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
 echo "== ASan/UBSan: state differential (journaled vs copy-based oracle) =="
 ctest --test-dir build-asan --output-on-failure -R StateDifferential
+
+echo "== ASan/UBSan: symbolic execution engine (120s budget) =="
+# Solver + explorer + witness replay under sanitizers: the symex unit tests
+# plus the sanitized deep/corpus lint passes.
+ctest --test-dir build-asan --output-on-failure -R Symex
+timeout 120 ./build-asan/tools/scvm_lint --smartcrowd --deep --quiet
+timeout 120 ./build-asan/tools/scvm_lint --corpus
 
 if [ -z "${SKIP_TSAN:-}" ]; then
   echo "== TSan: parallel PoW miner =="

@@ -20,6 +20,7 @@ std::string_view check_name(Check check) {
     case Check::kLoop: return "loop";
     case Check::kUnboundedGas: return "unbounded-gas";
     case Check::kGasCap: return "gas-cap";
+    case Check::kEmptyCode: return "empty-code";
   }
   return "unknown";
 }
@@ -42,6 +43,11 @@ std::string to_string(const Diagnostic& d) {
   out += offset;
   out += ' ';
   out += check_name(d.check);
+  if (d.block != Diagnostic::kNoBlock) {
+    out += " [block ";
+    out += std::to_string(d.block);
+    out += ']';
+  }
   out += ": ";
   out += d.message;
   return out;

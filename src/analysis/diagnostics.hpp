@@ -6,9 +6,11 @@
 //
 //   kError    the code provably faults on some executable path, or is
 //             malformed in a way the deploy gate refuses (dead trailing
-//             bytes). chain::Executor rejects deploys with any error.
-//   kWarning  legal-but-suspicious: the VM tolerates it, a human should look.
-//   kNote     informational (loops, dynamic jumps, gas-bound caveats).
+//             bytes, empty code). chain::Executor rejects deploys with any
+//             error.
+//   kWarning  legal-but-suspicious: the VM tolerates it, a human should look
+//             (computed jump targets, unreachable JUMPDESTs).
+//   kNote     informational (loops, gas-bound caveats).
 #pragma once
 
 #include <cstddef>
@@ -35,12 +37,26 @@ enum class Check : std::uint8_t {
   kLoop,                ///< Reachable cycle in the CFG.
   kUnboundedGas,        ///< CALL present: callee cost escapes static bounds.
   kGasCap,              ///< Gas bound fell back to the worst-case memory cap.
+  kEmptyCode,           ///< Zero-length bytecode: nothing to verify or run.
 };
 
+/// Number of Check enumerators (kept adjacent so catalogue drift is caught by
+/// the per-check fixture test in tests/analysis_test.cpp).
+inline constexpr std::size_t kCheckCount =
+    static_cast<std::size_t>(Check::kEmptyCode) + 1;
+
 struct Diagnostic {
+  /// Sentinel for `block` when the finding does not anchor to a CFG block.
+  static constexpr std::int32_t kNoBlock = -1;
+
   Check check = Check::kUndefinedOpcode;
   Severity severity = Severity::kNote;
   std::size_t offset = 0;  ///< Byte offset into the analyzed code.
+  /// CFG block id (index into Cfg::blocks) the finding anchors to, or
+  /// kNoBlock. Together with `offset` this lets --json consumers and the
+  /// symbolic executor (sc::symex) anchor on a finding structurally instead
+  /// of parsing the message text.
+  std::int32_t block = kNoBlock;
   std::string message;
 };
 

@@ -298,6 +298,12 @@ class Analyzer {
   AnalysisResult run() {
     const Cfg& cfg = result_.cfg;
     result_.facts.resize(cfg.blocks.size());
+    if (cfg.code_size == 0) {
+      // Empty code is refused outright: there is nothing to verify, and a
+      // deploy of it would create an account that silently accepts any call.
+      diag(Check::kEmptyCode, Severity::kError, 0,
+           "code is empty; nothing to verify");
+    }
     decode_lints();
     if (!cfg.blocks.empty()) {
       stack_fixpoint();
@@ -313,8 +319,9 @@ class Analyzer {
   }
 
  private:
-  void diag(Check check, Severity severity, std::size_t offset, std::string msg) {
-    result_.diagnostics.push_back({check, severity, offset, std::move(msg)});
+  void diag(Check check, Severity severity, std::size_t offset, std::string msg,
+            std::int32_t block = Diagnostic::kNoBlock) {
+    result_.diagnostics.push_back({check, severity, offset, block, std::move(msg)});
   }
 
   void decode_lints() {
@@ -359,14 +366,16 @@ class Analyzer {
              "stack underflow: entry height can be " +
                  std::to_string(f.entry_lo) + ", this instruction needs " +
                  std::to_string(-(f.entry_lo + p.min_rel)) +
-                 " more operand(s)");
+                 " more operand(s)",
+             static_cast<std::int32_t>(id));
       }
       if (!flagged_over[id] && f.entry_hi + p.max_rel > kMaxHeight) {
         flagged_over[id] = true;
         diag(Check::kStackOverflow, Severity::kError, p.max_offset,
              "stack overflow: height can reach " +
                  std::to_string(f.entry_hi + p.max_rel) + " (limit " +
-                 std::to_string(kMaxHeight) + ")");
+                 std::to_string(kMaxHeight) + ")",
+             static_cast<std::int32_t>(id));
       }
 
       const int exit_lo = std::clamp(f.entry_lo + p.delta, 0, kMaxHeight);
@@ -400,22 +409,32 @@ class Analyzer {
         char msg[48];
         std::snprintf(msg, sizeof msg, "byte 0x%02x is not an SCVM instruction",
                       last.opcode);
-        diag(Check::kUndefinedOpcode, Severity::kError, last.offset, msg);
+        diag(Check::kUndefinedOpcode, Severity::kError, last.offset, msg,
+             static_cast<std::int32_t>(id));
       }
 
       if (b.ends_in_jump) {
-        if (b.jump_target)
-          check_static_target(*b.jump_target, last.offset);
-        else
-          diag(Check::kDynamicJump, Severity::kNote, last.offset,
-               "jump target is not statically known; assuming any JUMPDEST");
+        if (b.jump_target) {
+          check_static_target(*b.jump_target, last.offset,
+                              static_cast<std::int32_t>(id));
+        } else {
+          // Structured anchor (offset = the JUMP's pc, block = CFG block id)
+          // so --json consumers and sc::symex can target the site without
+          // parsing the message.
+          diag(Check::kDynamicJump, Severity::kWarning, last.offset,
+               "computed jump at pc " + hex_offset(last.offset) + " (block " +
+                   std::to_string(id) +
+                   "): target is not statically known; assuming any JUMPDEST",
+               static_cast<std::int32_t>(id));
+        }
       }
 
       for (std::size_t i = b.first; i < b.first + b.count; ++i) range_checks(i);
     }
   }
 
-  void check_static_target(const U256& dest, std::size_t jump_offset) {
+  void check_static_target(const U256& dest, std::size_t jump_offset,
+                           std::int32_t block) {
     const Cfg& cfg = result_.cfg;
     if (dest.bit_length() > 32 || dest.low64() >= cfg.code_size) {
       diag(Check::kBadJumpTarget, Severity::kError, jump_offset,
@@ -423,7 +442,8 @@ class Analyzer {
                (dest.bit_length() > 64 ? std::string("(>64-bit)")
                                        : hex_offset(dest.low64())) +
                " is outside the code (" + std::to_string(cfg.code_size) +
-               " bytes)");
+               " bytes)",
+           block);
       return;
     }
     const std::size_t d = dest.low64();
@@ -436,10 +456,11 @@ class Analyzer {
       diag(Check::kJumpIntoPushData, Severity::kError, jump_offset,
            "jump destination " + hex_offset(d) + " lands inside the PUSH" +
                std::to_string(it->imm_size) + " immediate at " +
-               hex_offset(it->offset));
+               hex_offset(it->offset),
+           block);
     } else {
       diag(Check::kBadJumpTarget, Severity::kError, jump_offset,
-           "jump destination " + hex_offset(d) + " is not a JUMPDEST");
+           "jump destination " + hex_offset(d) + " is not a JUMPDEST", block);
     }
   }
 
@@ -496,10 +517,12 @@ class Analyzer {
       const BasicBlock& b = cfg.blocks[id];
       if (cfg.instrs[b.first].opcode == static_cast<std::uint8_t>(Op::kJumpDest)) {
         diag(Check::kUnreachableCode, Severity::kWarning, b.start_offset,
-             "JUMPDEST block is never jumped to or fallen into");
+             "JUMPDEST block is never jumped to or fallen into",
+             static_cast<std::int32_t>(id));
       } else {
         diag(Check::kCodeAfterTerminator, Severity::kError, b.start_offset,
-             "code follows an unconditional terminator and can never execute");
+             "code follows an unconditional terminator and can never execute",
+             static_cast<std::int32_t>(id));
       }
     }
   }
@@ -560,14 +583,19 @@ class Analyzer {
       result_.has_loop = true;
       result_.loop_body_gas = sat_add(result_.loop_body_gas, weight[c]);
       std::size_t head = std::numeric_limits<std::size_t>::max();
+      std::int32_t head_block = Diagnostic::kNoBlock;
       for (const std::uint32_t v : scc.sccs[c]) {
         facts[v].in_loop = true;
-        head = std::min(head, cfg.blocks[v].start_offset);
+        if (cfg.blocks[v].start_offset < head) {
+          head = cfg.blocks[v].start_offset;
+          head_block = static_cast<std::int32_t>(v);
+        }
       }
       diag(Check::kLoop, Severity::kNote, head,
            "loop head: " + std::to_string(scc.sccs[c].size()) +
                " block(s) cycle here; gas bound assumes a bounded iteration "
-               "count");
+               "count",
+           head_block);
     }
   }
 

@@ -14,6 +14,7 @@ namespace sc::chain {
 Blockchain::Blockchain(const GenesisConfig& genesis, telemetry::Telemetry* tel)
     : telemetry_(tel),
       state_cfg_(genesis.state_store),
+      deep_verify_(genesis.deep_verify),
       sig_cache_(genesis.execution.sig_cache_capacity),
       dynamic_difficulty_(genesis.dynamic_difficulty) {
   if (state_cfg_.flatten_interval == 0) state_cfg_.flatten_interval = 1;
@@ -182,6 +183,7 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
     env.number = block.header.height;
     env.timestamp = block.header.timestamp;
     env.miner = block.header.miner;
+    if (deep_verify_.enabled) env.deep_verify = &deep_verify_;
     JournaledState journal(tip_state_);
     entry.receipts =
         exec_pool_ ? apply_block_body_parallel(journal, env, block.transactions,

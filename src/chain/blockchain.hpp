@@ -30,6 +30,7 @@
 #include "chain/sig_cache.hpp"
 #include "chain/state.hpp"
 #include "chain/state_journal.hpp"
+#include "symex/properties.hpp"
 
 namespace sc::util {
 class ThreadPool;
@@ -75,6 +76,10 @@ struct GenesisConfig {
   StateStoreConfig state_store;
   /// Sequential vs parallel block execution + signature caching.
   ExecutionConfig execution;
+  /// Opt-in symbolic deploy gate: when enabled, every deploy is bounded
+  /// model checked (sc::symex) after static verification and rejected on a
+  /// replay-confirmed economic-invariant violation.
+  symex::DeepVerifyConfig deep_verify;
 };
 
 /// Where a transaction landed.
@@ -185,6 +190,7 @@ class Blockchain {
 
   telemetry::Telemetry* telemetry_ = nullptr;
   StateStoreConfig state_cfg_;
+  symex::DeepVerifyConfig deep_verify_;
   SigCache sig_cache_;
   /// Worker pool for parallel execution + batched signature verification;
   /// null when execution.threads resolves to 1 (sequential mode).

@@ -1,0 +1,140 @@
+#include "symex/corpus.hpp"
+
+namespace sc::symex {
+
+// Stack notes follow the interpreter's operand order: TRANSFER pops
+// (to, amount), SSTORE pops (key, value), KECCAK pops (offset, length).
+
+const std::vector<CorpusEntry>& adversarial_corpus() {
+  static const std::vector<CorpusEntry> corpus = {
+      {
+          "pay-any-caller",
+          "pays the high bounty to whoever calls, no deposit ever required",
+          R"(  PUSH1 0x01
+  SLOAD          ; [amount = bounty_high]
+  CALLER         ; [amount, to]
+  TRANSFER
+  STOP
+)",
+          PropertyVerdict::kProved,    // escrow: the bad path is a payout bug
+          PropertyVerdict::kViolated,  // payout-requires-deposit
+          0,
+          0,
+      },
+      {
+          "ghost-claim",
+          "checks the commitment like the real contract but never consumes "
+          "it, so one deposit can be paid out forever",
+          R"(  CALLER
+  PUSH1 0x00
+  MSTORE
+  PUSH1 0x04
+  CALLDATALOAD
+  PUSH1 0x20
+  MSTORE
+  PUSH1 0x40
+  PUSH1 0x00
+  KECCAK         ; [key = keccak(caller || H_R*)]
+  SLOAD          ; [pre]
+  PUSH1 0x01
+  EQ
+  PUSHL @pay
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT         ; no commitment
+pay:
+  JUMPDEST
+  PUSH1 0x01
+  SLOAD          ; [amount]
+  CALLER         ; [amount, to]
+  TRANSFER
+  STOP
+)",
+          PropertyVerdict::kProved,
+          PropertyVerdict::kViolated,
+          1,
+          0,
+      },
+      {
+          "rug-pull",
+          "provider drains the whole escrow with no vuln_count == 0 guard, "
+          "stiffing submitters who are still owed bounties",
+          R"(  SELFBALANCE    ; [amount = whole escrow]
+  PUSH1 0x00
+  SLOAD          ; [amount, to = provider]
+  TRANSFER
+  STOP
+)",
+          PropertyVerdict::kViolated,  // escrow-conservation
+          PropertyVerdict::kProved,
+          0,
+          0,
+      },
+      {
+          "overpay",
+          "consumes the commitment correctly but lets the caller choose the "
+          "payout amount from calldata instead of the bounty slot",
+          R"(  CALLER
+  PUSH1 0x00
+  MSTORE
+  PUSH1 0x04
+  CALLDATALOAD
+  PUSH1 0x20
+  MSTORE
+  PUSH1 0x40
+  PUSH1 0x00
+  KECCAK         ; [key]
+  DUP1
+  SLOAD          ; [key, pre]
+  PUSH1 0x01
+  EQ
+  PUSHL @ok
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT         ; no commitment
+ok:
+  JUMPDEST       ; [key]
+  PUSH1 0x02
+  SWAP1          ; [2, key]
+  SSTORE         ; storage[key] = 2 (consumed)
+  PUSH1 0x24
+  CALLDATALOAD   ; [amount = attacker-chosen]
+  CALLER         ; [amount, to]
+  TRANSFER
+  STOP
+)",
+          PropertyVerdict::kViolated,  // escrow leak despite proper consume
+          PropertyVerdict::kProved,
+          1,
+          0,
+      },
+      {
+          "dead-guard",
+          "honest value-free contract with one reachable revert and one "
+          "provably dead revert behind a STOP",
+          R"(  PUSH1 0x00
+  CALLDATALOAD
+  PUSHL @done
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT         ; reachable: calldata word 0 == 0
+done:
+  JUMPDEST
+  STOP
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT         ; dead code, provably unreachable
+)",
+          PropertyVerdict::kProved,
+          PropertyVerdict::kProved,
+          1,
+          1,
+      },
+  };
+  return corpus;
+}
+
+}  // namespace sc::symex

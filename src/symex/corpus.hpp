@@ -1,0 +1,32 @@
+// Adversarial contract corpus for the symbolic checker.
+//
+// Each entry is a small SCVM assembly contract that deliberately breaks (or
+// deliberately upholds) one of the economic invariants from
+// symex/properties.hpp, together with the expected verdicts. The golden tests
+// and `scvm_lint --corpus` assert that check_contract refutes every broken
+// entry with a replay-confirmed witness and proves the honest ones — a
+// self-test that the checker neither under- nor over-reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "symex/properties.hpp"
+
+namespace sc::symex {
+
+struct CorpusEntry {
+  std::string name;
+  std::string description;
+  std::string source;  ///< SCVM assembly (vm::assemble grammar).
+  PropertyVerdict expect_escrow = PropertyVerdict::kUnknown;
+  PropertyVerdict expect_payout = PropertyVerdict::kUnknown;
+  /// Expected REVERT-site classification counts.
+  std::size_t reachable_reverts = 0;
+  std::size_t unreachable_reverts = 0;
+};
+
+/// The built-in corpus (assembled lazily by callers via vm::assemble).
+const std::vector<CorpusEntry>& adversarial_corpus();
+
+}  // namespace sc::symex

@@ -1,0 +1,391 @@
+#include "symex/expr.hpp"
+
+#include <cassert>
+
+namespace sc::symex {
+
+namespace {
+
+bool is_negative(const U256& v) { return v.bit(255); }
+U256 twos_negate(const U256& v) { return U256::zero() - v; }
+U256 twos_abs(const U256& v) { return is_negative(v) ? twos_negate(v) : v; }
+
+bool commutative(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kAdd: case ExprKind::kMul: case ExprKind::kAnd:
+    case ExprKind::kOr: case ExprKind::kXor: case ExprKind::kEq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t node_hash(const Expr& n) {
+  std::uint64_t h = static_cast<std::uint64_t>(n.kind);
+  if (n.kind == ExprKind::kConst) {
+    for (std::uint64_t limb : n.value.limb) h = mix(h, limb);
+  } else if (n.kind == ExprKind::kVar) {
+    h = mix(h, n.var);
+  } else {
+    h = mix(h, n.a->id);
+    if (n.b) h = mix(h, n.b->id);
+  }
+  return h;
+}
+
+bool node_equal(const Expr& x, const Expr& y) {
+  if (x.kind != y.kind) return false;
+  switch (x.kind) {
+    case ExprKind::kConst: return x.value == y.value;
+    case ExprKind::kVar: return x.var == y.var;
+    default: return x.a == y.a && x.b == y.b;
+  }
+}
+
+}  // namespace
+
+U256 eval_binary(ExprKind kind, const U256& a, const U256& b) {
+  switch (kind) {
+    case ExprKind::kAdd: return a + b;
+    case ExprKind::kSub: return a - b;
+    case ExprKind::kMul: return U256::mul_wide(a, b).low();
+    case ExprKind::kDiv: return b.is_zero() ? U256::zero() : U256::div(a, b);
+    case ExprKind::kMod: {
+      if (b.is_zero()) return U256::zero();
+      U256 rem;
+      U256::div(a, b, &rem);
+      return rem;
+    }
+    case ExprKind::kSDiv: {
+      if (b.is_zero()) return U256::zero();
+      U256 r = U256::div(twos_abs(a), twos_abs(b));
+      if (is_negative(a) != is_negative(b)) r = twos_negate(r);
+      return r;
+    }
+    case ExprKind::kSMod: {
+      if (b.is_zero()) return U256::zero();
+      U256 rem;
+      U256::div(twos_abs(a), twos_abs(b), &rem);
+      return is_negative(a) ? twos_negate(rem) : rem;
+    }
+    case ExprKind::kExp: {
+      // base = a, exponent = b; wrapping square-and-multiply.
+      U256 result = U256::one();
+      U256 acc = a;
+      const unsigned bits = b.bit_length();
+      for (unsigned i = 0; i < bits; ++i) {
+        if (b.bit(i)) result = U256::mul_wide(result, acc).low();
+        acc = U256::mul_wide(acc, acc).low();
+      }
+      return result;
+    }
+    case ExprKind::kSignExtend: {
+      // k = a, x = b (interpreter pop order).
+      if (!(a < U256{31})) return b;
+      const unsigned sign_bit = static_cast<unsigned>(a.low64()) * 8 + 7;
+      if (b.bit(sign_bit)) return b | (U256::max_value() << (sign_bit + 1));
+      return b & ~(U256::max_value() << (sign_bit + 1));
+    }
+    case ExprKind::kLt: return a < b ? U256::one() : U256::zero();
+    case ExprKind::kGt: return a > b ? U256::one() : U256::zero();
+    case ExprKind::kSLt: {
+      const bool less =
+          is_negative(a) != is_negative(b) ? is_negative(a) : a < b;
+      return less ? U256::one() : U256::zero();
+    }
+    case ExprKind::kSGt: {
+      const bool less =
+          is_negative(a) != is_negative(b) ? is_negative(a) : a < b;
+      return (!less && a != b) ? U256::one() : U256::zero();
+    }
+    case ExprKind::kEq: return a == b ? U256::one() : U256::zero();
+    case ExprKind::kAnd: return a & b;
+    case ExprKind::kOr: return a | b;
+    case ExprKind::kXor: return a ^ b;
+    case ExprKind::kByte: {
+      // index = a (0 = most-significant byte), word = b.
+      if (!(a < U256{32})) return U256::zero();
+      std::uint8_t be[32];
+      b.to_be_bytes(be);
+      return U256{be[a.low64()]};
+    }
+    // Shift amount is the FIRST operand; >2^9 shifts flush to zero.
+    case ExprKind::kShl:
+      return a.bit_length() > 9 ? U256::zero()
+                                : b << static_cast<unsigned>(a.low64());
+    case ExprKind::kShr:
+      return a.bit_length() > 9 ? U256::zero()
+                                : b >> static_cast<unsigned>(a.low64());
+    default:
+      assert(false && "eval_binary: not a binary operator");
+      return U256::zero();
+  }
+}
+
+U256 eval_unary(ExprKind kind, const U256& a) {
+  switch (kind) {
+    case ExprKind::kIsZero: return a.is_zero() ? U256::one() : U256::zero();
+    case ExprKind::kNot: return ~a;
+    default:
+      assert(false && "eval_unary: not a unary operator");
+      return U256::zero();
+  }
+}
+
+ExprPool::ExprPool() {
+  zero_ = constant(U256::zero());
+  one_ = constant(U256::one());
+}
+
+ExprRef ExprPool::intern(Expr node) {
+  const std::uint64_t h = node_hash(node);
+  auto& bucket = buckets_[h];
+  for (ExprRef existing : bucket)
+    if (node_equal(*existing, node)) return existing;
+  node.id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(std::make_unique<Expr>(node));
+  ExprRef ref = nodes_.back().get();
+  bucket.push_back(ref);
+  return ref;
+}
+
+ExprRef ExprPool::constant(const U256& v) {
+  Expr n;
+  n.kind = ExprKind::kConst;
+  n.value = v;
+  return intern(n);
+}
+
+ExprRef ExprPool::make_var(VarOrigin origin, std::string name, unsigned width,
+                           std::uint64_t aux, ExprRef key,
+                           std::vector<ExprRef> args) {
+  VarInfo info;
+  info.origin = origin;
+  info.name = std::move(name);
+  info.width = width;
+  info.aux = aux;
+  info.key = key;
+  info.args = std::move(args);
+  Expr n;
+  n.kind = ExprKind::kVar;
+  n.var = static_cast<std::uint32_t>(vars_.size());
+  vars_.push_back(std::move(info));
+  return intern(n);
+}
+
+ExprRef ExprPool::unary(ExprKind kind, ExprRef a) {
+  if (a->is_const()) return constant(eval_unary(kind, a->value));
+  if (kind == ExprKind::kIsZero) {
+    // IsZero(IsZero(b)) == b for boolean-shaped b.
+    if (a->kind == ExprKind::kIsZero && a->a->is_boolean()) return a->a;
+  }
+  Expr n;
+  n.kind = kind;
+  n.a = a;
+  return intern(n);
+}
+
+ExprRef ExprPool::binary(ExprKind kind, ExprRef a, ExprRef b) {
+  if (a->is_const() && b->is_const())
+    return constant(eval_binary(kind, a->value, b->value));
+
+  // Same-operand identities (sound for every input value).
+  if (a == b) {
+    switch (kind) {
+      case ExprKind::kSub: case ExprKind::kXor:
+      case ExprKind::kLt: case ExprKind::kGt:
+      case ExprKind::kSLt: case ExprKind::kSGt:
+      case ExprKind::kMod: case ExprKind::kSMod:
+        return zero_;
+      case ExprKind::kEq: return one_;
+      case ExprKind::kAnd: case ExprKind::kOr: return a;
+      default: break;
+    }
+  }
+
+  // Constant-identity rewrites.
+  if (b->is_const()) {
+    const U256& c = b->value;
+    if (c.is_zero()) {
+      if (kind == ExprKind::kAdd || kind == ExprKind::kSub ||
+          kind == ExprKind::kOr || kind == ExprKind::kXor)
+        return a;
+      if (kind == ExprKind::kAnd || kind == ExprKind::kMul) return zero_;
+    }
+    if (c == U256::one() && (kind == ExprKind::kMul || kind == ExprKind::kDiv))
+      return a;
+    if (c == U256::max_value() && kind == ExprKind::kAnd) return a;
+  }
+  if (a->is_const()) {
+    const U256& c = a->value;
+    if (c.is_zero()) {
+      if (kind == ExprKind::kAdd || kind == ExprKind::kOr ||
+          kind == ExprKind::kXor)
+        return b;
+      if (kind == ExprKind::kAnd || kind == ExprKind::kMul) return zero_;
+      // Shift by zero is identity (shift amount is operand `a`).
+      if (kind == ExprKind::kShl || kind == ExprKind::kShr) return b;
+    }
+    if (c == U256::one() && kind == ExprKind::kMul) return b;
+    if (c == U256::max_value() && kind == ExprKind::kAnd) return b;
+    // Constant shift amount >= 256 always flushes to zero.
+    if ((kind == ExprKind::kShl || kind == ExprKind::kShr) &&
+        !(c < U256{256}))
+      return zero_;
+  }
+
+  if (commutative(kind) && a->id > b->id) std::swap(a, b);
+
+  Expr n;
+  n.kind = kind;
+  n.a = a;
+  n.b = b;
+  return intern(n);
+}
+
+ExprRef ExprPool::truthy(ExprRef e) {
+  if (e->is_boolean()) return e;
+  return is_zero(is_zero(e));
+}
+
+ExprRef ExprPool::bool_and(ExprRef a, ExprRef b) {
+  return binary(ExprKind::kAnd, truthy(a), truthy(b));
+}
+
+ExprRef ExprPool::bool_or(ExprRef a, ExprRef b) {
+  return binary(ExprKind::kOr, truthy(a), truthy(b));
+}
+
+namespace {
+
+U256 evaluate_impl(ExprRef e, const Assignment& model,
+                   std::unordered_map<std::uint32_t, U256>& memo) {
+  switch (e->kind) {
+    case ExprKind::kConst: return e->value;
+    case ExprKind::kVar: return model.value_of(e->var);
+    default: break;
+  }
+  const auto it = memo.find(e->id);
+  if (it != memo.end()) return it->second;
+  U256 result;
+  if (e->b) {
+    result = eval_binary(e->kind, evaluate_impl(e->a, model, memo),
+                         evaluate_impl(e->b, model, memo));
+  } else {
+    result = eval_unary(e->kind, evaluate_impl(e->a, model, memo));
+  }
+  memo.emplace(e->id, result);
+  return result;
+}
+
+}  // namespace
+
+U256 evaluate(ExprRef e, const Assignment& model) {
+  std::unordered_map<std::uint32_t, U256> memo;
+  return evaluate_impl(e, model, memo);
+}
+
+void free_vars(ExprRef e, std::unordered_set<std::uint32_t>& out) {
+  std::vector<ExprRef> stack{e};
+  std::unordered_set<std::uint32_t> seen;
+  while (!stack.empty()) {
+    ExprRef n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n->id).second) continue;
+    if (n->is_var()) {
+      out.insert(n->var);
+    } else if (n->a) {
+      stack.push_back(n->a);
+      if (n->b) stack.push_back(n->b);
+    }
+  }
+}
+
+bool mentions(ExprRef e, std::uint32_t var) {
+  std::vector<ExprRef> stack{e};
+  std::unordered_set<std::uint32_t> seen;
+  while (!stack.empty()) {
+    ExprRef n = stack.back();
+    stack.pop_back();
+    if (!seen.insert(n->id).second) continue;
+    if (n->is_var()) {
+      if (n->var == var) return true;
+    } else if (n->a) {
+      stack.push_back(n->a);
+      if (n->b) stack.push_back(n->b);
+    }
+  }
+  return false;
+}
+
+namespace {
+
+const char* kind_name(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kConst: return "const";
+    case ExprKind::kVar: return "var";
+    case ExprKind::kAdd: return "add";
+    case ExprKind::kSub: return "sub";
+    case ExprKind::kMul: return "mul";
+    case ExprKind::kDiv: return "div";
+    case ExprKind::kSDiv: return "sdiv";
+    case ExprKind::kMod: return "mod";
+    case ExprKind::kSMod: return "smod";
+    case ExprKind::kExp: return "exp";
+    case ExprKind::kSignExtend: return "signextend";
+    case ExprKind::kLt: return "lt";
+    case ExprKind::kGt: return "gt";
+    case ExprKind::kSLt: return "slt";
+    case ExprKind::kSGt: return "sgt";
+    case ExprKind::kEq: return "eq";
+    case ExprKind::kAnd: return "and";
+    case ExprKind::kOr: return "or";
+    case ExprKind::kXor: return "xor";
+    case ExprKind::kByte: return "byte";
+    case ExprKind::kShl: return "shl";
+    case ExprKind::kShr: return "shr";
+    case ExprKind::kIsZero: return "iszero";
+    case ExprKind::kNot: return "not";
+  }
+  return "?";
+}
+
+void render(ExprRef e, const ExprPool& pool, std::string& out, int depth) {
+  if (depth > 24) {
+    out += "...";
+    return;
+  }
+  switch (e->kind) {
+    case ExprKind::kConst:
+      out += "0x" + e->value.hex();
+      return;
+    case ExprKind::kVar:
+      out += pool.var_info(e->var).name;
+      return;
+    default:
+      out += '(';
+      out += kind_name(e->kind);
+      out += ' ';
+      render(e->a, pool, out, depth + 1);
+      if (e->b) {
+        out += ' ';
+        render(e->b, pool, out, depth + 1);
+      }
+      out += ')';
+  }
+}
+
+}  // namespace
+
+std::string to_string(ExprRef e, const ExprPool& pool) {
+  std::string out;
+  render(e, pool, out, 0);
+  return out;
+}
+
+}  // namespace sc::symex

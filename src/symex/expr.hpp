@@ -1,0 +1,177 @@
+// sc::symex expression layer — a hash-consed bitvector term language for
+// symbolic SCVM execution.
+//
+// Terms are 256-bit words, mirroring the VM's value domain one-to-one: every
+// operator below has exactly the semantics of the corresponding SCVM opcode
+// (shift amount is the FIRST operand, division by zero yields zero, wrapping
+// add/sub/mul, comparisons return 0/1). That equivalence is what makes the
+// whole pipeline honest: a model found for a path condition can be evaluated
+// with `evaluate()` and MUST agree with what the interpreter does on the
+// same inputs — the witness replay in symex/properties.cpp asserts exactly
+// that.
+//
+// The pool hash-conses nodes (structural equality => pointer equality) so
+// the solver can use pointer identity for congruence reasoning, and applies
+// constant folding plus a small set of always-sound rewrites at construction
+// time (x-x => 0, Eq(x,x) => 1, IsZero(IsZero(b)) => b for boolean b, ...).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/uint256.hpp"
+#include "util/bytes.hpp"
+
+namespace sc::symex {
+
+using crypto::U256;
+
+enum class ExprKind : std::uint8_t {
+  kConst,
+  kVar,
+  // Binary ops; operand `a` is the value popped FIRST by the interpreter.
+  kAdd, kSub, kMul, kDiv, kSDiv, kMod, kSMod, kExp, kSignExtend,
+  kLt, kGt, kSLt, kSGt, kEq,
+  kAnd, kOr, kXor, kByte, kShl, kShr,
+  // Unary ops.
+  kIsZero, kNot,
+};
+
+/// Where a free variable came from. The witness builder keys on this to turn
+/// a model back into concrete calldata / storage / environment values.
+enum class VarOrigin : std::uint8_t {
+  kCalldataWord,  ///< aux = byte offset of the 32-byte word.
+  kCalldataSize,
+  kCaller,        ///< 160-bit.
+  kCallValue,     ///< 64-bit (Context::value is uint64).
+  kSelfAddress,   ///< 160-bit.
+  kSelfBalance,   ///< 64-bit (host balances are uint64 µeth).
+  kTimestamp,     ///< 64-bit.
+  kNumber,        ///< 64-bit.
+  kStorageInit,   ///< Pre-state storage word; `key` holds the key term.
+  kBalance,       ///< balance(addr); `key` holds the address term. 64-bit.
+  kKeccak,        ///< Memoized hash; `args` holds the hashed 32-byte words.
+  kHavoc,         ///< Unconstrained over-approximation (unknown memory, CALL result, ...).
+};
+
+struct Expr;
+using ExprRef = const Expr*;
+
+struct Expr {
+  ExprKind kind = ExprKind::kConst;
+  std::uint32_t id = 0;    ///< Dense pool index; creation order.
+  std::uint32_t var = 0;   ///< kVar: variable id.
+  U256 value;              ///< kConst.
+  ExprRef a = nullptr;
+  ExprRef b = nullptr;
+
+  bool is_const() const { return kind == ExprKind::kConst; }
+  bool is_var() const { return kind == ExprKind::kVar; }
+  /// Operators whose result is always 0 or 1.
+  bool is_boolean() const {
+    switch (kind) {
+      case ExprKind::kLt: case ExprKind::kGt:
+      case ExprKind::kSLt: case ExprKind::kSGt:
+      case ExprKind::kEq: case ExprKind::kIsZero:
+        return true;
+      case ExprKind::kConst:
+        return value.is_zero() || value == U256::one();
+      default:
+        return false;
+    }
+  }
+};
+
+struct VarInfo {
+  VarOrigin origin = VarOrigin::kHavoc;
+  std::string name;
+  unsigned width = 256;        ///< Invariant: value < 2^width.
+  std::uint64_t aux = 0;       ///< Calldata offset / keccak length, by origin.
+  ExprRef key = nullptr;       ///< kStorageInit: key term; kBalance: address.
+  std::vector<ExprRef> args;   ///< kKeccak: hashed words (aux = byte length).
+};
+
+/// Exact SCVM semantics for one operator over concrete values. Shared by the
+/// constant folder, the model evaluator and the solver's candidate scoring.
+U256 eval_binary(ExprKind kind, const U256& a, const U256& b);
+U256 eval_unary(ExprKind kind, const U256& a);
+
+/// A model: variable id -> value. Unassigned variables read as zero.
+struct Assignment {
+  std::unordered_map<std::uint32_t, U256> values;
+
+  U256 value_of(std::uint32_t var) const {
+    const auto it = values.find(var);
+    return it == values.end() ? U256::zero() : it->second;
+  }
+};
+
+class ExprPool {
+ public:
+  ExprPool();
+
+  ExprRef constant(const U256& v);
+  ExprRef constant_u64(std::uint64_t v) { return constant(U256{v}); }
+  ExprRef zero() const { return zero_; }
+  ExprRef one() const { return one_; }
+
+  /// Creates a fresh variable. `width` bounds the value (< 2^width); the
+  /// solver's interval layer uses it as the initial range.
+  ExprRef make_var(VarOrigin origin, std::string name, unsigned width = 256,
+                   std::uint64_t aux = 0, ExprRef key = nullptr,
+                   std::vector<ExprRef> args = {});
+
+  ExprRef binary(ExprKind kind, ExprRef a, ExprRef b);
+  ExprRef unary(ExprKind kind, ExprRef a);
+
+  // Convenience builders.
+  ExprRef add(ExprRef a, ExprRef b) { return binary(ExprKind::kAdd, a, b); }
+  ExprRef sub(ExprRef a, ExprRef b) { return binary(ExprKind::kSub, a, b); }
+  ExprRef eq(ExprRef a, ExprRef b) { return binary(ExprKind::kEq, a, b); }
+  ExprRef lt(ExprRef a, ExprRef b) { return binary(ExprKind::kLt, a, b); }
+  ExprRef gt(ExprRef a, ExprRef b) { return binary(ExprKind::kGt, a, b); }
+  ExprRef is_zero(ExprRef a) { return unary(ExprKind::kIsZero, a); }
+  /// 0/1 truth value of `e` (identity for boolean-shaped terms).
+  ExprRef truthy(ExprRef e);
+  /// Logical AND/OR of 0/1 terms.
+  ExprRef bool_and(ExprRef a, ExprRef b);
+  ExprRef bool_or(ExprRef a, ExprRef b);
+
+  const VarInfo& var_info(std::uint32_t var) const { return vars_[var]; }
+  std::size_t var_count() const { return vars_.size(); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  ExprRef intern(Expr node);
+
+  // Deques would also work; vector of unique_ptr keeps refs stable.
+  std::vector<std::unique_ptr<Expr>> nodes_;
+  std::unordered_map<std::uint64_t, std::vector<ExprRef>> buckets_;
+  std::vector<VarInfo> vars_;
+  ExprRef zero_ = nullptr;
+  ExprRef one_ = nullptr;
+};
+
+/// Evaluates `e` under `model` with exact VM semantics (memoized).
+U256 evaluate(ExprRef e, const Assignment& model);
+
+/// Collects the free variable ids of `e` into `out`.
+void free_vars(ExprRef e, std::unordered_set<std::uint32_t>& out);
+
+/// True if `e` mentions variable `var`.
+bool mentions(ExprRef e, std::uint32_t var);
+
+/// Debug rendering ("(add cd[4] 0x1)").
+std::string to_string(ExprRef e, const ExprPool& pool);
+
+/// A path-condition literal: `expr != 0` when truthy, `expr == 0` otherwise.
+struct Literal {
+  ExprRef expr = nullptr;
+  bool truthy = true;
+};
+
+}  // namespace sc::symex

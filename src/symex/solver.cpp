@@ -1,0 +1,1364 @@
+#include "symex/solver.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace sc::symex {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+U256 width_mask(unsigned width) {
+  if (width >= 256) return U256::max_value();
+  return (U256::one() << width) - U256::one();
+}
+
+bool add_overflows(const U256& a, const U256& b) { return a + b < a; }
+
+const U256& umin(const U256& a, const U256& b) { return a < b ? a : b; }
+const U256& umax(const U256& a, const U256& b) { return a < b ? b : a; }
+
+struct Rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+/// Evaluates every literal under `model` with ONE shared memo (the literals
+/// of a path condition share most of their subterms).
+struct BatchEval {
+  const Assignment& model;
+  std::unordered_map<std::uint32_t, U256> memo;
+
+  explicit BatchEval(const Assignment& m) : model(m) {}
+
+  U256 eval(ExprRef e) {
+    switch (e->kind) {
+      case ExprKind::kConst: return e->value;
+      case ExprKind::kVar: return model.value_of(e->var);
+      default: break;
+    }
+    const auto it = memo.find(e->id);
+    if (it != memo.end()) return it->second;
+    U256 r = e->b ? eval_binary(e->kind, eval(e->a), eval(e->b))
+                  : eval_unary(e->kind, eval(e->a));
+    memo.emplace(e->id, r);
+    return r;
+  }
+
+  bool satisfied(const Literal& lit) {
+    return eval(lit.expr).is_zero() != lit.truthy;
+  }
+};
+
+std::size_t count_satisfied(const std::vector<Literal>& lits,
+                            const Assignment& model) {
+  BatchEval be(model);
+  std::size_t n = 0;
+  for (const Literal& l : lits)
+    if (be.satisfied(l)) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: normalization.
+//
+// Output literals are IMPLIED by the input literal (equivalent except for the
+// truthy-And split over non-boolean operands), so an UNSAT verdict on the
+// normalized set transfers to the original set. SAT models are always
+// validated against the originals.
+
+void normalize_into(ExprRef e, bool truthy, std::vector<Literal>& out,
+                    bool& contradiction, int depth) {
+  if (e->is_const()) {
+    if (e->value.is_zero() == truthy) contradiction = true;
+    return;
+  }
+  if (depth < 32) {
+    if (e->kind == ExprKind::kIsZero) {
+      normalize_into(e->a, !truthy, out, contradiction, depth + 1);
+      return;
+    }
+    // a & b != 0  implies  a != 0 and b != 0 (exact for booleans).
+    if (e->kind == ExprKind::kAnd && truthy) {
+      normalize_into(e->a, true, out, contradiction, depth + 1);
+      normalize_into(e->b, true, out, contradiction, depth + 1);
+      return;
+    }
+    // a | b == 0  iff  a == 0 and b == 0 (exact for all words).
+    if (e->kind == ExprKind::kOr && !truthy) {
+      normalize_into(e->a, false, out, contradiction, depth + 1);
+      normalize_into(e->b, false, out, contradiction, depth + 1);
+      return;
+    }
+  }
+  out.push_back({e, truthy});
+}
+
+std::vector<Literal> normalize(const std::vector<Literal>& in,
+                               bool& contradiction) {
+  std::vector<Literal> out;
+  for (const Literal& lit : in)
+    normalize_into(lit.expr, lit.truthy, out, contradiction, 0);
+  // Dedup and detect opposite-polarity pairs on the same term.
+  std::unordered_map<ExprRef, bool> seen;
+  std::vector<Literal> dedup;
+  for (const Literal& lit : out) {
+    const auto it = seen.find(lit.expr);
+    if (it == seen.end()) {
+      seen.emplace(lit.expr, lit.truthy);
+      dedup.push_back(lit);
+    } else if (it->second != lit.truthy) {
+      contradiction = true;
+    }
+  }
+  return dedup;
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: equality reasoning (union-find + substitution through the pool).
+
+struct UnionFind {
+  std::unordered_map<ExprRef, ExprRef> parent;
+
+  ExprRef find(ExprRef e) {
+    ExprRef root = e;
+    while (true) {
+      const auto it = parent.find(root);
+      if (it == parent.end()) break;
+      root = it->second;
+    }
+    while (e != root) {
+      ExprRef next = parent[e];
+      parent[e] = root;
+      e = next;
+    }
+    return root;
+  }
+
+  /// Merges the classes of a and b. Prefers a constant representative.
+  /// Returns false on a constant/constant clash (=> UNSAT).
+  bool merge(ExprRef a, ExprRef b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return true;
+    if (a->is_const() && b->is_const()) return a->value == b->value;
+    if (b->is_const()) std::swap(a, b);
+    parent[b] = a;
+    return true;
+  }
+};
+
+struct EqualityResult {
+  bool contradiction = false;
+  UnionFind uf;
+  std::vector<std::pair<ExprRef, ExprRef>> diseqs;
+};
+
+EqualityResult equality_layer(const std::vector<Literal>& lits,
+                              const ExprPool& pool) {
+  EqualityResult r;
+  ExprRef zero = pool.zero();
+  ExprRef one = pool.one();
+  for (const Literal& lit : lits) {
+    ExprRef e = lit.expr;
+    if (lit.truthy) {
+      if (e->kind == ExprKind::kEq) {
+        if (!r.uf.merge(e->a, e->b)) {
+          r.contradiction = true;
+          return r;
+        }
+        continue;
+      }
+      if (e->is_boolean()) {
+        if (!r.uf.merge(e, one)) {
+          r.contradiction = true;
+          return r;
+        }
+      } else {
+        r.diseqs.emplace_back(e, zero);
+      }
+    } else {
+      if (e->kind == ExprKind::kEq) r.diseqs.emplace_back(e->a, e->b);
+      if (!r.uf.merge(e, zero)) {
+        r.contradiction = true;
+        return r;
+      }
+    }
+  }
+  for (const auto& [a, b] : r.diseqs) {
+    ExprRef ra = r.uf.find(a);
+    ExprRef rb = r.uf.find(b);
+    if (ra == rb || (ra->is_const() && rb->is_const() && ra->value == rb->value)) {
+      r.contradiction = true;
+      return r;
+    }
+  }
+  return r;
+}
+
+/// Rebuilds `e` with every subterm whose equivalence class has a constant
+/// representative replaced by that constant. Folding in the pool then
+/// propagates the constants upward (a poor man's congruence closure).
+ExprRef substitute(ExprRef e, UnionFind& uf, ExprPool& pool,
+                   std::unordered_map<ExprRef, ExprRef>& memo) {
+  ExprRef rep = uf.find(e);
+  if (rep->is_const()) return rep;
+  if (e->is_const() || e->is_var()) return e;
+  const auto it = memo.find(e);
+  if (it != memo.end()) return it->second;
+  ExprRef a = substitute(e->a, uf, pool, memo);
+  ExprRef out;
+  if (e->b) {
+    ExprRef b = substitute(e->b, uf, pool, memo);
+    out = pool.binary(e->kind, a, b);
+  } else {
+    out = pool.unary(e->kind, a);
+  }
+  // The rebuilt term may itself be pinned to a constant.
+  ExprRef out_rep = uf.find(out);
+  if (out_rep->is_const()) out = out_rep;
+  memo.emplace(e, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: interval propagation.
+
+struct Interval {
+  U256 lo;
+  U256 hi;
+
+  static Interval full() { return {U256::zero(), U256::max_value()}; }
+  static Interval boolean() { return {U256::zero(), U256::one()}; }
+  static Interval point(const U256& v) { return {v, v}; }
+  bool is_point() const { return lo == hi; }
+  bool contains_zero() const { return lo.is_zero(); }
+};
+
+/// Intersects, returning false on an empty result.
+bool intersect(Interval& x, const Interval& y) {
+  x.lo = umax(x.lo, y.lo);
+  x.hi = umin(x.hi, y.hi);
+  return !(x.hi < x.lo);
+}
+
+struct IntervalCtx {
+  const ExprPool& pool;
+  /// Literal-driven refinements, persisted across fixpoint rounds.
+  std::unordered_map<ExprRef, Interval> refined;
+  /// Per-round bottom-up memo.
+  std::unordered_map<ExprRef, Interval> memo;
+  bool empty = false;  ///< Some intersection came up empty => UNSAT.
+
+  Interval compute(ExprRef e) {
+    const auto mit = memo.find(e);
+    if (mit != memo.end()) return mit->second;
+    Interval iv = structural(e);
+    const auto rit = refined.find(e);
+    if (rit != refined.end() && !intersect(iv, rit->second)) empty = true;
+    memo.emplace(e, iv);
+    return iv;
+  }
+
+  Interval structural(ExprRef e) {
+    switch (e->kind) {
+      case ExprKind::kConst:
+        return Interval::point(e->value);
+      case ExprKind::kVar:
+        return {U256::zero(), width_mask(pool.var_info(e->var).width)};
+      default:
+        break;
+    }
+    Interval a = compute(e->a);
+    Interval b = e->b ? compute(e->b) : Interval::full();
+    switch (e->kind) {
+      case ExprKind::kAdd:
+        if (!add_overflows(a.hi, b.hi)) return {a.lo + b.lo, a.hi + b.hi};
+        return Interval::full();
+      case ExprKind::kSub:
+        if (!(a.lo < b.hi)) return {a.lo - b.hi, a.hi - b.lo};
+        return Interval::full();
+      case ExprKind::kMul: {
+        const crypto::U512 wide = U256::mul_wide(a.hi, b.hi);
+        if (wide.high().is_zero())
+          return {U256::mul_wide(a.lo, b.lo).low(), wide.low()};
+        return Interval::full();
+      }
+      case ExprKind::kDiv:
+        // a / b <= a, and b == 0 yields 0.
+        return {U256::zero(), a.hi};
+      case ExprKind::kMod:
+        return {U256::zero(),
+                b.hi.is_zero() ? U256::zero() : umin(a.hi, b.hi - U256::one())};
+      case ExprKind::kAnd:
+        return {U256::zero(), umin(a.hi, b.hi)};
+      case ExprKind::kOr: {
+        const unsigned bits = std::max(a.hi.bit_length(), b.hi.bit_length());
+        return {umax(a.lo, b.lo), width_mask(bits)};
+      }
+      case ExprKind::kXor: {
+        const unsigned bits = std::max(a.hi.bit_length(), b.hi.bit_length());
+        return {U256::zero(), width_mask(bits)};
+      }
+      case ExprKind::kNot:
+        return {~a.hi, ~a.lo};
+      case ExprKind::kShl:
+        if (a.is_point()) {
+          if (a.lo.bit_length() > 9) return Interval::point(U256::zero());
+          const unsigned c = static_cast<unsigned>(a.lo.low64());
+          if (c < 256 && b.hi.bit_length() + c <= 256)
+            return {b.lo << c, b.hi << c};
+        }
+        return Interval::full();
+      case ExprKind::kShr:
+        if (a.is_point()) {
+          if (a.lo.bit_length() > 9) return Interval::point(U256::zero());
+          const unsigned c = static_cast<unsigned>(a.lo.low64());
+          if (c >= 256) return Interval::point(U256::zero());
+          return {b.lo >> c, b.hi >> c};
+        }
+        return {U256::zero(), b.hi};
+      case ExprKind::kByte:
+        return {U256::zero(), U256{255}};
+      case ExprKind::kLt:
+        if (a.hi < b.lo) return Interval::point(U256::one());
+        if (!(a.lo < b.hi)) return Interval::point(U256::zero());
+        return Interval::boolean();
+      case ExprKind::kGt:
+        if (b.hi < a.lo) return Interval::point(U256::one());
+        if (!(b.lo < a.hi)) return Interval::point(U256::zero());
+        return Interval::boolean();
+      case ExprKind::kEq:
+        if (a.is_point() && b.is_point())
+          return Interval::point(a.lo == b.lo ? U256::one() : U256::zero());
+        if (a.hi < b.lo || b.hi < a.lo) return Interval::point(U256::zero());
+        return Interval::boolean();
+      case ExprKind::kSLt:
+      case ExprKind::kSGt:
+        return Interval::boolean();
+      case ExprKind::kIsZero:
+        if (!a.contains_zero()) return Interval::point(U256::zero());
+        if (a.is_point()) return Interval::point(U256::one());
+        return Interval::boolean();
+      default:
+        return Interval::full();
+    }
+  }
+
+  /// Pushes a refined range down through invertible shapes to the leaves.
+  void refine(ExprRef e, Interval iv, int depth) {
+    if (empty || depth > 16) return;
+    auto [it, inserted] = refined.emplace(e, iv);
+    if (!inserted) {
+      Interval merged = it->second;
+      if (!intersect(merged, iv)) {
+        empty = true;
+        return;
+      }
+      if (merged.lo == it->second.lo && merged.hi == it->second.hi) return;
+      it->second = merged;
+      iv = merged;
+    }
+    switch (e->kind) {
+      case ExprKind::kAdd:
+        if (e->b->is_const() && !add_overflows(iv.hi, ~e->b->value)) {
+          // x + c in [lo, hi] => x in [lo - c, hi - c] when the original
+          // addition cannot wrap for the refined range.
+          if (!(iv.lo < e->b->value))
+            refine(e->a, {iv.lo - e->b->value, iv.hi - e->b->value}, depth + 1);
+        } else if (e->a->is_const() && !(iv.lo < e->a->value)) {
+          refine(e->b, {iv.lo - e->a->value, iv.hi - e->a->value}, depth + 1);
+        }
+        return;
+      case ExprKind::kSub:
+        if (e->b->is_const() && !add_overflows(iv.hi, e->b->value)) {
+          refine(e->a, {iv.lo + e->b->value, iv.hi + e->b->value}, depth + 1);
+        }
+        return;
+      case ExprKind::kShr:
+        // Shr(c, x) in [lo, hi] => x in [lo << c, (hi << c) | mask(c)].
+        if (e->a->is_const() && e->a->value.bit_length() <= 9) {
+          const unsigned c = static_cast<unsigned>(e->a->value.low64());
+          if (c < 256 && iv.hi.bit_length() + c <= 256)
+            refine(e->b, {iv.lo << c, (iv.hi << c) | width_mask(c)}, depth + 1);
+        }
+        return;
+      default:
+        return;
+    }
+  }
+};
+
+/// Runs bounded interval fixpoint over the (normalized, substituted)
+/// literals. Returns kUnsat when a literal is interval-infeasible.
+SolveStatus interval_layer(const std::vector<Literal>& lits,
+                           const ExprPool& pool, unsigned rounds) {
+  IntervalCtx ctx{pool, {}, {}, false};
+  for (unsigned round = 0; round < rounds; ++round) {
+    ctx.memo.clear();
+    for (const Literal& lit : lits) {
+      Interval iv = ctx.compute(lit.expr);
+      if (ctx.empty) return SolveStatus::kUnsat;
+      if (lit.truthy) {
+        if (iv.is_point() && iv.lo.is_zero()) return SolveStatus::kUnsat;
+      } else {
+        if (!iv.contains_zero()) return SolveStatus::kUnsat;
+      }
+    }
+    // Literal-driven refinement for the next round.
+    for (const Literal& lit : lits) {
+      ExprRef e = lit.expr;
+      if (!lit.truthy) {
+        ctx.refine(e, Interval::point(U256::zero()), 0);
+        if (e->kind == ExprKind::kLt) {
+          // !(a < b) => a >= b: meet a.lo up, b.hi down.
+          Interval b = ctx.compute(e->b);
+          ctx.refine(e->a, {b.lo, U256::max_value()}, 0);
+          Interval a = ctx.compute(e->a);
+          ctx.refine(e->b, {U256::zero(), a.hi}, 0);
+        } else if (e->kind == ExprKind::kGt) {
+          Interval b = ctx.compute(e->b);
+          ctx.refine(e->a, {U256::zero(), b.hi}, 0);
+          Interval a = ctx.compute(e->a);
+          ctx.refine(e->b, {a.lo, U256::max_value()}, 0);
+        }
+        continue;
+      }
+      switch (e->kind) {
+        case ExprKind::kEq: {
+          Interval a = ctx.compute(e->a);
+          Interval b = ctx.compute(e->b);
+          Interval meet = a;
+          if (!intersect(meet, b)) return SolveStatus::kUnsat;
+          ctx.refine(e->a, meet, 0);
+          ctx.refine(e->b, meet, 0);
+          break;
+        }
+        case ExprKind::kLt: {
+          Interval b = ctx.compute(e->b);
+          if (b.hi.is_zero()) return SolveStatus::kUnsat;
+          ctx.refine(e->a, {U256::zero(), b.hi - U256::one()}, 0);
+          Interval a = ctx.compute(e->a);
+          if (a.lo == U256::max_value()) return SolveStatus::kUnsat;
+          ctx.refine(e->b, {a.lo + U256::one(), U256::max_value()}, 0);
+          break;
+        }
+        case ExprKind::kGt: {
+          Interval b = ctx.compute(e->b);
+          if (b.lo == U256::max_value()) return SolveStatus::kUnsat;
+          ctx.refine(e->a, {b.lo + U256::one(), U256::max_value()}, 0);
+          Interval a = ctx.compute(e->a);
+          if (a.hi.is_zero()) return SolveStatus::kUnsat;
+          ctx.refine(e->b, {U256::zero(), a.hi - U256::one()}, 0);
+          break;
+        }
+        default:
+          if (!e->is_boolean())
+            ctx.refine(e, {U256::one(), U256::max_value()}, 0);
+          break;
+      }
+      if (ctx.empty) return SolveStatus::kUnsat;
+    }
+  }
+  return SolveStatus::kUnknown;
+}
+
+// ---------------------------------------------------------------------------
+// Layer 4: model search with algebraic inversion.
+
+struct Candidate {
+  std::uint32_t var;
+  U256 value;
+};
+
+struct Inverter {
+  const ExprPool& pool;
+  BatchEval& be;
+  std::vector<Candidate>& out;
+
+  void push(ExprRef var_node, const U256& v) {
+    const VarInfo& info = pool.var_info(var_node->var);
+    if (info.width < 256 && width_mask(info.width) < v) return;
+    if (out.size() < 64) out.push_back({var_node->var, v});
+  }
+
+  /// Proposes variable assignments that would make `e` evaluate to `target`.
+  void invert(ExprRef e, const U256& target, int depth) {
+    if (depth > 32 || out.size() >= 64) return;
+    switch (e->kind) {
+      case ExprKind::kConst:
+        return;
+      case ExprKind::kVar:
+        push(e, target);
+        return;
+      case ExprKind::kAdd:
+        invert(e->a, target - be.eval(e->b), depth + 1);
+        invert(e->b, target - be.eval(e->a), depth + 1);
+        return;
+      case ExprKind::kSub:
+        invert(e->a, target + be.eval(e->b), depth + 1);
+        invert(e->b, be.eval(e->a) - target, depth + 1);
+        return;
+      case ExprKind::kXor:
+        invert(e->a, target ^ be.eval(e->b), depth + 1);
+        invert(e->b, target ^ be.eval(e->a), depth + 1);
+        return;
+      case ExprKind::kNot:
+        invert(e->a, ~target, depth + 1);
+        return;
+      case ExprKind::kEq: {
+        const U256 va = be.eval(e->a);
+        const U256 vb = be.eval(e->b);
+        if (!target.is_zero()) {
+          invert(e->a, vb, depth + 1);
+          invert(e->b, va, depth + 1);
+        } else {
+          invert(e->a, vb + U256::one(), depth + 1);
+          invert(e->b, va + U256::one(), depth + 1);
+        }
+        return;
+      }
+      case ExprKind::kIsZero:
+        invert(e->a, target.is_zero() ? U256::one() : U256::zero(), depth + 1);
+        return;
+      case ExprKind::kLt:
+      case ExprKind::kSLt: {
+        const U256 va = be.eval(e->a);
+        const U256 vb = be.eval(e->b);
+        if (!target.is_zero()) {
+          if (!vb.is_zero()) invert(e->a, vb - U256::one(), depth + 1);
+          if (va != U256::max_value()) invert(e->b, va + U256::one(), depth + 1);
+          invert(e->a, U256::zero(), depth + 1);
+        } else {
+          invert(e->a, vb, depth + 1);
+          invert(e->b, U256::zero(), depth + 1);
+          invert(e->b, va, depth + 1);
+        }
+        return;
+      }
+      case ExprKind::kGt:
+      case ExprKind::kSGt: {
+        const U256 va = be.eval(e->a);
+        const U256 vb = be.eval(e->b);
+        if (!target.is_zero()) {
+          if (!va.is_zero()) invert(e->b, va - U256::one(), depth + 1);
+          if (vb != U256::max_value()) invert(e->a, vb + U256::one(), depth + 1);
+          invert(e->b, U256::zero(), depth + 1);
+        } else {
+          invert(e->a, vb, depth + 1);
+          invert(e->a, U256::zero(), depth + 1);
+          invert(e->b, va, depth + 1);
+        }
+        return;
+      }
+      case ExprKind::kAnd: {
+        // Through a constant mask: keep the other bits, overwrite the masked.
+        if (e->b->is_const() && (target & ~e->b->value).is_zero())
+          invert(e->a, (be.eval(e->a) & ~e->b->value) | target, depth + 1);
+        if (e->a->is_const() && (target & ~e->a->value).is_zero())
+          invert(e->b, (be.eval(e->b) & ~e->a->value) | target, depth + 1);
+        return;
+      }
+      case ExprKind::kOr: {
+        if (e->b->is_const() && (e->b->value & ~target).is_zero())
+          invert(e->a, target & ~e->b->value, depth + 1);
+        if (e->a->is_const() && (e->a->value & ~target).is_zero())
+          invert(e->b, target & ~e->a->value, depth + 1);
+        return;
+      }
+      case ExprKind::kShl: {
+        if (e->a->is_const() && e->a->value.bit_length() <= 9) {
+          const unsigned c = static_cast<unsigned>(e->a->value.low64());
+          if (c < 256 && ((target >> c) << c) == target)
+            invert(e->b, target >> c, depth + 1);
+        }
+        return;
+      }
+      case ExprKind::kShr: {
+        if (e->a->is_const() && e->a->value.bit_length() <= 9) {
+          const unsigned c = static_cast<unsigned>(e->a->value.low64());
+          if (c < 256 && target.bit_length() + c <= 256)
+            invert(e->b, target << c, depth + 1);
+        }
+        return;
+      }
+      case ExprKind::kMul: {
+        if (e->a->is_const() && !e->a->value.is_zero()) {
+          U256 rem;
+          const U256 q = U256::div(target, e->a->value, &rem);
+          if (rem.is_zero()) invert(e->b, q, depth + 1);
+        }
+        if (e->b->is_const() && !e->b->value.is_zero()) {
+          U256 rem;
+          const U256 q = U256::div(target, e->b->value, &rem);
+          if (rem.is_zero()) invert(e->a, q, depth + 1);
+        }
+        return;
+      }
+      case ExprKind::kDiv: {
+        if (e->b->is_const() && !e->b->value.is_zero()) {
+          const crypto::U512 wide = U256::mul_wide(target, e->b->value);
+          if (wide.high().is_zero()) invert(e->a, wide.low(), depth + 1);
+        }
+        return;
+      }
+      default:
+        return;
+    }
+  }
+};
+
+struct SearchOutcome {
+  bool found = false;
+  Assignment model;
+};
+
+SearchOutcome model_search(const std::vector<Literal>& original,
+                           const ExprPool& pool, const Assignment& seed,
+                           const SolverConfig& config, SolverStats& stats) {
+  SearchOutcome out;
+  if (original.empty()) {
+    out.found = true;
+    return out;
+  }
+
+  // Collect the variable leaves (as nodes, for width info and inversion).
+  std::vector<ExprRef> var_nodes;
+  {
+    std::unordered_set<std::uint32_t> ids;
+    std::vector<ExprRef> stack;
+    std::unordered_set<const Expr*> seen;
+    for (const Literal& l : original) stack.push_back(l.expr);
+    while (!stack.empty()) {
+      ExprRef n = stack.back();
+      stack.pop_back();
+      if (!seen.insert(n).second) continue;
+      if (n->is_var()) {
+        if (ids.insert(n->var).second) var_nodes.push_back(n);
+      } else if (n->a) {
+        stack.push_back(n->a);
+        if (n->b) stack.push_back(n->b);
+      }
+    }
+  }
+
+  Rng rng{config.seed | 1};
+  Assignment model = seed;
+  std::size_t best = count_satisfied(original, model);
+  const std::size_t want = original.size();
+
+  for (std::uint32_t flip = 0; flip < config.max_flips && best < want; ++flip) {
+    ++stats.flips;
+    // Pick an unsatisfied literal.
+    BatchEval be(model);
+    std::vector<const Literal*> unsat;
+    for (const Literal& l : original)
+      if (!be.satisfied(l)) unsat.push_back(&l);
+    if (unsat.empty()) break;
+    const Literal& lit = *unsat[rng.next() % unsat.size()];
+
+    std::vector<Candidate> cands;
+    Inverter inv{pool, be, cands};
+    inv.invert(lit.expr, lit.truthy ? U256::one() : U256::zero(), 0);
+    if (lit.truthy && lit.expr->kind != ExprKind::kEq &&
+        !lit.expr->is_boolean()) {
+      // "!= 0" can be hit with any nonzero target; try a random one too.
+      inv.invert(lit.expr, U256{rng.next() | 1}, 0);
+    }
+    // Random-walk fallback: a random value for a random var of the literal.
+    if (!var_nodes.empty()) {
+      std::unordered_set<std::uint32_t> fv;
+      free_vars(lit.expr, fv);
+      if (!fv.empty()) {
+        auto it = fv.begin();
+        std::advance(it, static_cast<long>(rng.next() % fv.size()));
+        const VarInfo& info = pool.var_info(*it);
+        U256 v;
+        switch (rng.next() % 4) {
+          case 0: v = U256::zero(); break;
+          case 1: v = U256::one(); break;
+          case 2: v = U256{rng.next()}; break;
+          default: v = width_mask(info.width); break;
+        }
+        cands.push_back({*it, v & width_mask(info.width)});
+      }
+    }
+    if (cands.empty()) continue;
+
+    // Greedy: apply the candidate with the best resulting score; random walk
+    // when nothing improves.
+    std::size_t best_cand = 0;
+    std::size_t best_score = 0;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      Assignment trial = model;
+      trial.values[cands[i].var] = cands[i].value;
+      const std::size_t s = count_satisfied(original, trial);
+      if (s > best_score) {
+        best_score = s;
+        best_cand = i;
+      }
+      if (s == want) break;
+    }
+    if (best_score > best || (rng.next() & 1)) {
+      const Candidate& c =
+          best_score > best ? cands[best_cand]
+                            : cands[rng.next() % cands.size()];
+      model.values[c.var] = c.value;
+      best = count_satisfied(original, model);
+    }
+  }
+
+  if (best == want) {
+    out.found = true;
+    out.model = std::move(model);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Layer 5: bit-blasting + bounded DPLL.
+
+/// CNF literals are signed ints (±var). Var 1 is pinned TRUE, so +1 / -1
+/// double as the constants true / false.
+class Cnf {
+ public:
+  explicit Cnf(std::uint32_t max_clauses) : max_clauses_(max_clauses) {
+    clauses_.push_back({1});  // Pin var 1 to TRUE.
+  }
+
+  int new_var() { return ++nvars_; }
+  bool overflowed() const { return overflow_; }
+  int nvars() const { return nvars_; }
+  const std::vector<std::vector<int>>& clauses() const { return clauses_; }
+
+  void add(std::vector<int> c) {
+    if (overflow_) return;
+    for (int l : c)
+      if (l == 1) return;  // Contains TRUE: trivially satisfied.
+    c.erase(std::remove(c.begin(), c.end(), -1), c.end());
+    if (c.empty()) {
+      unsat_ = true;
+      return;
+    }
+    clauses_.push_back(std::move(c));
+    if (clauses_.size() > max_clauses_) overflow_ = true;
+  }
+
+  bool trivially_unsat() const { return unsat_; }
+
+  int land(int a, int b) {
+    if (a == -1 || b == -1) return -1;
+    if (a == 1) return b;
+    if (b == 1) return a;
+    if (a == b) return a;
+    if (a == -b) return -1;
+    const int o = new_var();
+    add({-o, a});
+    add({-o, b});
+    add({o, -a, -b});
+    return o;
+  }
+
+  int lor(int a, int b) { return -land(-a, -b); }
+
+  int lxor(int a, int b) {
+    if (a == 1) return -b;
+    if (a == -1) return b;
+    if (b == 1) return -a;
+    if (b == -1) return a;
+    if (a == b) return -1;
+    if (a == -b) return 1;
+    const int o = new_var();
+    add({-o, a, b});
+    add({-o, -a, -b});
+    add({o, -a, b});
+    add({o, a, -b});
+    return o;
+  }
+
+ private:
+  int nvars_ = 1;
+  std::uint32_t max_clauses_;
+  std::vector<std::vector<int>> clauses_;
+  bool overflow_ = false;
+  bool unsat_ = false;
+};
+
+using BitVec = std::vector<int>;  // 256 CNF literals, LSB first.
+
+class Blaster {
+ public:
+  Blaster(const ExprPool& pool, Cnf& cnf) : pool_(pool), cnf_(cnf) {}
+
+  const BitVec& blast(ExprRef e) {
+    const auto it = memo_.find(e);
+    if (it != memo_.end()) return it->second;
+    BitVec bits = build(e);
+    return memo_.emplace(e, std::move(bits)).first->second;
+  }
+
+  /// Bit variables of each symex variable (for model extraction).
+  const std::unordered_map<std::uint32_t, BitVec>& var_bits() const {
+    return var_bits_;
+  }
+
+ private:
+  BitVec const_bits(const U256& v) {
+    BitVec bits(256, -1);
+    for (unsigned i = 0; i < 256; ++i)
+      if (v.bit(i)) bits[i] = 1;
+    return bits;
+  }
+
+  BitVec fresh_bits(unsigned width) {
+    BitVec bits(256, -1);
+    for (unsigned i = 0; i < width && i < 256; ++i) bits[i] = cnf_.new_var();
+    return bits;
+  }
+
+  BitVec adder(const BitVec& a, const BitVec& b, int carry) {
+    BitVec out(256, -1);
+    for (unsigned i = 0; i < 256; ++i) {
+      const int axb = cnf_.lxor(a[i], b[i]);
+      out[i] = cnf_.lxor(axb, carry);
+      carry = cnf_.lor(cnf_.land(a[i], b[i]), cnf_.land(carry, axb));
+    }
+    return out;
+  }
+
+  /// Borrow-chain a < b (unsigned), optionally flipping the sign bits for
+  /// two's-complement order. Returns a single CNF literal.
+  int less_than(BitVec a, BitVec b, bool is_signed) {
+    if (is_signed) {
+      a[255] = -a[255];
+      b[255] = -b[255];
+    }
+    int lt = -1;
+    for (unsigned i = 0; i < 256; ++i) {
+      const int eq = -cnf_.lxor(a[i], b[i]);
+      lt = cnf_.lor(cnf_.land(-a[i], b[i]), cnf_.land(eq, lt));
+    }
+    return lt;
+  }
+
+  BitVec bool_bits(int lit) {
+    BitVec bits(256, -1);
+    bits[0] = lit;
+    return bits;
+  }
+
+  int or_tree(const BitVec& a) {
+    int acc = -1;
+    for (int bit : a) acc = cnf_.lor(acc, bit);
+    return acc;
+  }
+
+  BitVec build(ExprRef e) {
+    switch (e->kind) {
+      case ExprKind::kConst:
+        return const_bits(e->value);
+      case ExprKind::kVar: {
+        BitVec bits = fresh_bits(pool_.var_info(e->var).width);
+        var_bits_.emplace(e->var, bits);
+        return bits;
+      }
+      default:
+        break;
+    }
+    const BitVec& a = blast(e->a);
+    switch (e->kind) {
+      case ExprKind::kIsZero:
+        return bool_bits(-or_tree(a));
+      case ExprKind::kNot: {
+        BitVec out(256);
+        for (unsigned i = 0; i < 256; ++i) out[i] = -a[i];
+        return out;
+      }
+      default:
+        break;
+    }
+    const BitVec& b = blast(e->b);
+    switch (e->kind) {
+      case ExprKind::kAnd: {
+        BitVec out(256);
+        for (unsigned i = 0; i < 256; ++i) out[i] = cnf_.land(a[i], b[i]);
+        return out;
+      }
+      case ExprKind::kOr: {
+        BitVec out(256);
+        for (unsigned i = 0; i < 256; ++i) out[i] = cnf_.lor(a[i], b[i]);
+        return out;
+      }
+      case ExprKind::kXor: {
+        BitVec out(256);
+        for (unsigned i = 0; i < 256; ++i) out[i] = cnf_.lxor(a[i], b[i]);
+        return out;
+      }
+      case ExprKind::kAdd:
+        return adder(a, b, -1);
+      case ExprKind::kSub: {
+        BitVec nb(256);
+        for (unsigned i = 0; i < 256; ++i) nb[i] = -b[i];
+        return adder(a, nb, 1);
+      }
+      case ExprKind::kEq: {
+        int acc = 1;
+        for (unsigned i = 0; i < 256; ++i)
+          acc = cnf_.land(acc, -cnf_.lxor(a[i], b[i]));
+        return bool_bits(acc);
+      }
+      case ExprKind::kLt:
+        return bool_bits(less_than(a, b, false));
+      case ExprKind::kGt:
+        return bool_bits(less_than(b, a, false));
+      case ExprKind::kSLt:
+        return bool_bits(less_than(a, b, true));
+      case ExprKind::kSGt:
+        return bool_bits(less_than(b, a, true));
+      case ExprKind::kShl:
+        // Shift amount is operand `a`; rewiring needs it constant.
+        if (e->a->is_const()) {
+          BitVec out(256, -1);
+          if (e->a->value.bit_length() <= 9) {
+            const std::uint64_t c = e->a->value.low64();
+            for (unsigned i = 0; i < 256; ++i)
+              if (i >= c) out[i] = b[i - c];
+          }
+          return out;
+        }
+        return fresh_bits(256);
+      case ExprKind::kShr:
+        if (e->a->is_const()) {
+          BitVec out(256, -1);
+          if (e->a->value.bit_length() <= 9) {
+            const std::uint64_t c = e->a->value.low64();
+            for (unsigned i = 0; i + c < 256; ++i) out[i] = b[i + c];
+          }
+          return out;
+        }
+        return fresh_bits(256);
+      case ExprKind::kByte:
+        if (e->a->is_const()) {
+          BitVec out(256, -1);
+          if (e->a->value < U256{32}) {
+            const unsigned byte = 31 - static_cast<unsigned>(e->a->value.low64());
+            for (unsigned i = 0; i < 8; ++i) out[i] = b[byte * 8 + i];
+          }
+          return out;
+        }
+        return fresh_bits(256);
+      case ExprKind::kMul: {
+        // Shift-add only for a sparse constant operand; anything else would
+        // blow the clause budget, so over-approximate with fresh bits.
+        ExprRef cnode = e->a->is_const() ? e->a : (e->b->is_const() ? e->b : nullptr);
+        if (cnode) {
+          const BitVec& other = cnode == e->a ? b : a;
+          unsigned setbits = 0;
+          for (unsigned i = 0; i < 256; ++i)
+            if (cnode->value.bit(i)) ++setbits;
+          if (setbits <= 8) {
+            BitVec acc(256, -1);
+            for (unsigned i = 0; i < 256; ++i) {
+              if (!cnode->value.bit(i)) continue;
+              BitVec shifted(256, -1);
+              for (unsigned j = i; j < 256; ++j) shifted[j] = other[j - i];
+              acc = adder(acc, shifted, -1);
+            }
+            return acc;
+          }
+        }
+        return fresh_bits(256);
+      }
+      default:
+        // Div/Mod/SDiv/SMod/Exp/SignExtend/symbolic-index Byte: fresh bits.
+        // Sound over-approximation — hash-consing guarantees the same node
+        // maps to the same fresh bits, preserving functional consistency.
+        return fresh_bits(256);
+    }
+  }
+
+  const ExprPool& pool_;
+  Cnf& cnf_;
+  std::unordered_map<ExprRef, BitVec> memo_;
+  std::unordered_map<std::uint32_t, BitVec> var_bits_;
+};
+
+/// Chronological DPLL with two watched literals and a decision budget.
+/// Returns +1 SAT, -1 UNSAT, 0 budget exhausted.
+class Dpll {
+ public:
+  Dpll(int nvars, const std::vector<std::vector<int>>& clauses)
+      : nvars_(nvars), clauses_(clauses) {
+    value_.assign(static_cast<std::size_t>(nvars_) + 1, 0);
+    watches_.assign(2 * (static_cast<std::size_t>(nvars_) + 1), {});
+    for (std::size_t ci = 0; ci < clauses_.size(); ++ci) {
+      const auto& c = clauses_[ci];
+      if (c.size() == 1) {
+        units_.push_back(c[0]);
+      } else {
+        watches_[code(c[0])].push_back(ci);
+        watches_[code(c[1])].push_back(ci);
+      }
+    }
+  }
+
+  int solve(std::uint32_t max_decisions, std::uint64_t& decisions) {
+    for (int u : units_)
+      if (!enqueue(u)) return -1;
+    if (!propagate()) return -1;
+    int scan_from = 2;  // Var 1 is the pinned TRUE constant.
+    while (true) {
+      int var = next_unassigned(scan_from);
+      if (var == 0) return 1;  // All assigned, no conflict: SAT.
+      if (decisions++ >= max_decisions) return 0;
+      levels_.push_back({trail_.size(), var, false});
+      enqueue(-var);  // Phase: try FALSE first (zeros make minimal models).
+      while (!propagate()) {
+        // Conflict: backtrack chronologically to the last unflipped level.
+        while (!levels_.empty() && levels_.back().flipped) {
+          undo_to(levels_.back().trail_pos);
+          levels_.pop_back();
+        }
+        if (levels_.empty()) return -1;
+        Level& lvl = levels_.back();
+        undo_to(lvl.trail_pos);
+        lvl.flipped = true;
+        enqueue(lvl.var);
+      }
+      scan_from = var + 1;
+      if (!levels_.empty()) scan_from = levels_.back().var + 1;
+    }
+  }
+
+  bool value_of(int var) const { return value_[static_cast<std::size_t>(var)] > 0; }
+
+ private:
+  struct Level {
+    std::size_t trail_pos;
+    int var;
+    bool flipped;
+  };
+
+  static std::size_t code(int lit) {
+    return 2 * static_cast<std::size_t>(std::abs(lit)) + (lit < 0 ? 1 : 0);
+  }
+
+  int lit_value(int lit) const {
+    const int v = value_[static_cast<std::size_t>(std::abs(lit))];
+    return lit > 0 ? v : -v;
+  }
+
+  bool enqueue(int lit) {
+    const int v = lit_value(lit);
+    if (v > 0) return true;
+    if (v < 0) return false;
+    value_[static_cast<std::size_t>(std::abs(lit))] =
+        static_cast<std::int8_t>(lit > 0 ? 1 : -1);
+    trail_.push_back(lit);
+    return true;
+  }
+
+  void undo_to(std::size_t pos) {
+    while (trail_.size() > pos) {
+      value_[static_cast<std::size_t>(std::abs(trail_.back()))] = 0;
+      trail_.pop_back();
+    }
+    qhead_ = pos;
+  }
+
+  bool propagate() {
+    while (qhead_ < trail_.size()) {
+      const int p = trail_[qhead_++];
+      auto& watch = watches_[code(-p)];  // Clauses watching the falsified lit.
+      std::size_t keep = 0;
+      bool conflict = false;
+      for (std::size_t wi = 0; wi < watch.size(); ++wi) {
+        const std::size_t ci = watch[wi];
+        auto& c = clauses_mut(ci);
+        // Ensure the falsified literal sits at position 1.
+        if (c[0] == -p) std::swap(c[0], c[1]);
+        if (lit_value(c[0]) > 0) {
+          watch[keep++] = ci;
+          continue;
+        }
+        // Look for a replacement watch.
+        bool moved = false;
+        for (std::size_t k = 2; k < c.size(); ++k) {
+          if (lit_value(c[k]) >= 0) {
+            std::swap(c[1], c[k]);
+            watches_[code(c[1])].push_back(ci);
+            moved = true;
+            break;
+          }
+        }
+        if (moved) continue;
+        watch[keep++] = ci;
+        if (!enqueue(c[0])) {
+          // Conflict: retain remaining watches and fail.
+          for (std::size_t rest = wi + 1; rest < watch.size(); ++rest)
+            watch[keep++] = watch[rest];
+          conflict = true;
+          break;
+        }
+      }
+      watch.resize(keep);
+      if (conflict) return false;
+    }
+    return true;
+  }
+
+  int next_unassigned(int from) {
+    for (int v = std::max(from, 2); v <= nvars_; ++v)
+      if (value_[static_cast<std::size_t>(v)] == 0) return v;
+    // The scan hint can overshoot vars unassigned by backtracking; fall back
+    // to a full scan before declaring everything assigned.
+    for (int v = 2; v <= nvars_; ++v)
+      if (value_[static_cast<std::size_t>(v)] == 0) return v;
+    return 0;
+  }
+
+  std::vector<int>& clauses_mut(std::size_t ci) { return mutable_[ci]; }
+
+ public:
+  /// The watched-literal scheme reorders clause literals, so the solver works
+  /// on its own copy.
+  void copy_clauses() { mutable_ = clauses_; }
+
+ private:
+  int nvars_;
+  const std::vector<std::vector<int>>& clauses_;
+  std::vector<std::vector<int>> mutable_;
+  std::vector<std::int8_t> value_;
+  std::vector<std::vector<std::size_t>> watches_;
+  std::vector<int> trail_;
+  std::size_t qhead_ = 0;
+  std::vector<int> units_;
+  std::vector<Level> levels_;
+};
+
+struct BlastOutcome {
+  SolveStatus status = SolveStatus::kUnknown;
+  Assignment model;
+};
+
+BlastOutcome blast_check(const std::vector<Literal>& norm,
+                         const ExprPool& pool, const SolverConfig& config,
+                         SolverStats& stats) {
+  BlastOutcome out;
+  ++stats.blasts;
+  Cnf cnf(config.max_blast_clauses);
+  Blaster blaster(pool, cnf);
+  for (const Literal& lit : norm) {
+    const BitVec& bits = blaster.blast(lit.expr);
+    if (lit.truthy) {
+      std::vector<int> clause(bits.begin(), bits.end());
+      cnf.add(std::move(clause));
+    } else {
+      for (int bit : bits) cnf.add({-bit});
+    }
+    if (cnf.overflowed()) return out;  // kUnknown: budget blown.
+  }
+  if (cnf.trivially_unsat()) {
+    out.status = SolveStatus::kUnsat;
+    return out;
+  }
+  if (cnf.overflowed()) return out;
+
+  Dpll dpll(cnf.nvars(), cnf.clauses());
+  dpll.copy_clauses();
+  const int verdict = dpll.solve(config.max_decisions, stats.dpll_decisions);
+  if (verdict < 0) {
+    // UNSAT of the (over-approximated) CNF is sound for the original set.
+    out.status = SolveStatus::kUnsat;
+    return out;
+  }
+  if (verdict == 0) return out;  // Budget exhausted.
+
+  // SAT: extract per-variable words and hand back for validation — the
+  // abstraction (fresh bits for hard operators) may admit spurious models.
+  for (const auto& [var, bits] : blaster.var_bits()) {
+    U256 v = U256::zero();
+    for (unsigned i = 0; i < 256; ++i)
+      if (bits[i] != -1 && bits[i] != 1 && dpll.value_of(std::abs(bits[i])) == (bits[i] > 0))
+        v = v | (U256::one() << i);
+    out.model.values[var] = v;
+  }
+  out.status = SolveStatus::kSat;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cheap-layer driver shared by check() and quick_check().
+
+struct CheapOutcome {
+  SolveStatus status = SolveStatus::kUnknown;
+  const char* method = "";
+  std::vector<Literal> norm;          ///< Normalized + substituted literals.
+  Assignment pinned;                  ///< Variables pinned by equalities.
+};
+
+CheapOutcome run_cheap(const std::vector<Literal>& constraints, ExprPool& pool,
+                       const SolverConfig& config) {
+  CheapOutcome out;
+  bool contradiction = false;
+  out.norm = normalize(constraints, contradiction);
+  if (contradiction) {
+    out.status = SolveStatus::kUnsat;
+    out.method = "fold";
+    return out;
+  }
+
+  // Two rounds of equality + constant substitution, run on a SCRATCH copy.
+  // Substitution replaces a pinned term with its constant everywhere — which
+  // turns the very literal that created the pin into a tautology (a truthy
+  // Lt(x,5) merges with 1 and folds away; Eq(And(x,3),1) pins And(x,3) and
+  // collapses to Eq(1,1)). Handing that weakened set to the interval and
+  // bit-blasting layers silently drops constraints, so the scratch copy is
+  // used only to surface contradictions and harvest pinned variables, while
+  // `out.norm` keeps the full pre-substitution set for the later layers.
+  std::vector<Literal> scratch = out.norm;
+  for (int round = 0; round < 2; ++round) {
+    EqualityResult eq = equality_layer(scratch, pool);
+    if (eq.contradiction) {
+      out.status = SolveStatus::kUnsat;
+      out.method = "equality";
+      return out;
+    }
+    std::unordered_map<ExprRef, ExprRef> memo;
+    std::vector<Literal> next;
+    bool changed = false;
+    for (const Literal& lit : scratch) {
+      ExprRef sub = substitute(lit.expr, eq.uf, pool, memo);
+      if (sub != lit.expr) changed = true;
+      next.push_back({sub, lit.truthy});
+    }
+    // Harvest pinned vars: any var node whose class representative is const.
+    {
+      std::vector<ExprRef> stack;
+      std::unordered_set<const Expr*> seen;
+      for (const Literal& l : scratch) stack.push_back(l.expr);
+      while (!stack.empty()) {
+        ExprRef n = stack.back();
+        stack.pop_back();
+        if (!seen.insert(n).second) continue;
+        if (n->is_var()) {
+          ExprRef rep = eq.uf.find(n);
+          if (rep->is_const()) out.pinned.values[n->var] = rep->value;
+        } else if (n->a) {
+          stack.push_back(n->a);
+          if (n->b) stack.push_back(n->b);
+        }
+      }
+    }
+    bool contra2 = false;
+    scratch = normalize(next, contra2);
+    if (contra2) {
+      out.status = SolveStatus::kUnsat;
+      out.method = "equality";
+      return out;
+    }
+    if (!changed) break;
+  }
+
+  const SolveStatus iv =
+      interval_layer(out.norm, pool, config.interval_rounds);
+  if (iv == SolveStatus::kUnsat) {
+    out.status = SolveStatus::kUnsat;
+    out.method = "interval";
+    return out;
+  }
+  return out;
+}
+
+}  // namespace
+
+SolveResult Solver::check(const std::vector<Literal>& constraints) {
+  ++stats_.queries;
+  SolveResult result;
+
+  CheapOutcome cheap = run_cheap(constraints, pool_, config_);
+  if (cheap.status == SolveStatus::kUnsat) {
+    ++stats_.unsat;
+    result.status = SolveStatus::kUnsat;
+    result.method = cheap.method;
+    return result;
+  }
+
+  // Maybe the pinned assignment alone already satisfies everything.
+  if (count_satisfied(constraints, cheap.pinned) == constraints.size()) {
+    ++stats_.sat;
+    result.status = SolveStatus::kSat;
+    result.model = std::move(cheap.pinned);
+    result.method = "equality";
+    return result;
+  }
+
+  SearchOutcome search =
+      model_search(constraints, pool_, cheap.pinned, config_, stats_);
+  if (search.found) {
+    ++stats_.sat;
+    result.status = SolveStatus::kSat;
+    result.model = std::move(search.model);
+    result.method = "search";
+    return result;
+  }
+
+  if (config_.enable_blast) {
+    BlastOutcome blast = blast_check(cheap.norm, pool_, config_, stats_);
+    if (blast.status == SolveStatus::kUnsat) {
+      ++stats_.unsat;
+      result.status = SolveStatus::kUnsat;
+      result.method = "blast";
+      return result;
+    }
+    if (blast.status == SolveStatus::kSat) {
+      // Validate against the ORIGINAL constraints — the CNF abstracted hard
+      // operators with fresh bits, so the model may be spurious.
+      if (count_satisfied(constraints, blast.model) == constraints.size()) {
+        ++stats_.sat;
+        result.status = SolveStatus::kSat;
+        result.model = std::move(blast.model);
+        result.method = "blast";
+        return result;
+      }
+      // Spurious model: one more (cheap) search pass seeded from it.
+      SolverConfig retry = config_;
+      retry.max_flips = config_.max_flips / 4;
+      SearchOutcome second =
+          model_search(constraints, pool_, blast.model, retry, stats_);
+      if (second.found) {
+        ++stats_.sat;
+        result.status = SolveStatus::kSat;
+        result.model = std::move(second.model);
+        result.method = "blast+search";
+        return result;
+      }
+    }
+  }
+
+  ++stats_.unknown;
+  result.status = SolveStatus::kUnknown;
+  result.method = "budget";
+  return result;
+}
+
+SolveStatus Solver::quick_check(const std::vector<Literal>& constraints) {
+  ++stats_.quick_queries;
+  CheapOutcome cheap = run_cheap(constraints, pool_, config_);
+  if (cheap.status == SolveStatus::kUnsat) return SolveStatus::kUnsat;
+  if (count_satisfied(constraints, cheap.pinned) == constraints.size())
+    return SolveStatus::kSat;
+  return SolveStatus::kUnknown;
+}
+
+}  // namespace sc::symex

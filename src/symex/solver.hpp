@@ -1,0 +1,92 @@
+// sc::symex word-level constraint solver.
+//
+// Decides satisfiability of a conjunction of path-condition literals over the
+// hash-consed term language in symex/expr.hpp. No external SMT dependency —
+// the pipeline is layered from cheap to expensive, and every layer is only
+// trusted in the direction it is sound:
+//
+//   1. Normalization: peel IsZero chains (flipping polarity), fold constants,
+//      split conjunctive shapes (truthy And, falsy Or) into separate literals.
+//      Splitting a truthy And over-approximates for non-boolean operands, so
+//      it is used for UNSAT only; SAT answers are always re-validated against
+//      the ORIGINAL literals by concrete evaluation.
+//   2. Equality layer: union-find over terms from Eq literals plus literal
+//      polarities (a falsy literal pins its term to 0), constant propagation
+//      by substitution through the folding pool, disequality clash detection.
+//   3. Interval layer: unsigned [lo, hi] ranges computed bottom-up (variable
+//      widths seed the ranges) and refined top-down from comparison literals,
+//      iterated to a bounded fixpoint. An infeasible literal => UNSAT.
+//   4. Model search: deterministic WalkSAT-style loop with algebraic
+//      inversion — unsatisfied literals propose (var, value) candidates by
+//      inverting Eq/Add/Sub/Xor/Shl/Shr/... toward a target value. A model
+//      that satisfies every original literal under exact VM evaluation is a
+//      definitive SAT.
+//   5. Bit-blasting fallback: Tseitin CNF over 256-bit vectors (ripple
+//      adders, borrow-chain comparisons, constant-shift rewiring) solved by a
+//      bounded DPLL with two watched literals. Operators that would blow the
+//      clause budget (symbolic mul/div/mod/exp/...) become fresh unconstrained
+//      bits, which over-approximates: UNSAT here is sound; a SAT assignment
+//      is re-validated concretely and demoted to kUnknown on mismatch.
+//
+// Everything is deterministic (seeded xorshift) so solver verdicts — and the
+// counterexamples built from them — are reproducible across runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "symex/expr.hpp"
+
+namespace sc::symex {
+
+enum class SolveStatus : std::uint8_t { kSat, kUnsat, kUnknown };
+
+struct SolverConfig {
+  std::uint32_t max_flips = 2048;        ///< Model-search iterations.
+  std::uint32_t interval_rounds = 4;     ///< Refinement fixpoint bound.
+  std::uint32_t max_blast_clauses = 400000;
+  std::uint32_t max_decisions = 100000;  ///< DPLL decision budget.
+  bool enable_blast = true;
+  std::uint64_t seed = 0x5eedc0de;
+};
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  Assignment model;          ///< Populated when status == kSat.
+  const char* method = "";   ///< Which layer decided ("fold", "interval", ...).
+};
+
+struct SolverStats {
+  std::uint64_t queries = 0;
+  std::uint64_t quick_queries = 0;
+  std::uint64_t sat = 0;
+  std::uint64_t unsat = 0;
+  std::uint64_t unknown = 0;
+  std::uint64_t blasts = 0;
+  std::uint64_t flips = 0;
+  std::uint64_t dpll_decisions = 0;
+};
+
+class Solver {
+ public:
+  explicit Solver(ExprPool& pool, SolverConfig config = {})
+      : pool_(pool), config_(config) {}
+
+  /// Full pipeline. kSat results carry a model that satisfies every literal
+  /// under exact VM evaluation (already validated).
+  SolveResult check(const std::vector<Literal>& constraints);
+
+  /// Layers 1-3 only — cheap enough for per-fork path pruning. Only the
+  /// kUnsat answer is meaningful; anything undecided returns kUnknown.
+  SolveStatus quick_check(const std::vector<Literal>& constraints);
+
+  const SolverStats& stats() const { return stats_; }
+  ExprPool& pool() { return pool_; }
+
+ private:
+  ExprPool& pool_;
+  SolverConfig config_;
+  SolverStats stats_;
+};
+
+}  // namespace sc::symex

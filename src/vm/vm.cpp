@@ -134,6 +134,7 @@ class Machine {
     // Failure consumes all remaining gas (EVM semantics), except REVERT.
     r.gas_used = outcome == Outcome::kRevert ? ctx_.gas_limit - gas_left_ : ctx_.gas_limit;
     r.error = std::move(why);
+    r.halt_offset = halt_pc_;
     return r;
   }
 
@@ -142,6 +143,7 @@ class Machine {
   util::ByteSpan code_;
   std::uint64_t gas_left_;
   std::uint64_t refund_ = 0;
+  std::size_t halt_pc_ = 0;  ///< Offset of the instruction in flight.
   std::vector<U256> stack_;
   std::vector<std::uint8_t> memory_;
   std::vector<bool> jumpdests_;
@@ -190,6 +192,7 @@ ExecResult Machine::run() {
   // (stack underflow, bad jump, undefined byte) is kInvalidOp.
   while (pc < code_.size()) {
     const std::uint8_t byte = code_[pc];
+    halt_pc_ = pc;
     begin_attribution(byte);
 
     // PUSH family.
@@ -235,6 +238,7 @@ ExecResult Machine::run() {
         ExecResult r;
         r.gas_used = ctx_.gas_limit - gas_left_;
         r.gas_refund = refund_;
+        r.halt_offset = halt_pc_;
         return r;
       }
 
@@ -706,6 +710,7 @@ ExecResult Machine::run() {
             memory_.begin() + static_cast<std::ptrdiff_t>(off.low64()),
             memory_.begin() + static_cast<std::ptrdiff_t>(off.low64() + len.low64()));
         if (op == Op::kRevert) r.error = "explicit revert";
+        r.halt_offset = halt_pc_;
         return r;
       }
 
@@ -719,6 +724,7 @@ ExecResult Machine::run() {
   ExecResult r;
   r.gas_used = ctx_.gas_limit - gas_left_;
   r.gas_refund = refund_;
+  r.halt_offset = code_.size();
   return r;
 }
 

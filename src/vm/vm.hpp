@@ -98,6 +98,11 @@ struct ExecResult {
   std::uint64_t gas_refund = 0;
   util::Bytes return_data;
   std::string error;  ///< Human-readable detail for non-success outcomes.
+  /// Byte offset of the instruction that ended execution (the STOP / RETURN /
+  /// REVERT / faulting opcode), or code size for an implicit stop at the end
+  /// of code. Symbolic-execution tooling (sc::symex) anchors counterexample
+  /// replay on this: a witness predicted to revert at pc X must halt here.
+  std::size_t halt_offset = 0;
 
   bool ok() const { return outcome == Outcome::kSuccess; }
 };

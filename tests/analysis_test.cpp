@@ -196,6 +196,123 @@ TEST(AnalysisVerifier, ConstantRangeFaultIsAnError) {
   EXPECT_TRUE(has_check(r, Check::kRangeViolation));
 }
 
+// ---- Diagnostic catalogue ---------------------------------------------------
+//
+// One minimal fixture per Check enumerator, asserting the exact check id AND
+// severity the analyzer emits. kCheckCount sits next to the enum so adding a
+// check without extending this table fails the drift guard below.
+
+struct CheckFixture {
+  Check check;
+  Severity severity;
+  const char* name;
+  util::Bytes code;
+};
+
+util::Bytes range_violation_code() {
+  // PUSH32 (1 << 255); MLOAD; STOP — the offset always trips the range check.
+  util::Bytes code{0x7f};
+  code.resize(33, 0);
+  code[1] = 0x80;
+  code.push_back(0x51);
+  code.push_back(0x00);
+  return code;
+}
+
+std::vector<CheckFixture> check_catalogue() {
+  return {
+      // 0xef alone: one reachable faulting byte, nothing else to flag.
+      {Check::kUndefinedOpcode, Severity::kError, "undefined-opcode", {0xef}},
+      // PUSH4 with one of four immediate bytes.
+      {Check::kTruncatedPush, Severity::kWarning, "truncated-push", {0x63, 0xaa}},
+      // PUSH1 0; JUMP — offset 0 is the PUSH itself, not a JUMPDEST.
+      {Check::kBadJumpTarget, Severity::kError, "bad-jump-target",
+       {0x60, 0x00, 0x56}},
+      // PUSH1 4; JUMP — offset 4 is the 0x5b byte INSIDE the PUSH2 immediate.
+      {Check::kJumpIntoPushData, Severity::kError, "jump-into-push-data",
+       {0x60, 0x04, 0x56, 0x61, 0x5b, 0x00}},
+      // POP on the empty entry stack.
+      {Check::kStackUnderflow, Severity::kError, "stack-underflow", {0x50}},
+      // JUMPDEST; PUSH1 1; PUSH1 0; JUMP — net +1 stack per iteration.
+      {Check::kStackOverflow, Severity::kError, "stack-overflow",
+       {0x5b, 0x60, 0x01, 0x60, 0x00, 0x56}},
+      // STOP; JUMPDEST; STOP — dead but VM-legal code behind a JUMPDEST.
+      {Check::kUnreachableCode, Severity::kWarning, "unreachable-code",
+       {0x00, 0x5b, 0x00}},
+      // STOP; ADD — trailing bytes with no JUMPDEST lead-in.
+      {Check::kCodeAfterTerminator, Severity::kError, "code-after-terminator",
+       {0x00, 0x01}},
+      {Check::kRangeViolation, Severity::kError, "range-violation",
+       range_violation_code()},
+      // PUSH1 0; CALLDATALOAD; JUMP; JUMPDEST; STOP — computed target.
+      {Check::kDynamicJump, Severity::kWarning, "dynamic-jump",
+       {0x60, 0x00, 0x35, 0x56, 0x5b, 0x00}},
+      // JUMPDEST; PUSH1 0; JUMP — stack-balanced infinite loop.
+      {Check::kLoop, Severity::kNote, "loop", {0x5b, 0x60, 0x00, 0x56}},
+      // Seven zero operands; CALL; STOP — callee cost escapes static bounds.
+      {Check::kUnboundedGas, Severity::kNote, "unbounded-gas",
+       {0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0x60, 0x00, 0x60,
+        0x00, 0x60, 0x00, 0xf0, 0x00}},
+      // MLOAD at a calldata-dependent offset: memory bound falls to the cap.
+      {Check::kGasCap, Severity::kNote, "gas-cap",
+       {0x60, 0x00, 0x35, 0x51, 0x00}},
+      {Check::kEmptyCode, Severity::kError, "empty-code", {}},
+  };
+}
+
+const analysis::Diagnostic* find_check(const AnalysisResult& r, Check check) {
+  for (const analysis::Diagnostic& d : r.diagnostics)
+    if (d.check == check) return &d;
+  return nullptr;
+}
+
+TEST(AnalysisCatalogue, EveryCheckIdHasAFixtureWithExactSeverity) {
+  const std::vector<CheckFixture> catalogue = check_catalogue();
+  ASSERT_EQ(catalogue.size(), analysis::kCheckCount)
+      << "a Check enumerator has no catalogue fixture";
+  std::vector<bool> covered(analysis::kCheckCount, false);
+  for (const CheckFixture& f : catalogue) {
+    covered[static_cast<std::size_t>(f.check)] = true;
+    const AnalysisResult r = analysis::analyze(f.code);
+    const analysis::Diagnostic* d = find_check(r, f.check);
+    ASSERT_NE(d, nullptr) << f.name << "\n" << analysis::render_report(r);
+    EXPECT_EQ(d->severity, f.severity)
+        << f.name << ": " << analysis::to_string(*d);
+    // Error fixtures must fail the verifier; note/warning fixtures must pass.
+    EXPECT_EQ(r.ok(), f.severity != Severity::kError) << f.name;
+  }
+  for (std::size_t i = 0; i < covered.size(); ++i)
+    EXPECT_TRUE(covered[i]) << "no fixture for check "
+                            << analysis::check_name(static_cast<Check>(i));
+}
+
+TEST(AnalysisCatalogue, EmptyCodeFailsWithClearDiagnostic) {
+  const AnalysisResult r = analysis::analyze(util::Bytes{});
+  EXPECT_FALSE(r.ok());
+  const analysis::Diagnostic* d = find_check(r, Check::kEmptyCode);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  std::string why;
+  EXPECT_FALSE(analysis::verify_code(util::Bytes{}, &why));
+  EXPECT_NE(why.find("empty"), std::string::npos) << why;
+}
+
+TEST(AnalysisCatalogue, DynamicJumpAnchorsPcAndBlockStructurally) {
+  // PUSH1 0; CALLDATALOAD; JUMP at pc 3; JUMPDEST; STOP. The warning must
+  // carry the JUMP's pc and the originating CFG block id as fields, not just
+  // prose, so --json consumers and sc::symex can anchor on it.
+  const util::Bytes code{0x60, 0x00, 0x35, 0x56, 0x5b, 0x00};
+  const AnalysisResult r = analysis::analyze(code);
+  const analysis::Diagnostic* d = find_check(r, Check::kDynamicJump);
+  ASSERT_NE(d, nullptr) << analysis::render_report(r);
+  EXPECT_EQ(d->offset, 3u);
+  ASSERT_NE(d->block, analysis::Diagnostic::kNoBlock);
+  const auto block = static_cast<std::size_t>(d->block);
+  ASSERT_LT(block, r.cfg.blocks.size());
+  EXPECT_TRUE(r.cfg.blocks[block].ends_in_jump);
+  EXPECT_EQ(r.cfg.blocks[block].start_offset, 0u);
+}
+
 // ---- Executor deploy gate ---------------------------------------------------
 
 crypto::KeyPair test_key(std::uint64_t seed) {

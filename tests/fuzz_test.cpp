@@ -6,6 +6,7 @@
 #include "chain/block.hpp"
 #include "chain/transaction.hpp"
 #include "core/messages.hpp"
+#include "symex/properties.hpp"
 #include "util/rng.hpp"
 #include "vm/assembler.hpp"
 #include "vm/vm.hpp"
@@ -240,6 +241,213 @@ TEST(AnalysisDifferential, AgreesWithVmOnKnownStaticFaults) {
     EXPECT_TRUE(statically_decided(result.error)) << result.error;
   }
 }
+
+// ---- Differential symbolic-execution fuzz -----------------------------------
+//
+// Random branchy programs check the symbolic checker against the interpreter
+// in both directions:
+//   (a) every revert site symex classifies kReachable must come with a
+//       witness whose independent VM replay halts at exactly that REVERT;
+//   (b) every site classified kProvedUnreachable must NEVER fire under
+//       random concrete inputs.
+// The generator emits acyclic dispatcher-style code — calldata-word guards
+// branching forward over STOP / REVERT / SLOAD-funded TRANSFER blocks — so
+// exploration is complete (no loop truncation) and both classifications
+// occur.
+
+util::Bytes branchy_revert_program(util::Rng& rng) {
+  struct Fixup {
+    std::size_t at;            ///< Position of the PUSH2's two immediate bytes.
+    std::size_t target_block;  ///< Forward block index the jump aims at.
+  };
+  const std::size_t n_blocks = 2 + rng.uniform(4);
+  std::vector<Fixup> fixups;
+  std::vector<std::size_t> block_offset(n_blocks, 0);
+  std::vector<bool> targeted(n_blocks, false);
+  util::Bytes code;
+
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    block_offset[b] = code.size();
+    if (b > 0) code.push_back(0x5b);  // JUMPDEST
+    // Guards only in blocks that are provably reachable (entry, or targeted
+    // by an earlier forward jump): a JUMPI inside dead code would split off a
+    // non-JUMPDEST fall-through block the static verifier rejects as
+    // code-after-terminator. Untargeted blocks stay terminator-only — those
+    // are exactly the proved-unreachable sites direction (b) needs.
+    const bool live = b == 0 || targeted[b];
+    if (live && b + 1 < n_blocks) {
+      const std::size_t guards = b == 0 ? 1 + rng.uniform(2) : rng.uniform(2);
+      for (std::size_t g = 0; g < guards; ++g) {
+        code.push_back(0x60);  // PUSH1 calldata offset (word-aligned-ish)
+        code.push_back(static_cast<std::uint8_t>(4 * rng.uniform(4)));
+        code.push_back(0x35);  // CALLDATALOAD
+        code.push_back(0x60);  // PUSH1 constant
+        code.push_back(static_cast<std::uint8_t>(rng.uniform(8)));
+        code.push_back(static_cast<std::uint8_t>(
+            rng.uniform(2) ? 0x14 : 0x10 + rng.uniform(2)));  // EQ / LT / GT
+        code.push_back(0x61);  // PUSH2 @target
+        const std::size_t target = b + 1 + rng.uniform(n_blocks - b - 1);
+        targeted[target] = true;
+        fixups.push_back({code.size(), target});
+        code.push_back(0);
+        code.push_back(0);
+        code.push_back(0x57);  // JUMPI
+      }
+    }
+    switch (rng.uniform(4)) {
+      case 0:
+      case 1:
+        code.push_back(0x00);  // STOP
+        break;
+      case 2:
+        code.push_back(0x60);  // PUSH1 0; PUSH1 0; REVERT
+        code.push_back(0x00);
+        code.push_back(0x60);
+        code.push_back(0x00);
+        code.push_back(0xfd);
+        break;
+      default:
+        // PUSH1 1; SLOAD; CALLER; TRANSFER; STOP — pays storage slot 1 to
+        // whoever calls, exercising the economic-violation replay path.
+        code.push_back(0x60);
+        code.push_back(0x01);
+        code.push_back(0x54);
+        code.push_back(0x33);
+        code.push_back(0xf1);
+        code.push_back(0x00);
+        break;
+    }
+  }
+  for (const Fixup& fix : fixups) {
+    const std::size_t target = block_offset[fix.target_block];
+    code[fix.at] = static_cast<std::uint8_t>(target >> 8);
+    code[fix.at + 1] = static_cast<std::uint8_t>(target);
+  }
+  return code;
+}
+
+/// Host seeded from a witness: the checker's claims are only reproducible if
+/// the replay honors the witness pre-state (storage AND contract balance —
+/// transfer paths carry an `amount <= self_balance` path constraint).
+class WitnessHost final : public vm::Host {
+ public:
+  explicit WitnessHost(const symex::Witness& w) : contract_(w.contract) {
+    for (const auto& [key, value] : w.storage) storage_[key] = value;
+    balances_[w.contract] = w.self_balance;
+    timestamp_ = w.timestamp;
+    number_ = w.number;
+  }
+  crypto::U256 get_storage(const crypto::Address&, const crypto::U256& key) override {
+    const auto it = storage_.find(key);
+    return it == storage_.end() ? crypto::U256{} : it->second;
+  }
+  void set_storage(const crypto::Address&, const crypto::U256& key,
+                   const crypto::U256& value) override {
+    storage_[key] = value;
+  }
+  std::uint64_t balance(const crypto::Address& account) override {
+    const auto it = balances_.find(account);
+    return it == balances_.end() ? 0 : it->second;
+  }
+  bool transfer(const crypto::Address& from, const crypto::Address& to,
+                std::uint64_t amount) override {
+    auto& src = balances_[from];
+    if (src < amount) return false;
+    src -= amount;
+    balances_[to] += amount;
+    return true;
+  }
+  void emit_log(vm::LogEntry) override {}
+  std::uint64_t block_timestamp() override { return timestamp_; }
+  std::uint64_t block_number() override { return number_; }
+
+ private:
+  crypto::Address contract_;
+  std::map<crypto::U256, crypto::U256> storage_;
+  std::map<crypto::Address, std::uint64_t> balances_;
+  std::uint64_t timestamp_ = 0;
+  std::uint64_t number_ = 0;
+};
+
+/// Independent witness replay: rebuild pre-state and context from scratch so
+/// the test does not trust the checker's own replay_confirmed bookkeeping.
+vm::ExecResult replay_witness(const util::Bytes& code, const symex::Witness& w) {
+  WitnessHost host(w);
+  vm::Context ctx;
+  ctx.contract = w.contract;
+  ctx.caller = w.caller;
+  ctx.value = w.callvalue;
+  ctx.calldata = w.calldata;
+  ctx.gas_limit = 10'000'000;
+  return vm::execute(host, ctx, code);
+}
+
+class SymexDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymexDifferential, RevertClassificationsAgreeWithTheInterpreter) {
+  util::Rng rng(GetParam());
+  int reachable_checked = 0;
+  int unreachable_checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const util::Bytes code = branchy_revert_program(rng);
+    // The generator only emits verifier-clean shapes; gate anyway so a
+    // generator bug cannot turn into mysterious symex failures.
+    ASSERT_TRUE(analysis::verify_code(code)) << vm::disassemble(code);
+    const symex::SymexReport rep = symex::check_contract(code);
+
+    std::vector<std::size_t> unreachable;
+    for (const symex::RevertSite& site : rep.reverts) {
+      if (site.status == symex::RevertStatus::kReachable) {
+        ASSERT_TRUE(site.witness.has_value()) << vm::disassemble(code);
+        EXPECT_TRUE(site.witness->replay_confirmed) << site.witness->replay_note;
+        const vm::ExecResult r = replay_witness(code, *site.witness);
+        EXPECT_EQ(r.outcome, vm::Outcome::kRevert) << vm::disassemble(code);
+        EXPECT_EQ(r.halt_offset, site.offset) << vm::disassemble(code);
+        ++reachable_checked;
+      } else if (site.status == symex::RevertStatus::kProvedUnreachable) {
+        unreachable.push_back(site.offset);
+      }
+    }
+
+    // Probe proved-unreachable sites with random concrete inputs: the VM
+    // must never halt at one of those offsets.
+    for (int probe = 0; !unreachable.empty() && probe < 64; ++probe) {
+      NullHost host;
+      for (std::uint64_t slot = 0; slot < 10; ++slot)
+        host.set_storage({}, crypto::U256{slot}, crypto::U256{rng.uniform(4)});
+      vm::Context ctx;
+      rng.fill(ctx.calldata, 4 * rng.uniform(9));
+      // Bias calldata words toward the small constants the guards compare
+      // against, so branches actually flip across probes.
+      for (std::size_t i = 0; i < ctx.calldata.size(); ++i)
+        if (rng.uniform(2)) ctx.calldata[i] = static_cast<std::uint8_t>(rng.uniform(8));
+      ctx.gas_limit = 1'000'000;
+      const vm::ExecResult r = vm::execute(host, ctx, code);
+      if (r.outcome == vm::Outcome::kRevert) {
+        for (const std::size_t off : unreachable)
+          EXPECT_NE(r.halt_offset, off)
+              << "proved-unreachable REVERT fired\n" << vm::disassemble(code);
+      }
+    }
+    unreachable_checked += static_cast<int>(unreachable.size());
+
+    // Any violation verdict must carry a replay-confirmed witness whose
+    // independent replay reaches the predicted halt.
+    for (const symex::PropertyReport* p : {&rep.escrow, &rep.payout}) {
+      if (p->verdict != symex::PropertyVerdict::kViolated) continue;
+      ASSERT_TRUE(p->witness.has_value()) << p->name;
+      EXPECT_TRUE(p->witness->replay_confirmed) << p->witness->replay_note;
+      const vm::ExecResult r = replay_witness(code, *p->witness);
+      EXPECT_EQ(r.halt_offset, p->witness->predicted_halt) << vm::disassemble(code);
+    }
+  }
+  // The property must not hold vacuously: both classifications have to show
+  // up across the trial budget.
+  EXPECT_GT(reachable_checked, 5);
+  EXPECT_GT(unreachable_checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymexDifferential, ::testing::Values(601, 602, 603));
 
 // ---- Wire-format fuzz --------------------------------------------------------
 

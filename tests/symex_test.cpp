@@ -1,0 +1,311 @@
+// sc::symex test suite: expression folding, the layered word-level solver,
+// the bounded path explorer, the SmartCrowd economic-invariant goldens, the
+// adversarial corpus refutations, and the symbolic deploy gate.
+#include <gtest/gtest.h>
+
+#include "chain/executor.hpp"
+#include "chain/state.hpp"
+#include "contracts/smartcrowd_contract.hpp"
+#include "symex/corpus.hpp"
+#include "symex/explore.hpp"
+#include "symex/properties.hpp"
+#include "symex/solver.hpp"
+#include "util/rng.hpp"
+#include "vm/assembler.hpp"
+
+namespace sc::symex {
+namespace {
+
+using crypto::U256;
+
+// ---- Expression layer ------------------------------------------------------
+
+TEST(SymexExprFold, ConstantFoldingMatchesVmQuirks) {
+  ExprPool pool;
+  // Division by zero yields zero (VM semantics, not UB).
+  EXPECT_EQ(eval_binary(ExprKind::kDiv, U256{7}, U256::zero()), U256::zero());
+  EXPECT_EQ(eval_binary(ExprKind::kMod, U256{7}, U256::zero()), U256::zero());
+  // Shift amount is the FIRST operand; >255 shifts to zero.
+  EXPECT_EQ(eval_binary(ExprKind::kShl, U256{4}, U256{1}), U256{16});
+  EXPECT_EQ(eval_binary(ExprKind::kShl, U256{256}, U256{1}), U256::zero());
+  EXPECT_EQ(eval_binary(ExprKind::kShr, U256{224},
+                        U256{0x53430001} << 224),
+            U256{0x53430001});
+
+  // Hash-consing: structurally equal nodes are pointer-equal.
+  ExprRef x = pool.make_var(VarOrigin::kHavoc, "x");
+  EXPECT_EQ(pool.add(x, pool.one()), pool.add(x, pool.one()));
+  // x - x folds to 0, Eq(x, x) folds to 1.
+  EXPECT_EQ(pool.sub(x, x), pool.zero());
+  EXPECT_EQ(pool.eq(x, x), pool.one());
+  // Folding agrees with evaluation.
+  Assignment m;
+  m.values[x->var] = U256{41};
+  EXPECT_EQ(evaluate(pool.add(x, pool.one()), m), U256{42});
+}
+
+// ---- Solver ----------------------------------------------------------------
+
+TEST(SymexSolver, EqualityPinsAndContradicts) {
+  ExprPool pool;
+  Solver solver(pool);
+  ExprRef x = pool.make_var(VarOrigin::kCalldataWord, "cd[0]", 256, 0);
+
+  // x == 5 is SAT with x modelled as 5.
+  SolveResult sat = solver.check({{pool.eq(x, pool.constant_u64(5)), true}});
+  ASSERT_EQ(sat.status, SolveStatus::kSat);
+  EXPECT_EQ(sat.model.value_of(x->var), U256{5});
+
+  // x == 1 and x == 0 together are UNSAT.
+  SolveResult unsat = solver.check(
+      {{pool.eq(x, pool.one()), true}, {x, false}});
+  EXPECT_EQ(unsat.status, SolveStatus::kUnsat);
+}
+
+TEST(SymexSolver, IntervalsRefuteImpossibleBounds) {
+  ExprPool pool;
+  Solver solver(pool);
+  ExprRef x = pool.make_var(VarOrigin::kHavoc, "x", 64);
+  // Lt(x, 5) means x < 5 (first operand is popped first, like the VM).
+  SolveResult r = solver.check({
+      {pool.lt(x, pool.constant_u64(5)), true},
+      {pool.gt(x, pool.constant_u64(10)), true},
+  });
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+}
+
+TEST(SymexSolver, BitBlastRefutesParityConflict) {
+  ExprPool pool;
+  Solver solver(pool);
+  ExprRef x = pool.make_var(VarOrigin::kHavoc, "x", 8);
+  // (x & 3) == 1 forces bit0 = 1, but (x & 1) == 0 forces bit0 = 0. No
+  // cheaper layer sees through the masks; only the CNF bit-blast refutes it.
+  SolveResult r = solver.check({
+      {pool.eq(pool.binary(ExprKind::kAnd, x, pool.constant_u64(3)),
+               pool.one()),
+       true},
+      {pool.binary(ExprKind::kAnd, x, pool.one()), false},
+  });
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+  EXPECT_GE(solver.stats().blasts, 1u);
+}
+
+TEST(SymexSolver, FindsMaskedModel) {
+  ExprPool pool;
+  Solver solver(pool);
+  ExprRef x = pool.make_var(VarOrigin::kHavoc, "x", 32);
+  SolveResult r = solver.check({
+      {pool.eq(pool.binary(ExprKind::kAnd, x, pool.constant_u64(0xf0)),
+               pool.constant_u64(0x90)),
+       true},
+  });
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_EQ(r.model.value_of(x->var) & U256{0xf0}, U256{0x90});
+}
+
+// ---- Explorer --------------------------------------------------------------
+
+ExploreResult explore_asm(const std::string& src, Env& env,
+                          const SymexConfig& config = {}) {
+  const vm::AssembleResult assembled = vm::assemble(src);
+  EXPECT_TRUE(assembled.ok()) << (assembled.ok() ? "" : assembled.error->message);
+  Solver solver(env.pool(), config.solver);
+  return explore(assembled.code, env, solver, config);
+}
+
+TEST(SymexExplore, ForksAndPrunesDispatcherStyle) {
+  // if (cd[0]) revert else stop — two feasible paths, one fork.
+  Env env;
+  ExploreResult r = explore_asm(R"(  PUSH1 0x00
+  CALLDATALOAD
+  PUSHL @ok
+  JUMPI
+  PUSH1 0x00
+  PUSH1 0x00
+  REVERT
+ok:
+  JUMPDEST
+  STOP
+)",
+                                env);
+  EXPECT_FALSE(r.truncated);
+  ASSERT_EQ(r.paths.size(), 2u);
+  EXPECT_EQ(r.forks, 1u);
+  std::size_t stops = 0, reverts = 0;
+  for (const PathResult& p : r.paths) {
+    if (p.end == PathEnd::kStop) ++stops;
+    if (p.end == PathEnd::kRevert) ++reverts;
+  }
+  EXPECT_EQ(stops, 1u);
+  EXPECT_EQ(reverts, 1u);
+}
+
+TEST(SymexExplore, LoopBoundTruncates) {
+  Env env;
+  ExploreResult r = explore_asm(R"(loop:
+  JUMPDEST
+  PUSHL @loop
+  JUMP
+)",
+                                env);
+  EXPECT_TRUE(r.truncated);
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_EQ(r.paths[0].end, PathEnd::kTruncated);
+}
+
+TEST(SymexExplore, MergesIdenticalStatesAtJoinPoint) {
+  // Each loop iteration forks on a fresh havoc condition (GAS) and the
+  // fall-through lands directly on a JUMPDEST with an identical state —
+  // exactly the shape the join-point merge collapses.
+  Env env;
+  ExploreResult r = explore_asm(R"(loop:
+  JUMPDEST
+  GAS
+  PUSHL @loop
+  JUMPI
+out:
+  JUMPDEST
+  STOP
+)",
+                                env);
+  EXPECT_GE(r.merges, 1u);
+  bool saw_merged_stop = false;
+  for (const PathResult& p : r.paths)
+    if (p.end == PathEnd::kStop && p.merged) saw_merged_stop = true;
+  EXPECT_TRUE(saw_merged_stop);
+}
+
+// ---- SmartCrowd goldens ----------------------------------------------------
+
+TEST(SymexSmartCrowd, ProvesEconomicInvariantsWithinBounds) {
+  const SymexReport report = check_contract(contracts::contract_bytecode());
+  // The metadata copy loop forces loop-bound truncation, so the strongest
+  // honest claim is the bounded one — never kProved, never kUnknown.
+  EXPECT_EQ(report.escrow.verdict, PropertyVerdict::kProvedBounded)
+      << report.escrow.detail;
+  EXPECT_EQ(report.payout.verdict, PropertyVerdict::kProvedBounded)
+      << report.payout.detail;
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.has_unknown());
+}
+
+TEST(SymexSmartCrowd, EveryRevertSiteReachableWithReplayedWitness) {
+  const SymexReport report = check_contract(contracts::contract_bytecode());
+  // The contract has 8 REVERT sites (closed-gate, duplicate, unknown
+  // selector, ...), all genuinely reachable.
+  ASSERT_EQ(report.reverts.size(), 8u);
+  for (const RevertSite& site : report.reverts) {
+    EXPECT_EQ(site.status, RevertStatus::kReachable)
+        << "revert at offset " << site.offset;
+    ASSERT_TRUE(site.witness.has_value());
+    EXPECT_TRUE(site.witness->replay_confirmed) << site.witness->replay_note;
+    EXPECT_EQ(site.witness->predicted_halt, site.offset);
+  }
+}
+
+// ---- Adversarial corpus ----------------------------------------------------
+
+TEST(SymexCorpus, RefutesEveryBrokenContractWithReplayedWitness) {
+  for (const CorpusEntry& entry : adversarial_corpus()) {
+    const vm::AssembleResult assembled = vm::assemble(entry.source);
+    ASSERT_TRUE(assembled.ok()) << entry.name;
+    const SymexReport report = check_contract(assembled.code);
+
+    EXPECT_EQ(report.escrow.verdict, entry.expect_escrow)
+        << entry.name << ": " << report.escrow.detail;
+    EXPECT_EQ(report.payout.verdict, entry.expect_payout)
+        << entry.name << ": " << report.payout.detail;
+
+    // A kViolated verdict is only trustworthy when the witness replayed on
+    // the real interpreter — never from symbolic reasoning alone.
+    for (const PropertyReport* p : {&report.escrow, &report.payout}) {
+      if (p->verdict != PropertyVerdict::kViolated) continue;
+      ASSERT_TRUE(p->witness.has_value()) << entry.name;
+      EXPECT_TRUE(p->witness->replay_confirmed)
+          << entry.name << ": " << p->witness->replay_note;
+    }
+
+    std::size_t reachable = 0, unreachable = 0;
+    for (const RevertSite& s : report.reverts) {
+      if (s.status == RevertStatus::kReachable) {
+        ++reachable;
+        ASSERT_TRUE(s.witness.has_value()) << entry.name;
+        EXPECT_TRUE(s.witness->replay_confirmed) << entry.name;
+      }
+      if (s.status == RevertStatus::kProvedUnreachable) ++unreachable;
+    }
+    EXPECT_EQ(reachable, entry.reachable_reverts) << entry.name;
+    EXPECT_EQ(unreachable, entry.unreachable_reverts) << entry.name;
+  }
+}
+
+// ---- Deploy gate -----------------------------------------------------------
+
+util::Bytes corpus_code(const std::string& name) {
+  for (const CorpusEntry& entry : adversarial_corpus()) {
+    if (entry.name != name) continue;
+    const vm::AssembleResult assembled = vm::assemble(entry.source);
+    EXPECT_TRUE(assembled.ok());
+    return assembled.code;
+  }
+  ADD_FAILURE() << "no corpus entry " << name;
+  return {};
+}
+
+TEST(SymexDeployGate, RejectsViolationsAndPassesHonestCode) {
+  DeepVerifyConfig cfg;
+  cfg.enabled = true;
+  std::string why;
+
+  EXPECT_FALSE(chain::deep_verify_deploy(corpus_code("pay-any-caller"), &cfg,
+                                         nullptr, &why));
+  EXPECT_NE(why.find("payout-requires-deposit"), std::string::npos) << why;
+
+  EXPECT_TRUE(
+      chain::deep_verify_deploy(corpus_code("dead-guard"), &cfg, nullptr, &why));
+  EXPECT_TRUE(chain::deep_verify_deploy(contracts::contract_bytecode(), &cfg,
+                                        nullptr, &why));
+
+  // Disabled (or absent) config gates nothing.
+  cfg.enabled = false;
+  EXPECT_TRUE(chain::deep_verify_deploy(corpus_code("pay-any-caller"), &cfg,
+                                        nullptr, &why));
+  EXPECT_TRUE(chain::deep_verify_deploy(corpus_code("pay-any-caller"), nullptr,
+                                        nullptr, &why));
+}
+
+TEST(SymexDeployGate, ExecutorRejectsDeployWithInvalidCode) {
+  util::Rng rng(99);
+  const auto alice = crypto::KeyPair::generate(rng);
+  chain::WorldState state;
+  state.add_balance(alice.address(), chain::kEther);
+
+  DeepVerifyConfig cfg;
+  cfg.enabled = true;
+  chain::BlockEnv env;
+  env.deep_verify = &cfg;
+
+  chain::Transaction tx;
+  tx.kind = chain::TxKind::kDeploy;
+  tx.gas_limit = 500000;
+  tx.data = corpus_code("rug-pull");
+  tx.sign_with(alice);
+  const chain::Receipt r = chain::apply_transaction(state, env, tx);
+  EXPECT_EQ(r.status, chain::TxStatus::kInvalidCode);
+  EXPECT_NE(r.error.find("symbolic verification"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("escrow-conservation"), std::string::npos) << r.error;
+
+  // The same deploy without the gate goes through.
+  chain::Transaction ok_tx;
+  ok_tx.kind = chain::TxKind::kDeploy;
+  ok_tx.nonce = state.nonce(alice.address());
+  ok_tx.gas_limit = 500000;
+  ok_tx.data = corpus_code("rug-pull");
+  ok_tx.sign_with(alice);
+  chain::BlockEnv open_env;
+  const chain::Receipt r2 = chain::apply_transaction(state, open_env, ok_tx);
+  EXPECT_EQ(r2.status, chain::TxStatus::kSuccess) << r2.error;
+}
+
+}  // namespace
+}  // namespace sc::symex

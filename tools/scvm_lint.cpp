@@ -8,24 +8,34 @@
 // Add --quiet to suppress the disassembly and note-severity findings.
 // Add --json for machine-readable output: one object with the verdict, gas
 // bounds and a diagnostics array (check id, severity, byte offset, message).
-// Exit status: 0 when the code verifies (no error-severity findings),
-// 1 when it does not, 2 on usage or input problems.
+// Add --deep to follow the static pass with the bounded symbolic checker
+// (sc::symex): revert-site reachability plus the escrow-conservation and
+// payout-requires-deposit invariants, every refutation replayed on the VM.
+// `scvm_lint --corpus` runs the built-in adversarial corpus through the
+// symbolic checker and verifies every expected verdict (self-test).
+// Exit status: 0 when the code verifies (no error-severity findings, and
+// under --deep no replay-confirmed invariant violation; under --corpus all
+// expectations match), 1 when it does not, 2 on usage or input problems.
 #include <cctype>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "analysis/verifier.hpp"
 #include "contracts/smartcrowd_contract.hpp"
+#include "symex/corpus.hpp"
+#include "symex/properties.hpp"
 #include "util/hex.hpp"
 #include "vm/assembler.hpp"
 
 namespace {
 
 int usage() {
-  std::cerr << "usage: scvm_lint [--quiet] [--json] (<file.hex> | - | --smartcrowd | "
-               "--asm <file.s>)\n";
+  std::cerr << "usage: scvm_lint [--quiet] [--json] [--deep] (<file.hex> | - | "
+               "--smartcrowd | --asm <file.s>)\n"
+               "       scvm_lint --corpus\n";
   return 2;
 }
 
@@ -55,7 +65,10 @@ std::string json_escape(const std::string& s) {
 /// Machine-readable report: everything the human format states, as one JSON
 /// object on stdout. `source` names what was analyzed (path, "-",
 /// "smartcrowd").
-void print_json(const std::string& source, const sc::analysis::AnalysisResult& result) {
+void print_json_symex(const sc::symex::SymexReport& rep);
+
+void print_json(const std::string& source, const sc::analysis::AnalysisResult& result,
+                const sc::symex::SymexReport* symex = nullptr) {
   std::cout << "{\"source\":\"" << json_escape(source) << "\","
             << "\"verdict\":\"" << (result.ok() ? "pass" : "fail") << "\","
             << "\"blocks\":" << result.block_count() << ","
@@ -72,9 +85,83 @@ void print_json(const std::string& source, const sc::analysis::AnalysisResult& r
     std::cout << "{\"check\":\"" << sc::analysis::check_name(d.check) << "\","
               << "\"severity\":\"" << sc::analysis::severity_name(d.severity) << "\","
               << "\"offset\":" << d.offset << ","
+              << "\"block\":" << d.block << ","
               << "\"message\":\"" << json_escape(d.message) << "\"}";
   }
-  std::cout << "]}\n";
+  std::cout << "]";
+  if (symex) print_json_symex(*symex);
+  std::cout << "}\n";
+}
+
+void print_json_symex(const sc::symex::SymexReport& rep) {
+  std::cout << ",\"symex\":{"
+            << "\"paths\":" << rep.exploration.paths.size() << ","
+            << "\"truncated\":" << (rep.exploration.truncated ? "true" : "false") << ","
+            << "\"solver_queries\":"
+            << (rep.solver.queries + rep.solver.quick_queries) << ","
+            << "\"escrow\":\"" << sc::symex::verdict_name(rep.escrow.verdict) << "\","
+            << "\"payout\":\"" << sc::symex::verdict_name(rep.payout.verdict) << "\","
+            << "\"reverts\":[";
+  bool first = true;
+  for (const sc::symex::RevertSite& site : rep.reverts) {
+    if (!first) std::cout << ',';
+    first = false;
+    std::cout << "{\"offset\":" << site.offset << ",\"status\":\""
+              << sc::symex::revert_status_name(site.status) << "\"}";
+  }
+  std::cout << "]}";
+}
+
+/// --corpus: run every adversarial contract through the checker and compare
+/// the verdicts against the entry's expectations. The corpus is the
+/// checker's self-test: broken contracts must be refuted with a
+/// replay-confirmed witness, honest ones proved.
+int run_corpus() {
+  int failures = 0;
+  for (const sc::symex::CorpusEntry& entry : sc::symex::adversarial_corpus()) {
+    const sc::vm::AssembleResult assembled = sc::vm::assemble(entry.source);
+    if (!assembled.ok()) {
+      std::cout << entry.name << ": ASSEMBLY ERROR line " << assembled.error->line
+                << ": " << assembled.error->message << "\n";
+      ++failures;
+      continue;
+    }
+    const sc::symex::SymexReport rep = sc::symex::check_contract(assembled.code);
+    std::size_t reachable = 0, unreachable = 0;
+    for (const sc::symex::RevertSite& s : rep.reverts) {
+      if (s.status == sc::symex::RevertStatus::kReachable) ++reachable;
+      if (s.status == sc::symex::RevertStatus::kProvedUnreachable) ++unreachable;
+    }
+    std::string why;
+    if (rep.escrow.verdict != entry.expect_escrow)
+      why += " escrow=" + std::string(sc::symex::verdict_name(rep.escrow.verdict)) +
+             " want=" + sc::symex::verdict_name(entry.expect_escrow);
+    if (rep.payout.verdict != entry.expect_payout)
+      why += " payout=" + std::string(sc::symex::verdict_name(rep.payout.verdict)) +
+             " want=" + sc::symex::verdict_name(entry.expect_payout);
+    if (reachable != entry.reachable_reverts)
+      why += " reachable-reverts=" + std::to_string(reachable) +
+             " want=" + std::to_string(entry.reachable_reverts);
+    if (unreachable != entry.unreachable_reverts)
+      why += " unreachable-reverts=" + std::to_string(unreachable) +
+             " want=" + std::to_string(entry.unreachable_reverts);
+    // A violated verdict is only trustworthy with a replayed witness.
+    for (const sc::symex::PropertyReport* p : {&rep.escrow, &rep.payout})
+      if (p->verdict == sc::symex::PropertyVerdict::kViolated &&
+          (!p->witness || !p->witness->replay_confirmed))
+        why += std::string(" ") + p->name + "-witness-not-replayed";
+    if (why.empty()) {
+      std::cout << entry.name << ": PASS (" << entry.description << ")\n";
+    } else {
+      std::cout << entry.name << ": FAIL --" << why << "\n";
+      std::cout << sc::symex::render_report(rep);
+      ++failures;
+    }
+  }
+  std::cout << (failures == 0 ? "corpus: PASS\n"
+                              : "corpus: FAIL (" + std::to_string(failures) +
+                                    " entries)\n");
+  return failures == 0 ? 0 : 1;
 }
 
 std::string read_all(std::istream& in) {
@@ -101,6 +188,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool use_smartcrowd = false;
   bool from_asm = false;
+  bool deep = false;
   std::string input;
 
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +201,10 @@ int main(int argc, char** argv) {
       use_smartcrowd = true;
     } else if (arg == "--asm") {
       from_asm = true;
+    } else if (arg == "--deep") {
+      deep = true;
+    } else if (arg == "--corpus") {
+      return run_corpus();
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -159,20 +251,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (code.empty()) {
-    std::cerr << "scvm_lint: no code to analyze\n";
-    return 2;
-  }
-
+  // Empty code is NOT a usage error: it flows through analyze(), which
+  // reports an error-severity empty-code diagnostic, so the tool exits 1
+  // (FAIL) exactly like any other unverifiable input.
   const sc::analysis::AnalysisResult result = sc::analysis::analyze(code);
+
+  // --deep only adds value on code the static verifier accepts; running the
+  // symbolic checker over provably-faulting code would just chase the same
+  // errors path by path.
+  std::optional<sc::symex::SymexReport> symex;
+  if (deep && result.ok()) symex = sc::symex::check_contract(code);
+  const bool ok = result.ok() && (!symex || symex->ok());
+
   if (json) {
-    print_json(use_smartcrowd ? "smartcrowd" : input, result);
-    return result.ok() ? 0 : 1;
+    print_json(use_smartcrowd ? "smartcrowd" : input, result,
+               symex ? &*symex : nullptr);
+    return ok ? 0 : 1;
   }
   if (!quiet) {
     std::cout << "disassembly:\n" << sc::vm::disassemble(code) << "\n";
   }
   std::cout << sc::analysis::render_report(result, /*include_notes=*/!quiet);
-  std::cout << (result.ok() ? "verdict: PASS\n" : "verdict: FAIL\n");
-  return result.ok() ? 0 : 1;
+  if (symex) std::cout << sc::symex::render_report(*symex);
+  std::cout << (ok ? "verdict: PASS\n" : "verdict: FAIL\n");
+  return ok ? 0 : 1;
 }
