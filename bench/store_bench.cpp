@@ -1,0 +1,213 @@
+// sc::store harness: append throughput and reopen/replay latency vs chain
+// length — the evidence behind docs/persistence.md's cost claims.
+//
+// Measurements per chain length (10^3 small, 10^5 full):
+//   1. Append throughput, fsync on and off: blocks/s and MB/s through
+//      Blockchain::submit_block with the store attached (empty blocks, so
+//      the numbers isolate storage cost from execution/signature cost).
+//   2. Clean reopen (index footer) and dirty reopen (full scan + replay):
+//      wall time to Blockchain::open on the written directory.
+//   3. Recovered-tip byte-identity at every length: best_state().encode()
+//      must equal the in-memory reference chain's — the bench doubles as a
+//      large-scale correctness check (the ISSUE's 10^5 acceptance bar).
+//
+// Results print as a table and persist to BENCH_store.json (schema in
+// EXPERIMENTS.md).
+//
+// Flags:
+//   --runs=small|full   small ≈ CI smoke (10^3 blocks only), default full
+//   --out=PATH          JSON output path (default BENCH_store.json)
+//   --dir=PATH          scratch directory (default: mkdtemp under /tmp)
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chain/blockchain.hpp"
+#include "store/record_log.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sc;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct LengthResult {
+  std::uint64_t blocks = 0;
+  double append_fsync_bps = 0;     ///< blocks/s, fsync on
+  double append_nofsync_bps = 0;   ///< blocks/s, fsync off
+  double log_mb = 0;               ///< final blocks.log size
+  double clean_reopen_s = 0;       ///< footer path
+  double dirty_reopen_s = 0;       ///< scan + replay path
+  bool byte_identical = false;     ///< recovered tip == in-memory reference
+};
+
+chain::GenesisConfig bench_genesis() {
+  util::Rng rng(0x57011E);
+  const auto funder = crypto::KeyPair::generate(rng);
+  chain::GenesisConfig genesis{{{funder.address(), 1'000'000 * chain::kEther}}, 0, 1};
+  genesis.state_store.flatten_interval = 1024;  // a few snapshots at 10^5
+  return genesis;
+}
+
+/// Pre-builds `count` empty linear blocks so the timed loops only measure
+/// submit+persist.
+std::vector<chain::Block> build_blocks(const chain::GenesisConfig& genesis,
+                                       std::uint64_t count) {
+  util::Rng rng(0xb10c);
+  const auto miner = crypto::KeyPair::generate(rng);
+  chain::Blockchain chain(genesis);
+  std::vector<chain::Block> blocks;
+  blocks.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    chain::Block block = chain.build_block_template(
+        miner.address(), (i + 1) * 10, 1, {});
+    if (!chain.submit_block(block, nullptr, /*skip_pow=*/true)) std::abort();
+    blocks.push_back(std::move(block));
+  }
+  return blocks;
+}
+
+double timed_append(const chain::GenesisConfig& genesis,
+                    const std::vector<chain::Block>& blocks,
+                    const std::string& dir, bool fsync, double* log_mb) {
+  std::filesystem::remove_all(dir);
+  chain::Blockchain chain(genesis);
+  chain::PersistenceOptions options;
+  options.fsync = fsync;
+  if (!chain.open(dir, options)) std::abort();
+  const auto start = Clock::now();
+  for (const chain::Block& block : blocks)
+    if (!chain.submit_block(block, nullptr, true)) std::abort();
+  const double elapsed = seconds_since(start);
+  if (log_mb) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(dir + "/blocks.log", ec);
+    *log_mb = ec ? 0 : static_cast<double>(size) / (1024.0 * 1024.0);
+  }
+  chain.close();
+  return static_cast<double>(blocks.size()) / elapsed;
+}
+
+LengthResult run_length(std::uint64_t count, const std::string& scratch) {
+  const chain::GenesisConfig genesis = bench_genesis();
+  std::printf("  building %llu blocks...\n",
+              static_cast<unsigned long long>(count));
+  const std::vector<chain::Block> blocks = build_blocks(genesis, count);
+
+  // In-memory reference tip for the byte-identity check.
+  util::Bytes reference;
+  {
+    chain::Blockchain ref(genesis);
+    for (const chain::Block& block : blocks)
+      if (!ref.submit_block(block, nullptr, true)) std::abort();
+    reference = ref.best_state().encode();
+  }
+
+  LengthResult result;
+  result.blocks = count;
+  const std::string dir = scratch + "/chain";
+  result.append_nofsync_bps =
+      timed_append(genesis, blocks, dir, /*fsync=*/false, nullptr);
+  result.append_fsync_bps =
+      timed_append(genesis, blocks, dir, /*fsync=*/true, &result.log_mb);
+  // `dir` now holds a cleanly closed store (footer present).
+  {
+    chain::Blockchain chain(genesis);
+    chain::RecoveryReport report;
+    const auto start = Clock::now();
+    if (!chain.open(dir, {}, nullptr, &report)) std::abort();
+    result.clean_reopen_s = seconds_since(start);
+    result.byte_identical = chain.best_state().encode() == reference &&
+                            report.clean_verified;
+  }
+  // Strip the clean-close index footer (RecordLog::open truncates the footer
+  // region away and the plain destructor does not rewrite it), forcing the
+  // next open down the sequential-scan recovery path.
+  if (!store::RecordLog::open(dir + "/blocks.log", false, nullptr))
+    std::abort();
+  {
+    chain::Blockchain chain(genesis);
+    chain::RecoveryReport report;
+    const auto start = Clock::now();
+    if (!chain.open(dir, {}, nullptr, &report)) std::abort();
+    result.dirty_reopen_s = seconds_since(start);
+    result.byte_identical =
+        result.byte_identical && chain.best_state().encode() == reference;
+    chain.close();
+  }
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string runs = sc::bench::flag_str(argc, argv, "runs", "full");
+  const std::string out_path =
+      sc::bench::flag_str(argc, argv, "out", "BENCH_store.json");
+  std::string scratch = sc::bench::flag_str(argc, argv, "dir", "");
+  std::string owned_scratch;
+  if (scratch.empty()) {
+    char tmpl[] = "/tmp/sc_store_bench_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    if (!dir) {
+      std::fprintf(stderr, "store_bench: mkdtemp failed\n");
+      return 2;
+    }
+    scratch = owned_scratch = dir;
+  }
+
+  std::vector<std::uint64_t> lengths{1'000};
+  if (runs != "small") lengths.push_back(100'000);
+
+  sc::bench::header("sc::store — append throughput and reopen/replay cost");
+  std::vector<LengthResult> results;
+  for (const std::uint64_t count : lengths) {
+    results.push_back(run_length(count, scratch));
+    const LengthResult& r = results.back();
+    std::printf(
+        "  blocks=%-7llu append(fsync)=%8.0f b/s  append(nofsync)=%8.0f b/s\n"
+        "               log=%.1f MB  reopen(clean)=%.3fs  reopen(scan)=%.3fs  "
+        "byte-identical=%s\n",
+        static_cast<unsigned long long>(r.blocks), r.append_fsync_bps,
+        r.append_nofsync_bps, r.log_mb, r.clean_reopen_s, r.dirty_reopen_s,
+        r.byte_identical ? "yes" : "NO");
+    if (!r.byte_identical) {
+      std::fprintf(stderr, "store_bench: recovered tip state diverged!\n");
+      return 1;
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "store_bench: cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"store_bench/v1\",\n  \"lengths\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LengthResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"blocks\": %llu, \"append_fsync_bps\": %.1f, "
+                 "\"append_nofsync_bps\": %.1f, \"log_mb\": %.2f, "
+                 "\"clean_reopen_s\": %.4f, \"dirty_reopen_s\": %.4f, "
+                 "\"byte_identical\": %s}%s\n",
+                 static_cast<unsigned long long>(r.blocks), r.append_fsync_bps,
+                 r.append_nofsync_bps, r.log_mb, r.clean_reopen_s,
+                 r.dirty_reopen_s, r.byte_identical ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!owned_scratch.empty()) std::filesystem::remove_all(owned_scratch);
+  return 0;
+}

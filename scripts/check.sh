@@ -42,6 +42,12 @@ echo "== state_bench: journaled-state smoke =="
 echo "== exec_bench: parallel-executor smoke =="
 ./build/bench/exec_bench --runs=small --out=build/BENCH_exec_smoke.json
 
+echo "== store_bench: durable-store append/reopen smoke =="
+./build/bench/store_bench --runs=small --out=build/BENCH_store_smoke.json
+
+echo "== store: 200 randomized kill-point crash-recovery trials =="
+SC_CRASH_TRIALS=200 ./build/tests/store_crash_test
+
 echo "== ASan/UBSan build + tests =="
 cmake -B build-asan -S . -DSC_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$jobs"
@@ -49,6 +55,11 @@ ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
 echo "== ASan/UBSan: state differential (journaled vs copy-based oracle) =="
 ctest --test-dir build-asan --output-on-failure -R StateDifferential
+
+echo "== ASan/UBSan: store byte layer + serialization fuzz =="
+# Torn-tail repair, recovery and the codec round-trip/bit-flip fuzzers are
+# exactly the code that touches raw buffers — rerun them sanitized.
+ctest --test-dir build-asan --output-on-failure -R "RecordLog|TipJournal|Crc32|StoreCodecFuzz"
 
 echo "== ASan/UBSan: symbolic execution engine (120s budget) =="
 # Solver + explorer + witness replay under sanitizers: the symex unit tests

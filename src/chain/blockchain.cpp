@@ -52,11 +52,49 @@ Blockchain::Blockchain(const GenesisConfig& genesis, telemetry::Telemetry* tel)
 }
 
 // Defined where ThreadPool is complete (the header only forward-declares it).
-Blockchain::~Blockchain() = default;
+Blockchain::~Blockchain() { close(); }
+
+void Blockchain::close() {
+  if (!store_) return;
+  // Between submits the tip invariantly sits at the best head; make it so
+  // explicitly in case a failed submit left it elsewhere.
+  move_tip_to(best_head_);
+  store_->on_close(best_height(), best_head_, tip_state_);
+  store_.reset();
+}
+
+bool Blockchain::compact_store(std::uint64_t finality_depth, std::string* why) {
+  if (!store_) return true;
+  // Keep: the whole canonical chain, plus any fork block close enough to the
+  // tip that a reorg could still revive it. Genesis is rebuilt from config on
+  // every open and is never a log record.
+  const std::uint64_t tip_height = best_height();
+  const std::uint64_t keep_floor =
+      tip_height > finality_depth ? tip_height - finality_depth : 0;
+  std::vector<Hash256> keep;
+  keep.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    const std::uint64_t height = entry.block.header.height;
+    if (height == 0) continue;
+    const bool canonical =
+        height < canonical_.size() && canonical_[height] == id;
+    if (canonical || height >= keep_floor) keep.push_back(id);
+  }
+  return store_->compact(keep, why);
+}
 
 void Blockchain::flatten_into(Entry& entry) {
-  entry.snapshot = std::make_unique<WorldState>(tip_state_);
-  snapshot_bytes_ += entry.snapshot->approx_bytes();
+  if (store_) {
+    // Durable node: the snapshot lives on disk and historic materialization
+    // reads it back — per-block memory stays O(delta) no matter the chain
+    // length (the honest-memory story in docs/performance.md).
+    std::string why;
+    store_->write_snapshot(entry.block.header.height, entry.block.id(),
+                           tip_state_, &why);
+  } else {
+    entry.snapshot = std::make_unique<WorldState>(tip_state_);
+    snapshot_bytes_ += entry.snapshot->approx_bytes();
+  }
   auto& tel = telemetry::resolve(telemetry_);
   tel.registry
       .counter("chain_delta_flattens_total",
@@ -195,6 +233,18 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
     journal.commit(0);
   }
   tip_at_ = id;  // Tip now equals the new block's post-state.
+
+  // Durability ordering: the block and its delta must be fsync'd in the log
+  // before anything references them (snapshot, tip journal, our own return
+  // value). A failed append unwinds the in-memory connect so RAM never runs
+  // ahead of what disk can recover.
+  if (store_ && !store_->append_block(block, entry.delta, why)) {
+    entry.delta.unapply(tip_state_);
+    tip_at_ = block.header.prev_id;
+    move_tip_to(best_head_);
+    return false;
+  }
+
   if (block.header.height % state_cfg_.flatten_interval == 0) flatten_into(entry);
 
   const Entry& current_best = entries_.at(best_head_);
@@ -207,10 +257,15 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
   if (better) {
     const Hash256 old_head = best_head_;
     best_head_ = id;
-    reindex_canonical();
-    // A head switch that doesn't extend the previous head abandons part of
-    // the old chain: count the event and how many blocks fell off.
-    if (block.header.prev_id != old_head) {
+    if (block.header.prev_id == old_head) {
+      // The common case — the head simply grew by one block. Appending to
+      // the index keeps chain growth O(block), where the full rebuild would
+      // make it quadratic in chain length.
+      extend_canonical(id);
+    } else {
+      // A head switch that doesn't extend the previous head abandons part of
+      // the old chain: count the event and how many blocks fell off.
+      reindex_canonical();
       const std::uint64_t depth = reorg_depth(old_head);
       if (depth > 0) {
         tel.registry
@@ -226,6 +281,10 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
     // The block lost fork choice: walk the tip back to the canonical head.
     move_tip_to(best_head_);
   }
+  // Journal the (possibly unchanged) canonical head last: a tip record never
+  // points at bytes that were not durable first. Only after this fsync is the
+  // block acknowledged.
+  if (store_ && !store_->write_tip(best_height(), best_head_, why)) return false;
   tel.registry
       .gauge("state_accounts", "Accounts in the canonical-head state")
       .set(static_cast<double>(tip_state_.account_count()));
@@ -261,18 +320,42 @@ const WorldState& Blockchain::best_state() const {
 const WorldState* Blockchain::state_of(const Hash256& block_id) const {
   const auto it = entries_.find(block_id);
   if (it == entries_.end()) return nullptr;
-  if (it->second.snapshot) return it->second.snapshot.get();
-  if (const auto cached = state_cache_.find(block_id); cached != state_cache_.end())
+  auto& tel = telemetry::resolve(telemetry_);
+  auto cache_outcome = [&](const char* name, const char* help) {
+    tel.registry.counter(name, help).inc();
+  };
+  if (it->second.snapshot) {
+    cache_outcome("chain_state_cache_hit_total",
+                  "state_of lookups served by a retained snapshot or cached "
+                  "materialization");
+    return it->second.snapshot.get();
+  }
+  if (const auto cached = state_cache_.find(block_id); cached != state_cache_.end()) {
+    cache_outcome("chain_state_cache_hit_total",
+                  "state_of lookups served by a retained snapshot or cached "
+                  "materialization");
     return &cached->second;
+  }
+  cache_outcome("chain_state_cache_miss_total",
+                "state_of lookups that had to materialize from an ancestor "
+                "snapshot by delta replay");
 
-  // Materialize: copy the nearest ancestor snapshot, replay deltas forward.
+  // Materialize: copy the nearest ancestor snapshot — in memory, or on disk
+  // when a store is attached — and replay deltas forward.
   std::vector<const StateDelta*> path;
   const Entry* entry = &it->second;
-  while (!entry->snapshot) {
+  Hash256 cursor = block_id;
+  WorldState state;
+  while (true) {
+    if (entry->snapshot) {
+      state = *entry->snapshot;
+      break;
+    }
+    if (store_ && store_->load_snapshot(cursor, &state)) break;
     path.push_back(&entry->delta);
-    entry = &entries_.at(entry->block.header.prev_id);
+    cursor = entry->block.header.prev_id;
+    entry = &entries_.at(cursor);
   }
-  WorldState state = *entry->snapshot;
   for (auto delta = path.rbegin(); delta != path.rend(); ++delta)
     (*delta)->apply(state);
 
@@ -373,6 +456,16 @@ std::vector<std::pair<TxLocation, const Transaction*>> Blockchain::protocol_reco
     }
   }
   return out;
+}
+
+void Blockchain::extend_canonical(const Hash256& id) {
+  // Only valid when `id`'s parent is the current canonical head; height was
+  // validated as parent+1, so it lands exactly at canonical_.size().
+  canonical_.push_back(id);
+  const Block* blk = block(id);
+  const std::uint64_t h = canonical_.size() - 1;
+  for (std::size_t i = 0; i < blk->transactions.size(); ++i)
+    tx_index_[blk->transactions[i].id()] = TxLocation{id, h, i};
 }
 
 void Blockchain::reindex_canonical() {

@@ -30,6 +30,7 @@
 #include "chain/sig_cache.hpp"
 #include "chain/state.hpp"
 #include "chain/state_journal.hpp"
+#include "chain/store_hook.hpp"
 #include "symex/properties.hpp"
 
 namespace sc::util {
@@ -82,6 +83,28 @@ struct GenesisConfig {
   symex::DeepVerifyConfig deep_verify;
 };
 
+/// Knobs for the durable store attached by Blockchain::open.
+struct PersistenceOptions {
+  /// fsync the log/journal at the ordering contract points. Off trades the
+  /// durability of the newest blocks for append throughput.
+  bool fsync = true;
+  /// Tip-journal rewrite cadence (records between compactions).
+  std::uint64_t wal_compact_every = 4096;
+};
+
+/// What Blockchain::open found and did while replaying an existing store.
+struct RecoveryReport {
+  std::uint64_t blocks_replayed = 0;
+  bool torn_tail_truncated = false;
+  /// The tip journal acknowledged a block the (repaired) log no longer holds:
+  /// the node crashed inside the append window and a valid prefix of the
+  /// chain was recovered instead.
+  bool recovered_prefix = false;
+  /// Clean-shutdown record present and its state digest matched the replayed
+  /// tip state byte-for-byte.
+  bool clean_verified = false;
+};
+
 /// Where a transaction landed.
 struct TxLocation {
   Hash256 block_id;
@@ -109,6 +132,27 @@ class Blockchain {
   /// governed by the event model rather than hash grinding (see DESIGN.md).
   bool submit_block(const Block& block, std::string* why = nullptr,
                     bool skip_pow = false);
+
+  // -- Durability (sc::store; link sc_store to use) -------------------------
+  /// Attaches a durable block/state store at `dir`, replaying whatever it
+  /// already holds: blocks and deltas are loaded, fork choice is recomputed,
+  /// the tip state is rebuilt from the nearest on-disk snapshot by delta
+  /// replay, and the result is cross-checked against the write-ahead tip
+  /// journal (see docs/persistence.md). Must be called on a chain that holds
+  /// only genesis; every subsequently accepted block is persisted before it
+  /// is acknowledged. Defined in sc_store (store/blockchain_persist.cpp).
+  bool open(const std::string& dir, const PersistenceOptions& options = {},
+            std::string* why = nullptr, RecoveryReport* report = nullptr);
+  /// Clean shutdown of the attached store: journals the head + tip-state
+  /// digest and seals the log with its lookup index. No-op when not open.
+  void close();
+  /// True once open() succeeded (and close() has not run).
+  bool persistent() const { return store_ != nullptr; }
+  /// Rewrites the store's log, dropping fork blocks that can no longer reorg
+  /// in: keeps the canonical chain plus every block within `finality_depth`
+  /// of the tip. No-op (true) when not persistent.
+  bool compact_store(std::uint64_t finality_depth = kConfirmationDepth,
+                     std::string* why = nullptr);
 
   const Hash256& genesis_id() const { return genesis_id_; }
   const Hash256& best_head() const { return best_head_; }
@@ -177,6 +221,8 @@ class Blockchain {
   };
 
   void reindex_canonical();
+  /// O(block) canonical/tx-index append for the head-extends-head fast path.
+  void extend_canonical(const Hash256& id);
   /// Blocks abandoned when the head moved from `old_head` to a block that
   /// does not extend it (0 for plain extensions).
   std::uint64_t reorg_depth(const Hash256& old_head) const;
@@ -189,6 +235,9 @@ class Blockchain {
   void flatten_into(Entry& entry);
 
   telemetry::Telemetry* telemetry_ = nullptr;
+  /// Durable backend attached by open(); null for a RAM-only chain. Concrete
+  /// type lives in sc_store — sc_chain sees only the interface.
+  std::unique_ptr<StoreHook> store_;
   StateStoreConfig state_cfg_;
   symex::DeepVerifyConfig deep_verify_;
   SigCache sig_cache_;

@@ -1,5 +1,10 @@
 #include "chain/state.hpp"
 
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+#include "util/serialize.hpp"
+
 namespace sc::chain {
 
 const Account* WorldState::find(const Address& addr) const {
@@ -55,5 +60,65 @@ std::size_t WorldState::approx_bytes() const {
   }
   return total;
 }
+
+util::Bytes WorldState::encode() const {
+  // Address order makes the encoding independent of unordered_map history;
+  // storage is a std::map, already key-ordered.
+  std::vector<const std::pair<const Address, Account>*> sorted;
+  sorted.reserve(accounts_.size());
+  for (const auto& entry : accounts_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(sorted.size()));
+  std::uint8_t word[32];
+  for (const auto* entry : sorted) {
+    const auto& [addr, acct] = *entry;
+    w.raw(addr.span());
+    w.u64(acct.balance);
+    w.u64(acct.nonce);
+    w.bytes(acct.code);
+    w.u32(static_cast<std::uint32_t>(acct.storage.size()));
+    for (const auto& [key, value] : acct.storage) {
+      key.to_be_bytes(word);
+      w.raw({word, 32});
+      value.to_be_bytes(word);
+      w.raw({word, 32});
+    }
+  }
+  return std::move(w).take();
+}
+
+std::optional<WorldState> WorldState::decode(util::ByteSpan data) {
+  util::Reader r(data);
+  const auto count = r.u32();
+  if (!count) return std::nullopt;
+  WorldState state;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto addr = r.raw(20);
+    const auto balance = r.u64();
+    const auto nonce = r.u64();
+    auto code = r.bytes_bounded(r.remaining());
+    const auto slots = r.u32();
+    if (!addr || !balance || !nonce || !code || !slots) return std::nullopt;
+    Account& acct = state.touch(Address::from_span(*addr));
+    acct.balance = *balance;
+    acct.nonce = *nonce;
+    acct.code = std::move(*code);
+    for (std::uint32_t s = 0; s < *slots; ++s) {
+      const auto key = r.raw(32);
+      const auto value = r.raw(32);
+      if (!key || !value) return std::nullopt;
+      const crypto::U256 v = crypto::U256::from_be_bytes(*value);
+      if (v.is_zero()) return std::nullopt;  // zero slots are never encoded
+      acct.storage[crypto::U256::from_be_bytes(*key)] = v;
+    }
+  }
+  if (!r.empty()) return std::nullopt;
+  return state;
+}
+
+Hash256 WorldState::digest() const { return crypto::Sha256::digest(encode()); }
 
 }  // namespace sc::chain

@@ -100,6 +100,16 @@ class WorldState final : public StateView {
   /// for the state_snapshot_bytes gauge and the bench's memory accounting.
   std::size_t approx_bytes() const;
 
+  /// Canonical serialization: accounts sorted by address, storage slots in
+  /// key order, so two states with equal content encode byte-identically
+  /// regardless of hash-map insertion history. This is the on-disk snapshot
+  /// payload (sc::store) and the byte-identity basis of the recovery tests.
+  util::Bytes encode() const;
+  static std::optional<WorldState> decode(util::ByteSpan data);
+  /// SHA-256 over encode() — the state checksum recorded by the store's tip
+  /// journal on clean shutdown and re-verified on open.
+  Hash256 digest() const;
+
   /// Iteration for analytics.
   const std::unordered_map<Address, Account>& accounts() const { return accounts_; }
 

@@ -1,5 +1,9 @@
 #include "chain/state_journal.hpp"
 
+#include <algorithm>
+
+#include "util/serialize.hpp"
+
 namespace sc::chain {
 
 // ---------------------------------------------------------------------------
@@ -41,6 +45,108 @@ std::size_t StateDelta::approx_bytes() const {
       total += change.code->first.size() + change.code->second.size();
   }
   return total;
+}
+
+namespace {
+
+// Per-account field presence bits in the encoded form.
+constexpr std::uint8_t kFlagCreated = 1 << 0;
+constexpr std::uint8_t kFlagBalance = 1 << 1;
+constexpr std::uint8_t kFlagNonce = 1 << 2;
+constexpr std::uint8_t kFlagCode = 1 << 3;
+
+}  // namespace
+
+util::Bytes StateDelta::encode() const {
+  std::vector<const std::pair<const Address, AccountChange>*> sorted;
+  sorted.reserve(changes.size());
+  for (const auto& entry : changes) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(sorted.size()));
+  std::uint8_t word[32];
+  for (const auto* entry : sorted) {
+    const auto& [addr, change] = *entry;
+    w.raw(addr.span());
+    std::uint8_t flags = 0;
+    if (change.created) flags |= kFlagCreated;
+    if (change.balance) flags |= kFlagBalance;
+    if (change.nonce) flags |= kFlagNonce;
+    if (change.code) flags |= kFlagCode;
+    w.u8(flags);
+    if (change.balance) {
+      w.u64(change.balance->first);
+      w.u64(change.balance->second);
+    }
+    if (change.nonce) {
+      w.u64(change.nonce->first);
+      w.u64(change.nonce->second);
+    }
+    if (change.code) {
+      w.bytes(change.code->first);
+      w.bytes(change.code->second);
+    }
+    w.u32(static_cast<std::uint32_t>(change.storage.size()));
+    for (const auto& [key, slot] : change.storage) {
+      key.to_be_bytes(word);
+      w.raw({word, 32});
+      slot.before.to_be_bytes(word);
+      w.raw({word, 32});
+      slot.after.to_be_bytes(word);
+      w.raw({word, 32});
+    }
+  }
+  return std::move(w).take();
+}
+
+std::optional<StateDelta> StateDelta::decode(util::ByteSpan data) {
+  util::Reader r(data);
+  const auto count = r.u32();
+  if (!count) return std::nullopt;
+  StateDelta delta;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto addr = r.raw(20);
+    const auto flags = r.u8();
+    if (!addr || !flags) return std::nullopt;
+    if (*flags & ~(kFlagCreated | kFlagBalance | kFlagNonce | kFlagCode))
+      return std::nullopt;
+    AccountChange& change = delta.changes[Address::from_span(*addr)];
+    change.created = *flags & kFlagCreated;
+    if (*flags & kFlagBalance) {
+      const auto before = r.u64();
+      const auto after = r.u64();
+      if (!before || !after) return std::nullopt;
+      change.balance.emplace(*before, *after);
+    }
+    if (*flags & kFlagNonce) {
+      const auto before = r.u64();
+      const auto after = r.u64();
+      if (!before || !after) return std::nullopt;
+      change.nonce.emplace(*before, *after);
+    }
+    if (*flags & kFlagCode) {
+      auto before = r.bytes_bounded(r.remaining());
+      if (!before) return std::nullopt;
+      auto after = r.bytes_bounded(r.remaining());
+      if (!after) return std::nullopt;
+      change.code.emplace(std::move(*before), std::move(*after));
+    }
+    const auto slots = r.u32();
+    if (!slots) return std::nullopt;
+    for (std::uint32_t s = 0; s < *slots; ++s) {
+      const auto key = r.raw(32);
+      const auto before = r.raw(32);
+      const auto after = r.raw(32);
+      if (!key || !before || !after) return std::nullopt;
+      change.storage[crypto::U256::from_be_bytes(*key)] =
+          SlotChange{crypto::U256::from_be_bytes(*before),
+                     crypto::U256::from_be_bytes(*after)};
+    }
+  }
+  if (!r.empty()) return std::nullopt;
+  return delta;
 }
 
 // ---------------------------------------------------------------------------

@@ -54,6 +54,12 @@ struct StateDelta {
 
   /// Deterministic retained-memory estimate (the bench's O(diff) evidence).
   std::size_t approx_bytes() const;
+
+  /// Canonical serialization (accounts sorted by address) — the per-block
+  /// payload of the sc::store block log. Decode rejects truncated or
+  /// malformed input with nullopt, never with UB.
+  util::Bytes encode() const;
+  static std::optional<StateDelta> decode(util::ByteSpan data);
 };
 
 /// Account-granular read set: the addresses whose account record (balance,

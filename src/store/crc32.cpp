@@ -1,0 +1,32 @@
+#include "store/crc32.hpp"
+
+#include <array>
+
+namespace sc::store {
+namespace {
+
+// Table generated at static-init time from the reflected polynomial; a
+// 256-entry byte-at-a-time table is plenty for the store's record sizes.
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, util::ByteSpan data) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(util::ByteSpan data) { return crc32_update(0, data); }
+
+}  // namespace sc::store

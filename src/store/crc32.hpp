@@ -1,0 +1,22 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-record
+// integrity check of the sc::store on-disk formats.
+//
+// A checksum, not a MAC: it detects torn writes, bit rot and truncation, the
+// failure modes of a crashing local node. Authenticity of chain content is
+// already covered by PoW + signatures, so a cryptographic digest per record
+// would buy nothing and cost ~10x on the append hot path.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace sc::store {
+
+/// One-shot CRC-32 over `data` (init/final XOR 0xFFFFFFFF as in zlib).
+std::uint32_t crc32(util::ByteSpan data);
+
+/// Streaming form: feed `crc` from a previous call (start with 0).
+std::uint32_t crc32_update(std::uint32_t crc, util::ByteSpan data);
+
+}  // namespace sc::store

@@ -1,0 +1,137 @@
+#include "store/wal.hpp"
+
+#include <cstdio>
+
+#include "store/record_log.hpp"
+#include "util/serialize.hpp"
+
+namespace sc::store {
+namespace {
+
+constexpr std::uint8_t kKindTip = 1;
+constexpr std::uint8_t kKindClean = 2;
+
+util::Bytes encode_tip(const TipRecord& record) {
+  util::Writer w;
+  w.u8(record.clean ? kKindClean : kKindTip);
+  w.u64(record.height);
+  w.raw(record.block_id.span());
+  w.raw(record.state_digest.span());
+  return std::move(w).take();
+}
+
+std::optional<TipRecord> decode_tip(util::ByteSpan payload) {
+  util::Reader r(payload);
+  const auto kind = r.u8();
+  const auto height = r.u64();
+  const auto id = r.raw(32);
+  const auto digest = r.raw(32);
+  if (!kind || !height || !id || !digest || !r.empty()) return std::nullopt;
+  if (*kind != kKindTip && *kind != kKindClean) return std::nullopt;
+  TipRecord record;
+  record.height = *height;
+  record.block_id = crypto::Hash256::from_span(*id);
+  record.state_digest = crypto::Hash256::from_span(*digest);
+  record.clean = *kind == kKindClean;
+  return record;
+}
+
+}  // namespace
+
+std::unique_ptr<TipJournal> TipJournal::open(const std::string& path,
+                                             bool fsync_writes,
+                                             std::uint64_t compact_every,
+                                             std::string* why) {
+  auto opened = RecordLog::open(path, fsync_writes, why);
+  if (!opened) return nullptr;
+
+  auto journal = std::unique_ptr<TipJournal>(new TipJournal);
+  journal->path_ = path;
+  journal->fsync_ = fsync_writes;
+  journal->compact_every_ = compact_every == 0 ? 1 : compact_every;
+  journal->log_ = std::move(opened->log);
+  // The newest decodable record wins; undecodable ones (format drift) are
+  // skipped rather than fatal — the journal is advisory for recovery.
+  journal->log_->scan([&](std::uint64_t, util::Bytes payload) {
+    if (auto record = decode_tip(payload)) journal->tip_ = *record;
+    return true;
+  });
+  return journal;
+}
+
+TipJournal::~TipJournal() = default;
+
+std::optional<TipRecord> TipJournal::read_tip(const std::string& path,
+                                              std::string* why) {
+  auto opened = RecordLog::open_read_only(path, why);
+  if (!opened || !opened->log) return std::nullopt;
+  std::optional<TipRecord> tip;
+  opened->log->scan([&](std::uint64_t, util::Bytes payload) {
+    if (auto record = decode_tip(payload)) tip = *record;
+    return true;
+  });
+  return tip;
+}
+
+bool TipJournal::append_record(const TipRecord& record) {
+  if (!log_) return false;
+  if (!log_->append(encode_tip(record))) return false;
+  if (!log_->sync()) return false;
+  tip_ = record;
+  if (++since_compact_ >= compact_every_) return compact();
+  return true;
+}
+
+bool TipJournal::write_tip(std::uint64_t height, const crypto::Hash256& id) {
+  TipRecord record;
+  record.height = height;
+  record.block_id = id;
+  return append_record(record);
+}
+
+bool TipJournal::close_clean(std::uint64_t height, const crypto::Hash256& id,
+                             const crypto::Hash256& state_digest) {
+  TipRecord record;
+  record.height = height;
+  record.block_id = id;
+  record.state_digest = state_digest;
+  record.clean = true;
+  if (!append_record(record)) return false;
+  carried_fsyncs_ += log_->fsync_count();
+  carried_bytes_ += log_->appended_bytes();
+  log_.reset();
+  return true;
+}
+
+bool TipJournal::compact() {
+  // Rewrite-and-rename: the journal's value is only its newest record, so a
+  // fresh file with that one record replaces the old atomically. A crash
+  // between the tmp write and the rename leaves the old (valid) journal.
+  const std::string tmp = path_ + ".tmp";
+  std::remove(tmp.c_str());
+  auto fresh = RecordLog::open(tmp, fsync_, nullptr);
+  if (!fresh || !fresh->log) return false;
+  if (tip_ && !fresh->log->append(encode_tip(*tip_))) return false;
+  if (!fresh->log->sync()) return false;
+  carried_fsyncs_ += log_->fsync_count() + fresh->log->fsync_count();
+  carried_bytes_ += log_->appended_bytes();
+  log_.reset();          // close old descriptor before replacing the path
+  fresh->log.reset();    // close tmp so the rename is of quiesced files
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) return false;
+  auto reopened = RecordLog::open(path_, fsync_, nullptr);
+  if (!reopened) return false;
+  log_ = std::move(reopened->log);
+  since_compact_ = 0;
+  ++compactions_;
+  return true;
+}
+
+std::uint64_t TipJournal::fsync_count() const {
+  return carried_fsyncs_ + (log_ ? log_->fsync_count() : 0);
+}
+
+std::uint64_t TipJournal::appended_bytes() const {
+  return carried_bytes_ + (log_ ? log_->appended_bytes() : 0);
+}
+
+}  // namespace sc::store

@@ -1,0 +1,91 @@
+// Write-ahead tip journal: the store's record of the acknowledged canonical
+// head.
+//
+// Ordering contract (see docs/persistence.md): a block is acknowledged to the
+// caller only after (1) its block+delta record is appended AND fsync'd to the
+// block log, then (2) a tip record {height, block id} is appended AND fsync'd
+// here. Recovery can therefore trust the journal as a lower bound: every
+// journaled tip refers to a block whose bytes were durable first. The inverse
+// gap — a block durable in the log with no tip record yet — is the one crash
+// window, and recovery resolves it by recomputing fork choice over whatever
+// the repaired log holds.
+//
+// On clean shutdown a final record additionally carries the canonical tip
+// state's digest (WorldState::digest), giving reopen a byte-exact check that
+// delta replay reconstructed the same state the writer last held.
+//
+// The journal is itself a CRC-framed RecordLog; it is rewritten down to its
+// latest record every `compact_every` appends so it never grows past a few
+// hundred KB regardless of chain length.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "crypto/hash_types.hpp"
+#include "util/bytes.hpp"
+
+namespace sc::store {
+
+class RecordLog;
+
+/// The journal's view of the chain head.
+struct TipRecord {
+  std::uint64_t height = 0;
+  crypto::Hash256 block_id;
+  /// Digest of the canonical tip state; only set on clean-shutdown records.
+  crypto::Hash256 state_digest;
+  bool clean = false;
+};
+
+class TipJournal {
+ public:
+  /// Opens/creates the journal at `path`, repairing a torn tail. The latest
+  /// surviving record (if any) becomes tip().
+  static std::unique_ptr<TipJournal> open(const std::string& path,
+                                          bool fsync_writes,
+                                          std::uint64_t compact_every,
+                                          std::string* why);
+  ~TipJournal();
+
+  /// Read-only peek at the newest decodable tip record, for inspection tools.
+  /// Never modifies the file (no tail repair). nullopt when the journal is
+  /// missing, unreadable, or holds no decodable record.
+  static std::optional<TipRecord> read_tip(const std::string& path,
+                                           std::string* why);
+
+  /// Journals a new acknowledged head; fsyncs before returning. False on
+  /// write/fsync failure.
+  bool write_tip(std::uint64_t height, const crypto::Hash256& id);
+
+  /// Clean-shutdown record: tip plus the canonical state digest. Closes the
+  /// underlying file.
+  bool close_clean(std::uint64_t height, const crypto::Hash256& id,
+                   const crypto::Hash256& state_digest);
+
+  const std::optional<TipRecord>& tip() const { return tip_; }
+  std::uint64_t fsync_count() const;
+  std::uint64_t appended_bytes() const;
+  std::uint64_t compactions() const { return compactions_; }
+
+ private:
+  TipJournal() = default;
+
+  bool append_record(const TipRecord& record);
+  bool compact();
+
+  std::string path_;
+  bool fsync_ = true;
+  std::uint64_t compact_every_ = 4096;
+  std::uint64_t since_compact_ = 0;
+  std::uint64_t compactions_ = 0;
+  // Carried across compaction rewrites (each rewrite replaces log_).
+  std::uint64_t carried_fsyncs_ = 0;
+  std::uint64_t carried_bytes_ = 0;
+  std::unique_ptr<RecordLog> log_;
+  std::optional<TipRecord> tip_;
+};
+
+}  // namespace sc::store

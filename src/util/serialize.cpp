@@ -59,6 +59,12 @@ std::optional<Bytes> Reader::bytes() {
   return raw(*n);
 }
 
+std::optional<Bytes> Reader::bytes_bounded(std::size_t max_len) {
+  const auto n = u32();
+  if (!n || *n > max_len) return std::nullopt;
+  return raw(*n);
+}
+
 std::optional<std::string> Reader::str() {
   const auto b = bytes();
   if (!b) return std::nullopt;

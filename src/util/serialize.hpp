@@ -48,6 +48,10 @@ class Reader {
   std::optional<std::uint32_t> u32();
   std::optional<std::uint64_t> u64();
   std::optional<Bytes> bytes();
+  /// Length-prefixed byte string whose declared length must not exceed
+  /// `max_len`. Decoders of disk/wire data use this so a hostile or corrupted
+  /// length prefix fails cleanly instead of attempting a huge allocation.
+  std::optional<Bytes> bytes_bounded(std::size_t max_len);
   std::optional<std::string> str();
   /// Reads exactly `n` raw bytes.
   std::optional<Bytes> raw(std::size_t n);

@@ -1,7 +1,7 @@
 // sc_metrics_dump — seeded end-to-end scenario that exercises every
 // instrumented layer, then emits the telemetry in both exporter formats.
 //
-// Two phases run against ONE injected (local, non-global) telemetry sink:
+// Three phases run against ONE injected (local, non-global) telemetry sink:
 //
 //   1. A ConsensusCluster of four replicas on a lossy network that is
 //      partitioned mid-run and healed, populating the net_*, node_* and
@@ -10,10 +10,13 @@
 //      five detectors — populating the mempool_*, scvm_*, chain_tx_* and
 //      platform_* families, including the report submit→k-confirmation
 //      latency histogram.
+//   3. A durable-chain round trip (write, clean close, reopen/replay,
+//      compact) in a scratch directory, populating the store_* families.
 //
-// Both phases are fully seeded, so with the same --seed the Prometheus text
+// All phases are fully seeded, so with the same --seed the Prometheus text
 // is byte-identical across runs (the CI determinism gate; pow_* counters go
-// to the global sink and thus never pollute the local registry).
+// to the global sink and thus never pollute the local registry — and the
+// store phase's scratch path never appears in a metric).
 //
 //   sc_metrics_dump [--seed N] [--duration SECONDS] [--prom PATH]
 //                   [--trace PATH] [--summary] [--check]
@@ -21,9 +24,12 @@
 // Without --prom/--trace/--summary the Prometheus text goes to stdout.
 // --check validates the Prometheus output and requires the confirmation
 // histogram to be populated; exit 1 when either fails.
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -106,6 +112,59 @@ void run_platform_phase(std::uint64_t seed, double duration,
   if (t < duration) platform.run_for(duration - t);
 }
 
+/// Phase 3: durable store round trip in a scratch directory, populating the
+/// store_* families. Everything metric-visible is deterministic: the blocks
+/// are seeded and empty (no signatures), so record sizes, fsync counts and
+/// the recovery/compaction counters are byte-stable; the directory path
+/// never appears in any metric.
+void run_store_phase(std::uint64_t seed, telemetry::Telemetry& tel) {
+  char tmpl[] = "/tmp/sc_metrics_store_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  if (!dir) return;
+  const std::string store_dir = std::string(dir) + "/chain";
+
+  util::Rng key_rng(0xd15c + seed);
+  const auto funder = crypto::KeyPair::generate(key_rng);
+  const auto miner = crypto::KeyPair::generate(key_rng);
+  chain::GenesisConfig genesis{{{funder.address(), 100 * kEther}}, 0, 1};
+  genesis.execution.threads = 1;  // byte-stability, as in phase 1
+  genesis.state_store.flatten_interval = 4;
+
+  auto grow = [&](chain::Blockchain& chain, int count) {
+    for (int i = 0; i < count; ++i) {
+      const std::uint64_t h = chain.best_height() + 1;
+      chain::Block block = chain.build_block_template(
+          miner.address(), h * 10, 1, {});
+      if (!chain.submit_block(block, nullptr, /*skip_pow=*/true)) return;
+    }
+  };
+  {
+    // Write 12 blocks (three flatten snapshots) and shut down cleanly.
+    chain::Blockchain writer(genesis, &tel);
+    if (writer.open(store_dir)) {
+      grow(writer, 12);
+      writer.close();
+    }
+  }
+  {
+    // Reopen (bumps the recovery-replay counter), extend, compact, close.
+    chain::Blockchain reader(genesis, &tel);
+    if (reader.open(store_dir)) {
+      grow(reader, 4);
+      // Historic lookups at fixed heights populate the chain_state_cache_*
+      // counters: the first materializes (miss), the repeat hits the cache.
+      for (const std::uint64_t h : {6, 6, 9}) {
+        if (const chain::Block* b = reader.block_at(h)) reader.state_of(b->id());
+      }
+      std::string why;
+      reader.compact_store(chain::kConfirmationDepth, &why);
+      reader.close();
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
 /// True when the submit→confirmation histogram holds at least one sample.
 bool confirmation_histogram_populated(const telemetry::Registry& registry) {
   for (const auto& family : registry.snapshot()) {
@@ -171,6 +230,7 @@ int main(int argc, char** argv) {
   telemetry::Telemetry tel;
   run_cluster_phase(seed, tel);
   run_platform_phase(seed, duration, tel);
+  run_store_phase(seed, tel);
 
   const std::string prom = telemetry::to_prometheus(tel.registry);
   if (!prom_path.empty()) {

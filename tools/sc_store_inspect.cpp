@@ -1,0 +1,362 @@
+// sc_store_inspect — offline inspector for an sc::store directory.
+//
+// Works at the record-log layer on purpose: it needs no GenesisConfig, can
+// be pointed at a directory whose owner crashed mid-write, and cross-checks
+// the three artifacts (blocks.log, tip.wal, snap_*.snap) against each other
+// without replaying state. Strictly read-only: it never repairs a torn tail
+// or strips a clean-close footer, so it is safe on a store another process
+// owns (it may just see a prefix of in-flight appends).
+//
+//   sc_store_inspect <dir>                  summary stats (default)
+//   sc_store_inspect <dir> --check          full integrity pass
+//   sc_store_inspect <dir> --export [PATH]  JSON-lines block dump (stdout
+//                                           when PATH omitted)
+//
+// Exit codes: 0 ok, 1 integrity violation found, 2 usage or I/O error.
+// --check decodes every block and delta, re-verifies linkage and Merkle
+// consistency, parses every snapshot, and confirms the journal tip is
+// either present in the log or flagged as a recovered-prefix artifact.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/block.hpp"
+#include "chain/state.hpp"
+#include "chain/state_journal.hpp"
+#include "store/record_log.hpp"
+#include "store/wal.hpp"
+#include "util/serialize.hpp"
+
+namespace {
+
+using namespace sc;
+namespace fs = std::filesystem;
+
+// Record kinds of blocks.log (see docs/persistence.md).
+constexpr std::uint8_t kRecordMeta = 0x01;
+constexpr std::uint8_t kRecordBlock = 0x02;
+constexpr std::uint8_t kRecordIndex = 0x7F;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sc_store_inspect <dir> [--check | --export [PATH]]\n");
+  return 2;
+}
+
+struct BlockRow {
+  crypto::Hash256 id;
+  crypto::Hash256 prev;
+  std::uint64_t height = 0;
+  std::uint64_t difficulty = 0;
+  std::size_t txs = 0;
+  std::size_t delta_accounts = 0;
+  std::size_t record_bytes = 0;
+};
+
+struct LogView {
+  std::optional<crypto::Hash256> genesis;
+  std::vector<BlockRow> blocks;
+  bool had_footer = false;
+  bool torn_tail = false;
+  std::uint64_t truncated_bytes = 0;
+  std::uint64_t log_bytes = 0;
+  std::size_t undecodable = 0;  ///< Records --check failed to parse.
+  std::size_t merkle_bad = 0;
+  std::size_t unlinked = 0;
+};
+
+/// Scans blocks.log. `deep` fully decodes every record (--check); the
+/// default only peeks headers.
+std::optional<LogView> scan_log(const std::string& path, bool deep) {
+  auto opened = store::RecordLog::open_read_only(path, nullptr);
+  if (!opened || !opened->log) return std::nullopt;
+  LogView view;
+  view.had_footer = opened->had_footer;
+  view.torn_tail = opened->torn_tail_truncated;
+  view.truncated_bytes = opened->truncated_bytes;
+  view.log_bytes = opened->log->size();
+
+  std::map<crypto::Hash256, std::uint64_t> heights;
+  opened->log->scan([&](std::uint64_t, util::Bytes payload) {
+    util::Reader r(payload);
+    const auto kind = r.u8();
+    if (!kind) {
+      ++view.undecodable;
+      return true;
+    }
+    if (*kind == kRecordMeta) {
+      const auto version = r.u32();
+      const auto genesis = r.raw(32);
+      if (version && genesis && r.empty())
+        view.genesis = crypto::Hash256::from_span(*genesis);
+      else
+        ++view.undecodable;
+      return true;
+    }
+    if (*kind == kRecordIndex) return true;  // only valid inside the footer
+    if (*kind != kRecordBlock) {
+      ++view.undecodable;
+      return true;
+    }
+    const auto block_bytes = r.bytes_bounded(r.remaining());
+    const std::optional<util::Bytes> delta_bytes =
+        block_bytes ? r.bytes_bounded(r.remaining()) : std::nullopt;
+    if (!block_bytes || !delta_bytes || !r.empty()) {
+      ++view.undecodable;
+      return true;
+    }
+    BlockRow row;
+    row.record_bytes = payload.size();
+    if (deep) {
+      const auto block = chain::Block::decode(*block_bytes);
+      const auto delta = chain::StateDelta::decode(*delta_bytes);
+      if (!block || !delta) {
+        ++view.undecodable;
+        return true;
+      }
+      row.id = block->id();
+      row.prev = block->header.prev_id;
+      row.height = block->header.height;
+      row.difficulty = block->header.difficulty;
+      row.txs = block->transactions.size();
+      row.delta_accounts = delta->account_count();
+      if (!block->merkle_consistent()) ++view.merkle_bad;
+      if (row.height > 0) {
+        const auto parent = heights.find(row.prev);
+        const bool parent_is_genesis =
+            view.genesis && row.prev == *view.genesis && row.height == 1;
+        if (!parent_is_genesis &&
+            (parent == heights.end() || parent->second + 1 != row.height))
+          ++view.unlinked;
+      }
+      heights[row.id] = row.height;
+    } else {
+      util::Reader rb(*block_bytes);
+      const auto header_bytes = rb.bytes_bounded(rb.remaining());
+      const auto header =
+          header_bytes ? chain::BlockHeader::deserialize(*header_bytes)
+                       : std::nullopt;
+      if (!header) {
+        ++view.undecodable;
+        return true;
+      }
+      row.id = header->id();
+      row.prev = header->prev_id;
+      row.height = header->height;
+      row.difficulty = header->difficulty;
+    }
+    view.blocks.push_back(row);
+    return true;
+  });
+  return view;
+}
+
+struct SnapshotRow {
+  std::string file;
+  std::uint64_t height = 0;
+  crypto::Hash256 id;
+  bool parsed = false;
+  std::size_t accounts = 0;
+};
+
+std::vector<SnapshotRow> scan_snapshots(const std::string& dir, bool deep) {
+  std::vector<SnapshotRow> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snap_", 0) != 0 || entry.path().extension() != ".snap")
+      continue;
+    SnapshotRow row;
+    row.file = name;
+    auto opened =
+        store::RecordLog::open_read_only(entry.path().string(), nullptr);
+    if (opened && opened->log) {
+      opened->log->scan([&](std::uint64_t, util::Bytes payload) {
+        util::Reader r(payload);
+        const auto height = r.u64();
+        const auto id = r.raw(32);
+        const auto state_bytes = r.bytes_bounded(r.remaining());
+        if (height && id && state_bytes && r.empty()) {
+          row.height = *height;
+          row.id = crypto::Hash256::from_span(*id);
+          if (deep) {
+            const auto state = chain::WorldState::decode(*state_bytes);
+            row.parsed = state.has_value();
+            if (state) row.accounts = state->account_count();
+          } else {
+            row.parsed = true;
+          }
+        }
+        return false;
+      });
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+int run_stats(const std::string& dir, const LogView& view) {
+  std::printf("store: %s\n", dir.c_str());
+  std::printf("  genesis:          %s\n",
+              view.genesis ? view.genesis->hex().c_str() : "(missing meta)");
+  std::printf("  blocks:           %zu\n", view.blocks.size());
+  std::uint64_t max_height = 0;
+  std::map<std::uint64_t, std::size_t> per_height;
+  for (const auto& row : view.blocks) {
+    max_height = std::max(max_height, row.height);
+    ++per_height[row.height];
+  }
+  std::size_t forked = 0;
+  for (const auto& [h, n] : per_height)
+    if (n > 1) ++forked;
+  std::printf("  max height:       %llu\n",
+              static_cast<unsigned long long>(max_height));
+  std::printf("  forked heights:   %zu\n", forked);
+  std::printf("  log bytes:        %llu\n",
+              static_cast<unsigned long long>(view.log_bytes));
+  std::printf("  clean footer:     %s\n", view.had_footer ? "yes" : "no");
+  std::printf("  torn tail:        %s (%llu unreadable bytes)\n",
+              view.torn_tail ? "yes" : "no",
+              static_cast<unsigned long long>(view.truncated_bytes));
+
+  const auto journal_tip = store::TipJournal::read_tip(dir + "/tip.wal", nullptr);
+  if (journal_tip) {
+    const store::TipRecord& tip = *journal_tip;
+    std::printf("  journal tip:      height %llu  %s%s\n",
+                static_cast<unsigned long long>(tip.height),
+                tip.block_id.hex().substr(0, 16).c_str(),
+                tip.clean ? "  (clean shutdown)" : "");
+  } else {
+    std::printf("  journal tip:      (none)\n");
+  }
+  const auto snapshots = scan_snapshots(dir, /*deep=*/false);
+  std::printf("  snapshots:        %zu\n", snapshots.size());
+  for (const auto& row : snapshots)
+    std::printf("    height %8llu  %s\n",
+                static_cast<unsigned long long>(row.height), row.file.c_str());
+  return 0;
+}
+
+int run_check(const std::string& dir, const LogView& view) {
+  std::size_t failures = 0;
+  auto complain = [&](const char* fmt, auto... args) {
+    std::fprintf(stderr, "sc_store_inspect: ");
+    std::fprintf(stderr, fmt, args...);
+    std::fprintf(stderr, "\n");
+    ++failures;
+  };
+  if (!view.genesis) complain("meta record missing or corrupt");
+  if (view.undecodable)
+    complain("%zu record(s) fail to decode", view.undecodable);
+  if (view.merkle_bad)
+    complain("%zu block(s) with inconsistent Merkle root", view.merkle_bad);
+  if (view.unlinked) complain("%zu block(s) with missing parent", view.unlinked);
+
+  // Duplicate ids = corruption (the store never appends a block twice).
+  std::map<crypto::Hash256, std::size_t> seen;
+  for (const auto& row : view.blocks)
+    if (++seen[row.id] == 2) complain("duplicate block %s", row.id.hex().c_str());
+
+  const auto snapshots = scan_snapshots(dir, /*deep=*/true);
+  for (const auto& row : snapshots) {
+    if (!row.parsed) {
+      complain("snapshot %s fails to parse", row.file.c_str());
+      continue;
+    }
+    if (row.height > 0 && !seen.contains(row.id))
+      complain("snapshot %s references unknown block %s", row.file.c_str(),
+               row.id.hex().substr(0, 16).c_str());
+  }
+
+  const auto journal_tip = store::TipJournal::read_tip(dir + "/tip.wal", nullptr);
+  if (journal_tip) {
+    const store::TipRecord& tip = *journal_tip;
+    const bool in_log = seen.contains(tip.block_id) ||
+                        (view.genesis && tip.block_id == *view.genesis);
+    if (!in_log) {
+      if (tip.clean) {
+        complain("clean-shutdown tip %s not present in log",
+                 tip.block_id.hex().substr(0, 16).c_str());
+      } else {
+        // Legal crash artifact: the tail carrying this block was torn away.
+        std::printf("note: journal tip height %llu is ahead of the log "
+                    "(recovered prefix)\n",
+                    static_cast<unsigned long long>(tip.height));
+      }
+    }
+  }
+
+  if (failures) {
+    std::fprintf(stderr, "sc_store_inspect: %zu integrity failure(s)\n",
+                 failures);
+    return 1;
+  }
+  std::printf("ok: %zu block(s), %zu snapshot(s), no integrity failures\n",
+              view.blocks.size(), snapshots.size());
+  return 0;
+}
+
+int run_export(const LogView& view, const std::string& out_path) {
+  std::FILE* out = out_path.empty() ? stdout : std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "sc_store_inspect: cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  for (const auto& row : view.blocks) {
+    std::fprintf(out,
+                 "{\"height\":%llu,\"id\":\"%s\",\"prev\":\"%s\","
+                 "\"difficulty\":%llu,\"txs\":%zu,\"delta_accounts\":%zu,"
+                 "\"record_bytes\":%zu}\n",
+                 static_cast<unsigned long long>(row.height),
+                 row.id.hex().c_str(), row.prev.hex().c_str(),
+                 static_cast<unsigned long long>(row.difficulty), row.txs,
+                 row.delta_accounts, row.record_bytes);
+  }
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string dir = argv[1];
+  enum class Mode { kStats, kCheck, kExport } mode = Mode::kStats;
+  std::string export_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      mode = Mode::kCheck;
+    } else if (arg == "--export") {
+      mode = Mode::kExport;
+      if (i + 1 < argc && argv[i + 1][0] != '-') export_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (!fs::exists(dir + "/blocks.log")) {
+    std::fprintf(stderr, "sc_store_inspect: %s/blocks.log not found\n",
+                 dir.c_str());
+    return 2;
+  }
+  const bool deep = mode != Mode::kStats;
+  const auto view = scan_log(dir + "/blocks.log", deep);
+  if (!view) {
+    std::fprintf(stderr, "sc_store_inspect: cannot open %s/blocks.log\n",
+                 dir.c_str());
+    return 2;
+  }
+  switch (mode) {
+    case Mode::kStats:
+      return run_stats(dir, *view);
+    case Mode::kCheck:
+      return run_check(dir, *view);
+    case Mode::kExport:
+      return run_export(*view, export_path);
+  }
+  return 2;
+}
