@@ -1,0 +1,206 @@
+// Recovery cost harness: how fast does a crashed node come back? Two legs
+// per blocks-behind count N (10^2, 10^3 small; 10^4 full), the evidence
+// behind docs/robustness.md's catch-up claims:
+//
+//   1. Store replay: wall time for Blockchain::open on a dirty N-block
+//      directory (clean-close footer stripped, forcing the sequential
+//      scan + delta replay a post-crash reopen pays).
+//   2. Pull-sync catch-up: a 2-node cluster where one replica crashes at
+//      genesis height, the survivor mines N blocks, and the dead node
+//      restarts RAM-only — so it must fetch every block through the ranged
+//      sync protocol (docs/robustness.md). Reported as simulated seconds
+//      (latency-bound: ~N/batch round trips) and harness wall seconds
+//      (CPU-bound: validation + connection cost), plus the retry/timeout
+//      counters, which must stay zero on a healthy network.
+//
+// Results print as a table and persist to BENCH_recovery.json (schema in
+// EXPERIMENTS.md).
+//
+// Flags:
+//   --runs=small|full   small ≈ CI smoke (10^2 and 10^3), full adds 10^4
+//   --out=PATH          JSON output path (default BENCH_recovery.json)
+//   --dir=PATH          scratch directory (default: mkdtemp under /tmp)
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "chain/blockchain.hpp"
+#include "core/node.hpp"
+#include "store/record_log.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sc;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Point {
+  std::uint64_t blocks_behind = 0;
+  double replay_reopen_s = 0;   ///< dirty Blockchain::open wall time
+  double replay_bps = 0;        ///< blocks/s replayed
+  double sync_sim_s = 0;        ///< simulated restart → converged
+  double sync_wall_s = 0;       ///< harness wall time for the same window
+  std::uint64_t sync_retries = 0;
+  std::uint64_t sync_timeouts = 0;
+  std::uint64_t final_height = 0;
+  bool converged = false;
+};
+
+chain::GenesisConfig bench_genesis() {
+  util::Rng rng(0x4ec0);
+  const auto funder = crypto::KeyPair::generate(rng);
+  chain::GenesisConfig genesis{{{funder.address(), 1'000'000 * chain::kEther}}, 0, 1};
+  genesis.state_store.flatten_interval = 256;
+  return genesis;
+}
+
+/// Leg 1: write an N-block chain, strip the clean-close footer, time the
+/// scan-and-replay reopen a crashed process pays.
+void measure_replay(std::uint64_t count, const std::string& scratch, Point* p) {
+  const chain::GenesisConfig genesis = bench_genesis();
+  const std::string dir = scratch + "/replay";
+  std::filesystem::remove_all(dir);
+  {
+    util::Rng rng(0xb10c);
+    const auto miner = crypto::KeyPair::generate(rng);
+    chain::Blockchain chain(genesis);
+    chain::PersistenceOptions options;
+    options.fsync = false;  // build fast; replay cost is fsync-independent
+    if (!chain.open(dir, options)) std::abort();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      chain::Block block =
+          chain.build_block_template(miner.address(), (i + 1) * 10, 1, {});
+      if (!chain.submit_block(block, nullptr, /*skip_pow=*/true)) std::abort();
+    }
+    chain.close();
+  }
+  // Stripping the footer forces the next open down the crash path: full
+  // sequential scan of blocks.log + state delta replay.
+  if (!store::RecordLog::open(dir + "/blocks.log", false, nullptr))
+    std::abort();
+  {
+    chain::Blockchain chain(genesis);
+    const auto start = Clock::now();
+    if (!chain.open(dir)) std::abort();
+    p->replay_reopen_s = seconds_since(start);
+    if (chain.best_height() != count) std::abort();
+    chain.close();
+  }
+  p->replay_bps = static_cast<double>(count) /
+                  (p->replay_reopen_s > 0 ? p->replay_reopen_s : 1e-9);
+  std::filesystem::remove_all(dir);
+}
+
+/// Leg 2: crash node 1 at genesis, mine `count` blocks on node 0, restart
+/// node 1 RAM-only and measure restart → convergence.
+void measure_sync(std::uint64_t count, Point* p) {
+  telemetry::Telemetry tel;  // keep bench metrics out of the global registry
+  const chain::GenesisConfig genesis = bench_genesis();
+  const core::RecordGate gate = [](const chain::Transaction&) { return true; };
+  core::ConsensusCluster cluster(
+      /*seed=*/0x4ec0 + count, {{1.0, true}, {1.0, true}}, genesis, gate,
+      /*mean_block_time=*/2.0, sim::NetworkConfig{}, &tel);
+  cluster.crash_node(1);
+  while (cluster.node(0).chain().best_height() < count) cluster.run_for(60.0);
+
+  p->blocks_behind = cluster.node(0).chain().best_height();
+  cluster.restart_node(1);
+  const double sim_start = cluster.simulator().now();
+  const auto wall_start = Clock::now();
+  // Node 0 keeps mining while node 1 catches up — a moving target, as in a
+  // live network — so poll until the sync machine idles AND heads agree.
+  bool converged = false;
+  for (int i = 0; i < 10'000 && !converged; ++i) {
+    cluster.run_for(1.0);
+    converged = !cluster.node(1).syncing() && cluster.honest_nodes_converged();
+  }
+  p->sync_wall_s = seconds_since(wall_start);
+  p->sync_sim_s = cluster.simulator().now() - sim_start;
+  p->sync_retries = cluster.node(1).sync_retries();
+  p->sync_timeouts = cluster.node(1).sync_timeouts();
+  p->final_height = cluster.node(1).chain().best_height();
+  p->converged = converged;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string runs = sc::bench::flag_str(argc, argv, "runs", "full");
+  const std::string out_path =
+      sc::bench::flag_str(argc, argv, "out", "BENCH_recovery.json");
+  std::string scratch = sc::bench::flag_str(argc, argv, "dir", "");
+  std::string owned_scratch;
+  if (scratch.empty()) {
+    char tmpl[] = "/tmp/sc_recovery_bench_XXXXXX";
+    const char* dir = ::mkdtemp(tmpl);
+    if (!dir) {
+      std::fprintf(stderr, "recovery_bench: mkdtemp failed\n");
+      return 2;
+    }
+    scratch = owned_scratch = dir;
+  }
+
+  std::vector<std::uint64_t> lengths{100, 1'000};
+  if (runs != "small") lengths.push_back(10'000);
+
+  sc::bench::header("recovery — store replay and pull-sync catch-up cost");
+  std::vector<Point> points;
+  for (const std::uint64_t count : lengths) {
+    std::printf("  blocks-behind %llu...\n",
+                static_cast<unsigned long long>(count));
+    Point p;
+    measure_replay(count, scratch, &p);
+    measure_sync(count, &p);
+    points.push_back(p);
+    std::printf(
+        "  behind=%-6llu replay=%.3fs (%8.0f b/s)  sync=%.1f sim-s / %.2f "
+        "wall-s  retries=%llu timeouts=%llu  converged=%s\n",
+        static_cast<unsigned long long>(p.blocks_behind), p.replay_reopen_s,
+        p.replay_bps, p.sync_sim_s, p.sync_wall_s,
+        static_cast<unsigned long long>(p.sync_retries),
+        static_cast<unsigned long long>(p.sync_timeouts),
+        p.converged ? "yes" : "NO");
+    if (!p.converged) {
+      std::fprintf(stderr, "recovery_bench: catch-up never converged!\n");
+      return 1;
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "recovery_bench: cannot open %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"recovery_bench/v1\",\n  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"blocks_behind\": %llu, \"replay_reopen_s\": %.4f, "
+                 "\"replay_bps\": %.1f, \"sync_sim_s\": %.2f, "
+                 "\"sync_wall_s\": %.3f, \"sync_retries\": %llu, "
+                 "\"sync_timeouts\": %llu, \"final_height\": %llu, "
+                 "\"converged\": %s}%s\n",
+                 static_cast<unsigned long long>(p.blocks_behind),
+                 p.replay_reopen_s, p.replay_bps, p.sync_sim_s, p.sync_wall_s,
+                 static_cast<unsigned long long>(p.sync_retries),
+                 static_cast<unsigned long long>(p.sync_timeouts),
+                 static_cast<unsigned long long>(p.final_height),
+                 p.converged ? "true" : "false",
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!owned_scratch.empty()) std::filesystem::remove_all(owned_scratch);
+  return 0;
+}

@@ -48,6 +48,18 @@ echo "== store_bench: durable-store append/reopen smoke =="
 echo "== store: 200 randomized kill-point crash-recovery trials =="
 SC_CRASH_TRIALS=200 ./build/tests/store_crash_test
 
+echo "== recovery_bench: store replay + pull-sync catch-up smoke =="
+./build/bench/recovery_bench --runs=small --out=build/BENCH_recovery_smoke.json
+
+echo "== failpoint matrix: 200 seeded chaos schedules =="
+# Crash/partition/disk-fault schedules against 5-node durable clusters;
+# every schedule must converge to one byte-identical head, conserve supply
+# and leave reopenable stores (docs/robustness.md).
+./build/tools/sc_chaos --schedules 200
+
+echo "== failpoint overhead: disabled fault::point must stay free =="
+./build/tools/sc_chaos --overhead
+
 echo "== ASan/UBSan build + tests =="
 cmake -B build-asan -S . -DSC_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j "$jobs"
@@ -60,6 +72,12 @@ echo "== ASan/UBSan: store byte layer + serialization fuzz =="
 # Torn-tail repair, recovery and the codec round-trip/bit-flip fuzzers are
 # exactly the code that touches raw buffers — rerun them sanitized.
 ctest --test-dir build-asan --output-on-failure -R "RecordLog|TipJournal|Crc32|StoreCodecFuzz"
+
+echo "== ASan/UBSan: failpoint framework + chaos smoke =="
+# The fault units hit every store degradation path; a sanitized chaos batch
+# sweeps the crash/partition/disk-fault machinery for memory errors.
+ctest --test-dir build-asan --output-on-failure -R "Fault"
+SC_CHAOS_SCHEDULES=4 ctest --test-dir build-asan --output-on-failure -R Chaos
 
 echo "== ASan/UBSan: symbolic execution engine (120s budget) =="
 # Solver + explorer + witness replay under sanitizers: the symex unit tests
@@ -77,6 +95,10 @@ if [ -z "${SKIP_TSAN:-}" ]; then
   echo "== TSan: parallel executor differential (vs sequential + legacy) =="
   cmake --build build-tsan --target chain_parallel_test -j "$jobs"
   ctest --test-dir build-tsan --output-on-failure -R ParallelExec
+
+  echo "== TSan: crash/restart + pull-sync node tests =="
+  cmake --build build-tsan --target core_node_test -j "$jobs"
+  ctest --test-dir build-tsan --output-on-failure -R "Partition|CatchesUp|Restarts|Orphan|Sync"
 fi
 
 echo "== all checks passed =="

@@ -59,12 +59,26 @@ void Blockchain::close() {
   // Between submits the tip invariantly sits at the best head; make it so
   // explicitly in case a failed submit left it elsewhere.
   move_tip_to(best_head_);
+  // A degraded store refuses the clean-shutdown records internally and just
+  // closes its descriptors; the next open() scans the intact prefix.
   store_->on_close(best_height(), best_head_, tip_state_);
   store_.reset();
+  store_degraded_ = false;
+}
+
+void Blockchain::detach_store() {
+  // No on_close: the dirty-shutdown path. Descriptors close via destructors,
+  // leaving the directory exactly as the last acknowledged write shaped it.
+  store_.reset();
+  store_degraded_ = false;
 }
 
 bool Blockchain::compact_store(std::uint64_t finality_depth, std::string* why) {
   if (!store_) return true;
+  if (store_degraded_) {
+    if (why) *why = "store is read-only (degraded)";
+    return false;
+  }
   // Keep: the whole canonical chain, plus any fork block close enough to the
   // tip that a reorg could still revive it. Genesis is rebuilt from config on
   // every open and is never a log record.
@@ -84,7 +98,7 @@ bool Blockchain::compact_store(std::uint64_t finality_depth, std::string* why) {
 }
 
 void Blockchain::flatten_into(Entry& entry) {
-  if (store_) {
+  if (store_ && !store_degraded_) {
     // Durable node: the snapshot lives on disk and historic materialization
     // reads it back — per-block memory stays O(delta) no matter the chain
     // length (the honest-memory story in docs/performance.md).
@@ -92,6 +106,9 @@ void Blockchain::flatten_into(Entry& entry) {
     store_->write_snapshot(entry.block.header.height, entry.block.id(),
                            tip_state_, &why);
   } else {
+    // RAM-only chain — or a degraded store: post-degradation flatten heights
+    // fall back to in-memory snapshots so historic materialization keeps its
+    // anchors (pre-degradation disk snapshots stay readable).
     entry.snapshot = std::make_unique<WorldState>(tip_state_);
     snapshot_bytes_ += entry.snapshot->approx_bytes();
   }
@@ -236,13 +253,28 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
 
   // Durability ordering: the block and its delta must be fsync'd in the log
   // before anything references them (snapshot, tip journal, our own return
-  // value). A failed append unwinds the in-memory connect so RAM never runs
-  // ahead of what disk can recover.
-  if (store_ && !store_->append_block(block, entry.delta, why)) {
-    entry.delta.unapply(tip_state_);
-    tip_at_ = block.header.prev_id;
-    move_tip_to(best_head_);
-    return false;
+  // value). A failed append that leaves the store writable unwinds the
+  // in-memory connect so RAM never runs ahead of what disk can recover; a
+  // failure that *degraded* the store to read-only instead keeps the
+  // validated connect and flips the chain into RAM-only operation — the
+  // replica stays available, serving and extending the chain, and rejoins
+  // durability after a restart reopens the intact on-disk prefix.
+  if (store_ && !store_degraded_ &&
+      !store_->append_block(block, entry.delta, why)) {
+    if (store_->read_only()) {
+      store_degraded_ = true;
+      tel.registry
+          .counter("chain_store_degraded_total",
+                   "Chains that fell back to RAM-only after a store write "
+                   "failure")
+          .inc();
+      if (why) why->clear();
+    } else {
+      entry.delta.unapply(tip_state_);
+      tip_at_ = block.header.prev_id;
+      move_tip_to(best_head_);
+      return false;
+    }
   }
 
   if (block.header.height % state_cfg_.flatten_interval == 0) flatten_into(entry);
@@ -283,8 +315,20 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
   }
   // Journal the (possibly unchanged) canonical head last: a tip record never
   // points at bytes that were not durable first. Only after this fsync is the
-  // block acknowledged.
-  if (store_ && !store_->write_tip(best_height(), best_head_, why)) return false;
+  // block acknowledged. A tip failure that degraded the store follows the
+  // same availability-over-durability fallback as the append path: the block
+  // is connected and acknowledged, just not durably journaled.
+  if (store_ && !store_degraded_ &&
+      !store_->write_tip(best_height(), best_head_, why)) {
+    if (!store_->read_only()) return false;
+    store_degraded_ = true;
+    tel.registry
+        .counter("chain_store_degraded_total",
+                 "Chains that fell back to RAM-only after a store write "
+                 "failure")
+        .inc();
+    if (why) why->clear();
+  }
   tel.registry
       .gauge("state_accounts", "Accounts in the canonical-head state")
       .set(static_cast<double>(tip_state_.account_count()));

@@ -148,6 +148,17 @@ class Blockchain {
   void close();
   /// True once open() succeeded (and close() has not run).
   bool persistent() const { return store_ != nullptr; }
+  /// True once a store write failure flipped this chain into degraded
+  /// operation: the store stays attached read-only (old snapshots and blocks
+  /// remain loadable) but new blocks live in RAM only, with RAM snapshots at
+  /// flatten heights. The chain keeps accepting blocks — availability over
+  /// durability; see docs/robustness.md for the contract.
+  bool store_degraded() const { return store_degraded_; }
+  /// Drops the attached store WITHOUT the clean-shutdown records — the
+  /// on-disk state is left exactly as the last acknowledged write put it, as
+  /// a process death would. The simulator's crash/restart lifecycle uses
+  /// this; a real shutdown wants close().
+  void detach_store();
   /// Rewrites the store's log, dropping fork blocks that can no longer reorg
   /// in: keeps the canonical chain plus every block within `finality_depth`
   /// of the tip. No-op (true) when not persistent.
@@ -238,6 +249,8 @@ class Blockchain {
   /// Durable backend attached by open(); null for a RAM-only chain. Concrete
   /// type lives in sc_store — sc_chain sees only the interface.
   std::unique_ptr<StoreHook> store_;
+  /// Set when the store degraded to read-only mid-run (see store_degraded()).
+  bool store_degraded_ = false;
   StateStoreConfig state_cfg_;
   symex::DeepVerifyConfig deep_verify_;
   SigCache sig_cache_;

@@ -46,6 +46,11 @@ class StoreHook {
                         const WorldState& tip_state) = 0;
   /// Rewrites the log keeping exactly `keep` (append order preserved).
   virtual bool compact(const std::vector<Hash256>& keep, std::string* why) = 0;
+  /// True once a write failure degraded the backing store to read-only mode:
+  /// further writes are refused, reads (snapshots, blocks) keep working, and
+  /// Blockchain::submit_block falls back to RAM-only operation instead of
+  /// rejecting blocks (see docs/robustness.md, degradation contract).
+  virtual bool read_only() const { return false; }
 };
 
 }  // namespace sc::chain

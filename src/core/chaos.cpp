@@ -1,0 +1,297 @@
+#include "core/chaos.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/node.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace sc::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+crypto::KeyPair funder_key(std::uint64_t seed) {
+  util::Rng rng(seed ^ 0xF00DULL);
+  return crypto::KeyPair::generate(rng);
+}
+
+/// Disk-fault catalogue the scheduler draws from. kCrash is deliberately
+/// absent (process death is modeled by ConsensusNode::crash, not _exit) and
+/// kDelay too (it burns wall-clock, not sim-clock).
+struct SiteFault {
+  const char* site;
+  fault::FaultKind kind;
+};
+constexpr SiteFault kDiskFaults[] = {
+    {"store.log.append", fault::FaultKind::kError},
+    {"store.log.append", fault::FaultKind::kShortWrite},
+    {"store.log.append", fault::FaultKind::kNoSpace},
+    {"store.log.fsync", fault::FaultKind::kFsyncFail},
+    {"store.log.read", fault::FaultKind::kBitRot},
+    {"store.wal.append", fault::FaultKind::kError},
+    {"store.wal.append", fault::FaultKind::kShortWrite},
+    {"store.wal.fsync", fault::FaultKind::kFsyncFail},
+    {"store.snap.append", fault::FaultKind::kError},
+    {"store.snap.fsync", fault::FaultKind::kFsyncFail},
+};
+
+/// One scheduled fault event, fully determined before the sim starts.
+struct Event {
+  enum Kind { kCrash, kPartition, kDisk } kind;
+  double at = 0.0;
+  double until = 0.0;                   ///< Restart / heal time.
+  std::size_t victim = 0;               ///< kCrash: node index.
+  std::vector<std::set<std::size_t>> groups;  ///< kPartition: node indices.
+  SiteFault disk{};                     ///< kDisk: what to arm.
+};
+
+}  // namespace
+
+ChaosReport run_chaos_schedule(const ChaosConfig& config) {
+  ChaosReport report;
+  telemetry::Telemetry tel;
+  auto& injector = fault::Injector::instance();
+  injector.reset(config.seed);
+  injector.set_telemetry(&tel);
+
+  const std::string root = config.scratch_dir + "/trial-" + std::to_string(config.seed);
+  if (config.durable) {
+    std::error_code ec;
+    fs::remove_all(root, ec);
+    fs::create_directories(root, ec);
+  }
+
+  // -- Draw the whole schedule up front from its own stream -------------------
+  util::Rng sched(config.seed * 0x9E3779B97F4A7C15ULL + 0xC0A5);
+  const bool fsync = sched.bernoulli(0.25);  // most schedules trade fsync away
+  std::vector<Event> events;
+  for (std::size_t i = 0; i < config.events; ++i) {
+    Event ev;
+    ev.at = 0.05 * config.duration + sched.uniform01() * 0.80 * config.duration;
+    const double roll = sched.uniform01();
+    if (roll < 0.45 || config.nodes < 2) {
+      ev.kind = Event::kCrash;
+      ev.victim = sched.uniform(static_cast<std::uint64_t>(config.nodes));
+      ev.until = ev.at + 20.0 + sched.uniform01() * 100.0;
+    } else if (roll < 0.75 || !config.disk_faults || !config.durable) {
+      ev.kind = Event::kPartition;
+      const std::size_t ways = (config.nodes >= 3 && sched.bernoulli(0.4)) ? 3 : 2;
+      std::vector<std::size_t> order(config.nodes);
+      std::iota(order.begin(), order.end(), 0);
+      sched.shuffle(order);
+      ev.groups.resize(ways);
+      for (std::size_t n = 0; n < order.size(); ++n)
+        ev.groups[n % ways].insert(order[n]);
+      ev.until = ev.at + 30.0 + sched.uniform01() * 150.0;
+    } else {
+      ev.kind = Event::kDisk;
+      ev.disk = kDiskFaults[sched.uniform(
+          static_cast<std::uint64_t>(std::size(kDiskFaults)))];
+      ev.until = ev.at;
+    }
+    events.push_back(ev);
+  }
+
+  chain::GenesisConfig genesis{{{funder_key(config.seed).address(), 1000 * chain::kEther}}, 0, 1};
+  const chain::Amount genesis_total = 1000 * chain::kEther;
+
+  ConsensusCluster::ClusterOptions cluster_options;
+  if (config.durable) cluster_options.store_root = root;
+  cluster_options.persistence.fsync = fsync;
+  cluster_options.max_orphans = config.max_orphans;
+
+  std::vector<ConsensusCluster::NodeSpec> specs(config.nodes, {1.0, true});
+  sim::NetworkConfig net_config;  // defaults: 50ms base, 20ms jitter
+
+  struct PostMortem {
+    crypto::Hash256 head;
+    std::uint64_t height = 0;
+    bool degraded = false;
+    bool persistent = false;
+  };
+  std::vector<PostMortem> post(config.nodes);
+
+  {
+    ConsensusCluster cluster(config.seed, specs, genesis, /*gate=*/nullptr,
+                             config.mean_block_time, net_config, &tel,
+                             cluster_options);
+
+    // -- Arm the schedule on the virtual clock --------------------------------
+    auto& sim = cluster.simulator();
+    for (const Event& ev : events) {
+      switch (ev.kind) {
+        case Event::kCrash:
+          sim.at(ev.at, [&cluster, &report, victim = ev.victim] {
+            if (!cluster.node(victim).alive()) return;
+            cluster.crash_node(victim);
+            ++report.crashes;
+          });
+          sim.at(ev.until, [&cluster, &report, victim = ev.victim] {
+            if (cluster.node(victim).alive()) return;
+            cluster.restart_node(victim);
+            ++report.restarts;
+          });
+          break;
+        case Event::kPartition:
+          sim.at(ev.at, [&cluster, &report, groups = ev.groups] {
+            std::vector<std::set<sim::NodeId>> ids(groups.size());
+            for (std::size_t g = 0; g < groups.size(); ++g)
+              for (std::size_t n : groups[g])
+                ids[g].insert(cluster.node(n).network_id());
+            cluster.network().partition_groups(std::move(ids));
+            ++report.partitions;
+          });
+          sim.at(ev.until, [&cluster] { cluster.network().heal_partition(); });
+          break;
+        case Event::kDisk:
+          sim.at(ev.at, [&injector, &report, disk = ev.disk] {
+            fault::Policy policy;
+            policy.kind = disk.kind;
+            policy.probability = 1.0;
+            policy.max_fires = 1;  // one-shot: the NEXT matching I/O fails
+            injector.arm(disk.site, policy);
+            ++report.faults_armed;
+          });
+          break;
+      }
+    }
+
+    cluster.run_for(config.duration);
+
+    // -- Heal everything, then let the system settle --------------------------
+    report.faults_fired = injector.total_fires();
+    injector.reset(config.seed ^ 0xD15A);  // disarm all leftover failpoints
+    cluster.network().heal_partition();
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      if (!cluster.node(i).alive()) {
+        cluster.restart_node(i);
+        ++report.restarts;
+      } else if (cluster.node(i).chain().store_degraded()) {
+        // A store that swallowed a write fault must rejoin cleanly: kill the
+        // node and force a reopen of the degraded directory.
+        ++report.degraded_stores;
+        cluster.crash_node(i);
+        cluster.restart_node(i);
+        ++report.crashes;
+        ++report.restarts;
+      } else if (config.durable && !cluster.node(i).chain().persistent()) {
+        // A mid-run restart hit an armed fault during open and fell back to
+        // RAM-only. Faults are clear now: the directory must open this time.
+        cluster.crash_node(i);
+        cluster.restart_node(i);
+        ++report.crashes;
+        ++report.restarts;
+      }
+    }
+    cluster.run_for(config.settle);
+    bool converged = cluster.honest_nodes_converged();
+    for (int poll = 0; poll < 40 && !converged; ++poll) {
+      cluster.run_for(30.0);
+      converged = cluster.honest_nodes_converged();
+    }
+
+    // -- Invariants ----------------------------------------------------------
+    report.converged = converged;
+    if (!converged && report.error.empty())
+      report.error = "honest live nodes did not converge after settling";
+
+    const chain::Blockchain& ref = cluster.node(0).chain();
+    report.blocks_mined = cluster.blocks_mined();
+    report.final_height = ref.best_height();
+
+    const util::Bytes ref_state = ref.best_state().encode();
+    report.state_identical = true;
+    for (std::size_t i = 1; i < cluster.size(); ++i) {
+      if (!cluster.node(i).alive()) continue;
+      if (cluster.node(i).chain().best_state().encode() != ref_state) {
+        report.state_identical = false;
+        if (report.error.empty())
+          report.error = "tip state of node " + std::to_string(i) +
+                         " differs from node 0";
+        break;
+      }
+    }
+
+    const chain::Amount expect =
+        genesis_total + report.final_height * chain::kBlockReward;
+    report.supply_ok = ref.best_state().total_supply() == expect;
+    if (!report.supply_ok && report.error.empty())
+      report.error = "supply not conserved: have " +
+                     std::to_string(ref.best_state().total_supply()) +
+                     " want " + std::to_string(expect);
+
+    report.chain_linked = true;
+    for (std::uint64_t h = 1; h <= report.final_height; ++h) {
+      const chain::Block* block = ref.block_at(h);
+      const chain::Block* parent = ref.block_at(h - 1);
+      if (block == nullptr || parent == nullptr ||
+          block->header.prev_id != parent->id()) {
+        report.chain_linked = false;
+        if (report.error.empty())
+          report.error = "canonical chain broken at height " + std::to_string(h);
+        break;
+      }
+    }
+
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      const ConsensusNode& node = cluster.node(i);
+      report.sync_retries += node.sync_retries();
+      report.sync_timeouts += node.sync_timeouts();
+      report.orphans_evicted += node.orphans_evicted();
+      report.store_reopen_failures += node.store_reopen_failures();
+      post[i] = {node.chain().best_head(), node.chain().best_height(),
+                 node.chain().store_degraded(), node.chain().persistent()};
+    }
+    // Cluster destruction closes every store cleanly here.
+  }
+
+  // -- Post-mortem: every directory must reopen -------------------------------
+  if (config.durable) {
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      const std::string dir = root + "/node-" + std::to_string(i);
+      chain::Blockchain reopened(genesis, &tel);
+      std::string why;
+      if (!reopened.open(dir, {}, &why)) {
+        report.stores_reopen = false;
+        if (report.error.empty())
+          report.error = "store of node " + std::to_string(i) +
+                         " failed to reopen: " + why;
+        break;
+      }
+      // A degraded or detached store legitimately holds only a prefix (its
+      // newest blocks were RAM-only); a healthy attached one must replay to
+      // exactly the node's final head.
+      if (post[i].persistent && !post[i].degraded &&
+          reopened.best_head() != post[i].head) {
+        report.stores_reopen = false;
+        if (report.error.empty())
+          report.error = "store of node " + std::to_string(i) +
+                         " reopened to a different head (height " +
+                         std::to_string(reopened.best_height()) + " vs " +
+                         std::to_string(post[i].height) + ")";
+        break;
+      }
+      if (reopened.best_height() > post[i].height) {
+        report.stores_reopen = false;
+        if (report.error.empty())
+          report.error = "store of node " + std::to_string(i) +
+                         " reopened past its in-RAM height";
+        break;
+      }
+    }
+    std::error_code ec;
+    fs::remove_all(root, ec);
+  }
+
+  injector.reset();
+  injector.set_telemetry(nullptr);
+  return report;
+}
+
+}  // namespace sc::core

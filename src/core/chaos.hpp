@@ -1,0 +1,76 @@
+// Seeded chaos harness: drives an N-node consensus cluster through a
+// randomized schedule of crashes, network partitions and injected disk
+// faults, then checks the system-level robustness invariants:
+//
+//   1. CONVERGENCE — once faults heal, every honest live node reaches the
+//      same best head, byte-identical tip state included.
+//   2. NO CORRUPTION — the canonical chain links correctly end to end; no
+//      replica ever committed a corrupt block.
+//   3. CONSERVATION — total supply equals genesis endowment plus exactly one
+//      block reward per canonical block.
+//   4. DURABILITY — every node's store directory reopens after the run;
+//      non-degraded stores replay to the node's final head.
+//
+// One ChaosConfig::seed determines the whole schedule (event times, victims,
+// fault sites, fsync mode), so any failure replays exactly from its seed.
+// tools/sc_chaos sweeps seeds from the command line; tests/chaos_test.cpp
+// runs a fixed batch in CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sc::core {
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  std::size_t nodes = 5;
+  /// Sim-seconds of faulty operation (events land inside this window).
+  double duration = 1200.0;
+  /// Sim-seconds of fault-free settling before invariants are checked.
+  double settle = 600.0;
+  double mean_block_time = 10.0;
+  /// Fault events drawn over the duration (crashes / partitions / disk).
+  std::size_t events = 10;
+  /// Give every node a durable store under `scratch_dir` (required unless
+  /// false: RAM-only clusters still exercise crash/partition churn).
+  bool durable = true;
+  /// Arm failpoints on store I/O sites as part of the schedule.
+  bool disk_faults = true;
+  /// Per-trial store root; created fresh and removed by the harness.
+  std::string scratch_dir = "/tmp/sc_chaos";
+  std::size_t max_orphans = 64;
+};
+
+struct ChaosReport {
+  // Invariant outcomes (all true on a clean run).
+  bool converged = false;
+  bool state_identical = false;
+  bool supply_ok = false;
+  bool chain_linked = false;
+  bool stores_reopen = true;  ///< Vacuously true for RAM-only runs.
+
+  // What the schedule actually did (for logging and test assertions).
+  std::uint64_t blocks_mined = 0;
+  std::uint64_t final_height = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t faults_armed = 0;
+  std::uint64_t faults_fired = 0;
+  std::uint64_t degraded_stores = 0;
+  std::uint64_t store_reopen_failures = 0;
+  std::uint64_t sync_retries = 0;
+  std::uint64_t sync_timeouts = 0;
+  std::uint64_t orphans_evicted = 0;
+
+  /// First violated invariant, with detail; empty on success.
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+/// Runs one seeded schedule start-to-finish (own simulator, own telemetry
+/// sink, own scratch directory, failpoint table reset on entry and exit).
+ChaosReport run_chaos_schedule(const ChaosConfig& config);
+
+}  // namespace sc::core

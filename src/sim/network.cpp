@@ -21,8 +21,14 @@ NodeId Network::add_node(MessageHandler handler) {
 }
 
 bool Network::severed(NodeId a, NodeId b) const {
-  return (part_a_.contains(a) && part_b_.contains(b)) ||
-         (part_a_.contains(b) && part_b_.contains(a));
+  // Severed iff the endpoints belong to two different groups of the active
+  // partition; membership in no group never severs (two-group compatible).
+  int ga = -1, gb = -1;
+  for (int i = 0; i < static_cast<int>(groups_.size()); ++i) {
+    if (groups_[i].contains(a)) ga = i;
+    if (groups_[i].contains(b)) gb = i;
+  }
+  return ga >= 0 && gb >= 0 && ga != gb;
 }
 
 double Network::sample_latency() {
@@ -75,13 +81,15 @@ void Network::broadcast(NodeId from, std::string topic, util::Bytes payload) {
 }
 
 void Network::partition(std::set<NodeId> group_a, std::set<NodeId> group_b) {
-  part_a_ = std::move(group_a);
-  part_b_ = std::move(group_b);
+  groups_.clear();
+  groups_.push_back(std::move(group_a));
+  groups_.push_back(std::move(group_b));
 }
 
-void Network::heal_partition() {
-  part_a_.clear();
-  part_b_.clear();
+void Network::partition_groups(std::vector<std::set<NodeId>> groups) {
+  groups_ = std::move(groups);
 }
+
+void Network::heal_partition() { groups_.clear(); }
 
 }  // namespace sc::sim

@@ -63,6 +63,11 @@ class Network {
 
   /// Severs communication between the two groups (bidirectional).
   void partition(std::set<NodeId> group_a, std::set<NodeId> group_b);
+  /// General k-way partition: a message is severed iff its endpoints sit in
+  /// two DIFFERENT listed groups. Nodes absent from every group keep talking
+  /// to everyone (matching the two-group semantics, which this generalizes).
+  /// Replaces any active partition.
+  void partition_groups(std::vector<std::set<NodeId>> groups);
   void heal_partition();
 
   std::uint64_t messages_sent() const { return sent_; }
@@ -84,7 +89,7 @@ class Network {
   telemetry::Counter* delivered_metric_;
   telemetry::Histogram* latency_metric_;
   std::vector<MessageHandler> handlers_;
-  std::set<NodeId> part_a_, part_b_;
+  std::vector<std::set<NodeId>> groups_;  ///< Active partition (empty = none).
   std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0, severed_count_ = 0;
 };
 

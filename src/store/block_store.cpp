@@ -29,12 +29,16 @@ bool set_why(std::string* why, std::string msg) {
   return false;
 }
 
-/// fsyncs the directory entry metadata (rename/create durability).
-void sync_dir(const std::string& dir) {
+/// fsyncs the directory entry metadata (rename/create durability). False
+/// when the directory cannot be opened or the fsync fails — callers surface
+/// that through the StoreError path instead of assuming the rename is
+/// durable.
+bool sync_dir(const std::string& dir) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return;
-  ::fsync(fd);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
   ::close(fd);
+  return ok;
 }
 
 util::Bytes encode_meta(const crypto::Hash256& genesis_id) {
@@ -188,7 +192,8 @@ std::unique_ptr<BlockStore> BlockStore::open(const std::string& dir,
     // Fresh (or repaired-to-empty) log: stamp the meta record.
     if (!store->log_->append(encode_meta(genesis_id)) || !store->log_->sync())
       return set_why(why, dir + ": cannot write meta record"), nullptr;
-    sync_dir(dir);
+    if (options.fsync && !sync_dir(dir))
+      return set_why(why, dir + ": directory fsync failed"), nullptr;
   }
   store->index_genesis_ = genesis_id;
   store->opened_existing_ = !store->order_.empty();
@@ -275,7 +280,8 @@ void BlockStore::scan_snapshot_dir() {
     }
     if (name.substr(name.size() - 5) != ".snap") continue;
     // Trust the payload, not the file name: read height + id from the record.
-    auto opened = RecordLog::open(entry.path().string(), false, nullptr);
+    auto opened =
+        RecordLog::open(entry.path().string(), false, nullptr, "store.snap");
     if (!opened || !opened->log) continue;
     opened->log->scan([&](std::uint64_t, util::Bytes payload) {
       util::Reader r(payload);
@@ -289,14 +295,50 @@ void BlockStore::scan_snapshot_dir() {
   }
 }
 
+void BlockStore::note_io_error(StoreErrorCode code, int sys_errno,
+                               std::string detail, const char* op,
+                               bool degrading) {
+  telemetry::resolve(telemetry_)
+      .registry
+      .counter("store_io_errors_total",
+               "Store I/O failures surfaced as StoreError, by operation",
+               {{"op", op}})
+      .inc();
+  StoreError error{code, sys_errno, std::move(detail)};
+  if (degrading) {
+    if (!read_only_) last_error_ = error;  // first degrading error wins
+    read_only_ = true;
+  } else if (!read_only_) {
+    last_error_ = std::move(error);
+  }
+}
+
 bool BlockStore::append_block(const chain::Block& block,
                               const chain::StateDelta& delta, std::string* why) {
   if (closed_ || !log_) return set_why(why, "store is closed");
+  if (read_only_)
+    return set_why(why, "store is read-only (degraded): " +
+                            last_error_.to_string());
   const crypto::Hash256 id = block.id();
   if (by_id_.contains(id)) return set_why(why, "block already stored");
   const auto offset = log_->append(encode_block_payload(block, delta));
-  if (!offset) return set_why(why, "log append failed: " + std::string(std::strerror(errno)));
-  if (!log_->sync()) return set_why(why, "log fsync failed");
+  if (!offset) {
+    // The failed append was rolled back (or the log poisoned itself trying):
+    // the durable prefix is intact, so degrade rather than abort — reads and
+    // a later reopen keep working.
+    note_io_error(StoreErrorCode::kAppendFailed, log_->last_errno(),
+                  "block log append, block " + id.hex().substr(0, 16),
+                  "append", /*degrading=*/true);
+    return set_why(why, "log append failed: " + last_error_.to_string());
+  }
+  if (!log_->sync()) {
+    // The bytes may or may not be durable; the in-memory index must not run
+    // ahead of what a reopen can trust, so the block is NOT indexed.
+    note_io_error(StoreErrorCode::kFsyncFailed, log_->last_errno(),
+                  "block log fsync, block " + id.hex().substr(0, 16), "fsync",
+                  /*degrading=*/true);
+    return set_why(why, "log fsync failed: " + last_error_.to_string());
+  }
   index_block(id, block.header.height, *offset);
   publish_metrics();
   return true;
@@ -305,8 +347,15 @@ bool BlockStore::append_block(const chain::Block& block,
 bool BlockStore::write_tip(std::uint64_t height, const crypto::Hash256& id,
                            std::string* why) {
   if (closed_ || !journal_) return set_why(why, "store is closed");
-  if (!journal_->write_tip(height, id))
-    return set_why(why, "tip journal write failed");
+  if (read_only_)
+    return set_why(why, "store is read-only (degraded): " +
+                            last_error_.to_string());
+  if (!journal_->write_tip(height, id)) {
+    note_io_error(StoreErrorCode::kTipFailed, errno,
+                  "tip journal write at height " + std::to_string(height),
+                  "tip", /*degrading=*/true);
+    return set_why(why, "tip journal write failed: " + last_error_.to_string());
+  }
   publish_metrics();
   return true;
 }
@@ -315,23 +364,35 @@ bool BlockStore::write_snapshot(std::uint64_t height, const crypto::Hash256& id,
                                 const chain::WorldState& state,
                                 std::string* why) {
   if (closed_) return set_why(why, "store is closed");
+  if (read_only_)
+    return set_why(why, "store is read-only (degraded): " +
+                            last_error_.to_string());
+  // Snapshot failures never degrade the store: the tmp+rename dance keeps a
+  // failed write invisible (reopen cleans stray .tmp files) and the next
+  // flatten height retries. They are still counted and surfaced.
+  auto snapshot_error = [&](std::string detail) {
+    note_io_error(StoreErrorCode::kSnapshotFailed, errno, detail, "snapshot",
+                  /*degrading=*/false);
+    return set_why(why, "snapshot failed: " + std::move(detail));
+  };
   const std::string name = snapshot_file_name(height, id);
   const std::string tmp = dir_ + "/" + name + ".tmp";
   const std::string final_path = dir_ + "/" + name;
   std::remove(tmp.c_str());
   {
-    auto opened = RecordLog::open(tmp, options_.fsync, why);
-    if (!opened || !opened->log) return false;
+    auto opened = RecordLog::open(tmp, options_.fsync, why, "store.snap");
+    if (!opened || !opened->log)
+      return snapshot_error("open " + tmp + " failed");
     if (!opened->log->append(encode_snapshot_payload(height, id, state)))
-      return set_why(why, "snapshot write failed");
-    if (!opened->log->sync()) return set_why(why, "snapshot fsync failed");
+      return snapshot_error("write " + tmp + " failed");
+    if (!opened->log->sync()) return snapshot_error("fsync " + tmp + " failed");
     extra_fsyncs_ += opened->log->fsync_count();
     extra_bytes_ += opened->log->appended_bytes();
   }
   if (std::rename(tmp.c_str(), final_path.c_str()) != 0)
-    return set_why(why, "snapshot rename failed: " +
-                            std::string(std::strerror(errno)));
-  if (options_.fsync) sync_dir(dir_);
+    return snapshot_error("rename to " + final_path + " failed");
+  if (options_.fsync && !sync_dir(dir_))
+    return snapshot_error("directory fsync after rename failed");
   snapshots_[id] = {height, final_path};
   ++snapshots_written_;
   publish_metrics();
@@ -342,6 +403,20 @@ bool BlockStore::close_clean(std::uint64_t height, const crypto::Hash256& id,
                              const crypto::Hash256& state_digest) {
   if (closed_) return false;
   closed_ = true;
+  if (read_only_) {
+    // Degraded close: the log (possibly poisoned) must not be appended to —
+    // no clean-tip record, no index footer. Dropping the objects closes the
+    // descriptors; the next open() scans the intact prefix.
+    if (log_) {
+      extra_fsyncs_ += log_->fsync_count();
+      extra_bytes_ += log_->appended_bytes();
+      last_log_size_ = log_->size();
+    }
+    journal_.reset();
+    log_.reset();
+    publish_metrics();
+    return false;
+  }
   bool ok = true;
   if (journal_) ok = journal_->close_clean(height, id, state_digest) && ok;
   if (log_) {
@@ -359,6 +434,9 @@ bool BlockStore::close_clean(std::uint64_t height, const crypto::Hash256& id,
 bool BlockStore::compact(const std::vector<crypto::Hash256>& keep,
                          std::string* why) {
   if (closed_ || !log_) return set_why(why, "store is closed");
+  if (read_only_)
+    return set_why(why, "store is read-only (degraded): " +
+                            last_error_.to_string());
   std::unordered_map<crypto::Hash256, bool> keep_set;
   for (const auto& id : keep) {
     if (!by_id_.contains(id))
@@ -377,17 +455,32 @@ bool BlockStore::compact(const std::vector<crypto::Hash256>& keep,
   // (first-seen wins) are preserved across compaction.
   std::vector<crypto::Hash256> new_order;
   std::unordered_map<crypto::Hash256, IndexEntry> new_by_id;
+  // Failures in this loop leave the original log_ open and untouched: the
+  // store keeps serving, only the compaction attempt is abandoned.
   for (const auto& id : order_) {
     if (!keep_set.contains(id)) continue;
     const IndexEntry& entry = by_id_.at(id);
     const auto payload = log_->read_at(entry.offset);
-    if (!payload) return set_why(why, "compact: source record unreadable");
+    if (!payload) {
+      note_io_error(StoreErrorCode::kReadFailed, errno,
+                    "compact source record " + id.hex().substr(0, 16), "read",
+                    /*degrading=*/false);
+      return set_why(why, "compact: source record unreadable");
+    }
     const auto offset = fresh->log->append(*payload);
-    if (!offset) return set_why(why, "compact: append failed");
+    if (!offset) {
+      note_io_error(StoreErrorCode::kCompactFailed, errno, "compact append",
+                    "compact", /*degrading=*/false);
+      return set_why(why, "compact: append failed");
+    }
     new_by_id.emplace(id, IndexEntry{entry.height, *offset});
     new_order.push_back(id);
   }
-  if (!fresh->log->sync()) return set_why(why, "compact: fsync failed");
+  if (!fresh->log->sync()) {
+    note_io_error(StoreErrorCode::kCompactFailed, errno, "compact fsync",
+                  "compact", /*degrading=*/false);
+    return set_why(why, "compact: fsync failed");
+  }
   extra_fsyncs_ += fresh->log->fsync_count();
   extra_bytes_ += fresh->log->appended_bytes();
   const std::uint64_t dropped = order_.size() - new_order.size();
@@ -396,12 +489,33 @@ bool BlockStore::compact(const std::vector<crypto::Hash256>& keep,
   // the original log untouched.
   fresh->log.reset();
   log_.reset();
-  if (std::rename(tmp.c_str(), (dir_ + "/blocks.log").c_str()) != 0)
+  if (std::rename(tmp.c_str(), (dir_ + "/blocks.log").c_str()) != 0) {
+    const int rename_errno = errno;
+    // The original log is still in place — reopen it so the store keeps
+    // working; only if that also fails is the store degraded.
+    auto back = RecordLog::open(dir_ + "/blocks.log", options_.fsync, nullptr);
+    if (back && back->log) {
+      log_ = std::move(back->log);
+      note_io_error(StoreErrorCode::kCompactFailed, rename_errno,
+                    "compact rename", "compact", /*degrading=*/false);
+    } else {
+      note_io_error(StoreErrorCode::kCompactFailed, rename_errno,
+                    "compact rename + log reopen", "compact",
+                    /*degrading=*/true);
+    }
     return set_why(why, "compact: rename failed: " +
-                            std::string(std::strerror(errno)));
-  if (options_.fsync) sync_dir(dir_);
+                            std::string(std::strerror(rename_errno)));
+  }
+  if (options_.fsync && !sync_dir(dir_))
+    note_io_error(StoreErrorCode::kCompactFailed, errno,
+                  "directory fsync after compact rename", "dir_sync",
+                  /*degrading=*/false);
   auto reopened = RecordLog::open(dir_ + "/blocks.log", options_.fsync, why);
-  if (!reopened) return false;
+  if (!reopened) {
+    note_io_error(StoreErrorCode::kCompactFailed, errno,
+                  "compacted log reopen", "compact", /*degrading=*/true);
+    return false;
+  }
   log_ = std::move(reopened->log);
 
   // Rebuild the in-memory view; drop snapshots of discarded blocks.
@@ -479,7 +593,8 @@ std::optional<chain::WorldState> BlockStore::load_snapshot(
     const crypto::Hash256& id) const {
   const auto it = snapshots_.find(id);
   if (it == snapshots_.end()) return std::nullopt;
-  auto opened = RecordLog::open(it->second.second, false, nullptr);
+  auto opened =
+      RecordLog::open(it->second.second, false, nullptr, "store.snap");
   if (!opened || !opened->log) return std::nullopt;
   std::optional<chain::WorldState> state;
   opened->log->scan([&](std::uint64_t, util::Bytes payload) {

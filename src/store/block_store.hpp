@@ -32,6 +32,7 @@
 #include "chain/block.hpp"
 #include "chain/state.hpp"
 #include "chain/state_journal.hpp"
+#include "store/store_error.hpp"
 #include "store/wal.hpp"
 
 namespace sc::telemetry {
@@ -118,6 +119,18 @@ class BlockStore {
   const std::string& dir() const { return dir_; }
   StoreStats stats() const;
 
+  // -- Degradation ----------------------------------------------------------
+  /// True once a block-log or tip-journal write failure degraded the store:
+  /// every write path is refused, every read path keeps working, and the
+  /// on-disk log still ends at the last whole record (failed appends are
+  /// rolled back). A degraded store reopens cleanly — the next open() scans
+  /// the intact prefix. Snapshot failures do NOT degrade (tmp+rename keeps
+  /// them isolated; the next flatten height simply retries).
+  bool read_only() const { return read_only_; }
+  /// First error that degraded the store (or the most recent non-degrading
+  /// snapshot/compact error when not degraded).
+  const StoreError& last_error() const { return last_error_; }
+
  private:
   BlockStore() = default;
 
@@ -132,6 +145,11 @@ class BlockStore {
                    std::uint64_t offset);
   void scan_snapshot_dir();
   void publish_metrics();
+  /// Records an I/O failure (store_io_errors_total{op}); `degrading` flips
+  /// the store into read-only mode and pins last_error() to the first such
+  /// failure.
+  void note_io_error(StoreErrorCode code, int sys_errno, std::string detail,
+                     const char* op, bool degrading);
 
   std::string dir_;
   StoreOptions options_;
@@ -153,6 +171,8 @@ class BlockStore {
   bool torn_tail_truncated_ = false;
   std::uint64_t torn_tail_bytes_ = 0;
   bool closed_ = false;
+  bool read_only_ = false;   ///< Degraded: writes refused, reads served.
+  StoreError last_error_;
   std::uint64_t last_log_size_ = 0;  ///< Log size at close (for stats()).
   /// fsyncs/bytes from short-lived RecordLogs (snapshots, compaction).
   std::uint64_t extra_fsyncs_ = 0;

@@ -68,6 +68,8 @@ class BlockStoreHook final : public StoreHook {
     return store_->compact(keep, why);
   }
 
+  bool read_only() const override { return store_->read_only(); }
+
   store::BlockStore& store() { return *store_; }
 
  private:

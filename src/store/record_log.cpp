@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "store/crc32.hpp"
+#include "util/fault.hpp"
 #include "util/serialize.hpp"
 
 namespace sc::store {
@@ -55,8 +56,11 @@ std::uint64_t load_u64(const std::uint8_t* p) {
 
 /// Reads + verifies the record at `offset` in a file of logical size `end`.
 /// On success fills `payload` and sets `next` to the following offset.
+/// `rot`, when firing, flips one payload bit BEFORE the checksum runs —
+/// modelling media bit-rot that the CRC frame must catch, never pass through.
 bool read_record(int fd, std::uint64_t offset, std::uint64_t end,
-                 util::Bytes& payload, std::uint64_t& next) {
+                 util::Bytes& payload, std::uint64_t& next,
+                 const fault::Fired* rot = nullptr) {
   if (offset + kFrameSize > end) return false;
   std::uint8_t frame[kFrameSize];
   if (!pread_all(fd, offset, frame, kFrameSize)) return false;
@@ -66,6 +70,10 @@ bool read_record(int fd, std::uint64_t offset, std::uint64_t end,
   payload.resize(len);
   if (len > 0 && !pread_all(fd, offset + kFrameSize, payload.data(), len))
     return false;
+  if (rot && rot->kind == fault::FaultKind::kBitRot && len > 0) {
+    const std::uint64_t bit = rot->arg % (static_cast<std::uint64_t>(len) * 8);
+    payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
   if (crc32(payload) != want_crc) return false;
   next = offset + kFrameSize + len;
   return true;
@@ -75,7 +83,8 @@ bool read_record(int fd, std::uint64_t offset, std::uint64_t end,
 
 std::optional<RecordLog::OpenResult> RecordLog::open(const std::string& path,
                                                      bool fsync_writes,
-                                                     std::string* why) {
+                                                     std::string* why,
+                                                     const std::string& scope) {
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
     set_why(why, "open " + path + ": " + std::strerror(errno));
@@ -109,7 +118,8 @@ std::optional<RecordLog::OpenResult> RecordLog::open(const std::string& path,
       done += static_cast<std::size_t>(put);
     }
     result.created = true;
-    result.log.reset(new RecordLog(path, fd, fsync_writes, kHeaderSize));
+    result.log.reset(
+        new RecordLog(path, fd, fsync_writes, kHeaderSize, false, scope));
     return result;
   }
 
@@ -121,7 +131,7 @@ std::optional<RecordLog::OpenResult> RecordLog::open(const std::string& path,
       return std::nullopt;
     }
     ::close(fd);
-    return open(path, fsync_writes, why);
+    return open(path, fsync_writes, why, scope);
   }
 
   std::uint8_t magic[kHeaderSize];
@@ -150,7 +160,8 @@ std::optional<RecordLog::OpenResult> RecordLog::open(const std::string& path,
         }
         result.footer = std::move(footer);
         result.had_footer = true;
-        result.log.reset(new RecordLog(path, fd, fsync_writes, index_offset));
+        result.log.reset(
+            new RecordLog(path, fd, fsync_writes, index_offset, false, scope));
         return result;
       }
       // Trailer bytes that do not check out fall through to the tail scan —
@@ -174,7 +185,7 @@ std::optional<RecordLog::OpenResult> RecordLog::open(const std::string& path,
     result.torn_tail_truncated = true;
     result.truncated_bytes = size - offset;
   }
-  result.log.reset(new RecordLog(path, fd, fsync_writes, offset));
+  result.log.reset(new RecordLog(path, fd, fsync_writes, offset, false, scope));
   return result;
 }
 
@@ -244,6 +255,8 @@ std::optional<RecordLog::OpenResult> RecordLog::open_read_only(
 }
 
 RecordLog::~RecordLog() {
+  // A failing close here can no longer be surfaced to anyone; the paths that
+  // care about close errors (close_with_footer) check explicitly.
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -260,13 +273,52 @@ bool RecordLog::write_all(std::uint64_t offset, util::ByteSpan data) {
 }
 
 std::optional<std::uint64_t> RecordLog::append(util::ByteSpan payload) {
-  if (read_only_) return std::nullopt;
+  if (read_only_ || failed_) return std::nullopt;
   util::Writer frame;
   frame.u32(static_cast<std::uint32_t>(payload.size()));
   frame.u32(crc32(payload));
   frame.raw(payload);
   const std::uint64_t offset = end_;
-  if (!write_all(offset, frame.data())) return std::nullopt;
+
+  bool wrote = false;
+  const fault::Fired fired = fault::point(site_append_.c_str());
+  switch (fired.kind) {
+    case fault::FaultKind::kError:
+    case fault::FaultKind::kNoSpace:
+      // Clean refusal before any byte lands: nothing to roll back.
+      last_errno_ = fired.err;
+      errno = fired.err;
+      return std::nullopt;
+    case fault::FaultKind::kShortWrite: {
+      // A torn write: a prefix of the frame reaches the file, then the write
+      // fails — the rollback below must erase it.
+      std::size_t n = fired.arg != 0
+                          ? static_cast<std::size_t>(fired.arg)
+                          : frame.data().size() / 2;
+      if (n > frame.data().size()) n = frame.data().size();
+      if (n > 0)
+        write_all(offset, {frame.data().data(), n});
+      last_errno_ = fired.err;
+      errno = fired.err;
+      wrote = false;
+      break;
+    }
+    default:
+      wrote = write_all(offset, frame.data());
+      if (!wrote) last_errno_ = errno;
+      break;
+  }
+
+  if (!wrote) {
+    // Roll back whatever prefix of the frame may have landed so the file
+    // ends exactly at the last whole record; a reader (or reopen) never sees
+    // the torn bytes. If even the rollback fails the log is poisoned: no
+    // further appends, reads of verified records continue.
+    const int saved = errno;
+    if (::ftruncate(fd_, static_cast<off_t>(end_)) != 0) failed_ = true;
+    errno = saved;
+    return std::nullopt;
+  }
   end_ += frame.data().size();
   appended_bytes_ += frame.data().size();
   return offset;
@@ -274,7 +326,19 @@ std::optional<std::uint64_t> RecordLog::append(util::ByteSpan payload) {
 
 bool RecordLog::sync() {
   if (!fsync_) return true;
-  if (::fsync(fd_) != 0) return false;
+  if (const fault::Fired fired = fault::point(site_fsync_.c_str())) {
+    // An fsync failure means the kernel may have dropped writes it already
+    // acknowledged; there is no way to know which. Poison the log.
+    last_errno_ = fired.err;
+    errno = fired.err;
+    failed_ = true;
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    last_errno_ = errno;
+    failed_ = true;
+    return false;
+  }
   ++fsyncs_;
   return true;
 }
@@ -282,7 +346,10 @@ bool RecordLog::sync() {
 std::optional<util::Bytes> RecordLog::read_at(std::uint64_t offset) const {
   util::Bytes payload;
   std::uint64_t next = 0;
-  if (!read_record(fd_, offset, end_, payload, next)) return std::nullopt;
+  const fault::Fired rot = fault::point(site_read_.c_str());
+  if (!read_record(fd_, offset, end_, payload, next,
+                   rot ? &rot : nullptr))
+    return std::nullopt;
   return payload;
 }
 
@@ -300,20 +367,38 @@ bool RecordLog::scan(
 }
 
 bool RecordLog::close_with_footer(util::ByteSpan index_payload) {
-  if (read_only_) return false;
+  if (read_only_ || failed_) return false;
   const std::uint64_t index_offset = end_;
   const auto appended = append(index_payload);
   if (!appended) return false;
   util::Writer trailer;
   trailer.u64(index_offset);
   trailer.raw({reinterpret_cast<const std::uint8_t*>(kTrailerMagic), 8});
-  if (!write_all(end_, trailer.data())) return false;
+  if (!write_all(end_, trailer.data())) {
+    // Half a trailer is just torn-tail bytes to the next open; drop it so
+    // the file still ends at a whole record.
+    if (::ftruncate(fd_, static_cast<off_t>(index_offset)) != 0) failed_ = true;
+    return false;
+  }
   end_ += kTrailerSize;
   // The footer must be on disk before the descriptor goes away — a clean
-  // close is what lets the next open skip tail repair.
-  const bool synced = ::fsync(fd_) == 0;
+  // close is what lets the next open skip tail repair. The footer fsync runs
+  // regardless of fsync_ (it seals the file), so it gets its own fault gate.
+  bool synced;
+  if (const fault::Fired fired = fault::point(site_fsync_.c_str())) {
+    last_errno_ = fired.err;
+    synced = false;
+  } else {
+    synced = ::fsync(fd_) == 0;
+    if (!synced) last_errno_ = errno;
+  }
   if (synced) ++fsyncs_;
-  ::close(fd_);
+  if (::close(fd_) != 0 && synced) {
+    // close() can surface deferred write-back errors; a clean close cannot
+    // be claimed when it does.
+    last_errno_ = errno;
+    synced = false;
+  }
   fd_ = -1;
   return synced;
 }

@@ -45,9 +45,13 @@ class RecordLog {
   };
 
   /// Opens or creates `path`, runs recovery, and positions for append.
-  /// nullopt (with `why`) on I/O errors or a corrupt header.
+  /// nullopt (with `why`) on I/O errors or a corrupt header. `scope` names
+  /// the fault-injection site family this log reports under ("store.log",
+  /// "store.wal", "store.snap" — see docs/robustness.md); the per-call sites
+  /// are `<scope>.append`, `<scope>.fsync` and `<scope>.read`.
   static std::optional<OpenResult> open(const std::string& path,
-                                        bool fsync_writes, std::string* why);
+                                        bool fsync_writes, std::string* why,
+                                        const std::string& scope = "store.log");
 
   /// Read-only open for inspection tools: never writes — a clean-close footer
   /// is surfaced but left in place, and a torn tail is reported (flag + byte
@@ -64,10 +68,16 @@ class RecordLog {
 
   /// Appends one record; returns its offset (stable read_at address), or
   /// nullopt on I/O failure. Does NOT sync — callers order sync() explicitly.
+  /// A failed append (including an injected short write) is rolled back by
+  /// truncating the file to its pre-append size, so a failure never leaves a
+  /// torn record for the next reader; only if that rollback itself fails is
+  /// the log poisoned (failed()) and closed to further appends.
   std::optional<std::uint64_t> append(util::ByteSpan payload);
 
   /// fsyncs the file when fsync_writes is on (no-op otherwise). False on
-  /// fsync failure, after which the log must be considered unusable.
+  /// fsync failure, which poisons the log: durability of already-buffered
+  /// bytes is unknown, so further appends are refused while reads of
+  /// verified records keep working.
   bool sync();
 
   /// Reads and CRC-verifies the record at `offset` (as returned by append or
@@ -92,15 +102,23 @@ class RecordLog {
   const std::string& path() const { return path_; }
 
   bool read_only() const { return read_only_; }
+  /// True once an unrecoverable write-path failure poisoned the log (failed
+  /// append rollback or failed fsync). Appends are refused; reads still work.
+  bool failed() const { return failed_; }
+  /// errno of the failure that poisoned or last failed this log (0 if none).
+  int last_errno() const { return last_errno_; }
 
  private:
   RecordLog(std::string path, int fd, bool fsync_writes, std::uint64_t end,
-            bool read_only = false)
+            bool read_only = false, std::string scope = "store.log")
       : path_(std::move(path)),
         fd_(fd),
         fsync_(fsync_writes),
         read_only_(read_only),
-        end_(end) {}
+        end_(end),
+        site_append_(scope + ".append"),
+        site_fsync_(scope + ".fsync"),
+        site_read_(scope + ".read") {}
 
   bool write_all(std::uint64_t offset, util::ByteSpan data);
 
@@ -108,9 +126,16 @@ class RecordLog {
   int fd_ = -1;
   bool fsync_ = true;
   bool read_only_ = false;
+  bool failed_ = false;
+  int last_errno_ = 0;
   std::uint64_t end_ = 0;  ///< Next append offset.
   std::uint64_t fsyncs_ = 0;
   std::uint64_t appended_bytes_ = 0;
+  // Failpoint site names, precomputed so the disabled path stays allocation-
+  // free (fault::point itself is one relaxed atomic load).
+  std::string site_append_;
+  std::string site_fsync_;
+  std::string site_read_;
 };
 
 }  // namespace sc::store

@@ -1,0 +1,60 @@
+// Typed store failures — the error surface behind graceful degradation.
+//
+// Every sc::store write path reports failure through one of these codes
+// instead of aborting or silently lying. The BlockStore keeps the first
+// error that degraded it (last_error()) so callers and operators can see
+// *why* a node fell back to read-only mode (docs/persistence.md,
+// "Error handling and read-only mode").
+#pragma once
+
+#include <cstring>
+#include <string>
+
+namespace sc::store {
+
+enum class StoreErrorCode {
+  kNone = 0,
+  kAppendFailed,    ///< Block-log record append failed (rolled back).
+  kFsyncFailed,     ///< Log or journal fsync failed; durability unknown.
+  kTipFailed,       ///< Tip-journal write failed.
+  kSnapshotFailed,  ///< Snapshot write/rename failed (non-degrading).
+  kCompactFailed,   ///< Log rewrite failed; original log still in place.
+  kReadFailed,      ///< Indexed record unreadable or failed its checksum.
+  kReadOnly,        ///< Operation refused: store already degraded.
+  kClosed,          ///< Operation refused: store closed.
+};
+
+const char* store_error_name(StoreErrorCode code);
+
+struct StoreError {
+  StoreErrorCode code = StoreErrorCode::kNone;
+  int sys_errno = 0;   ///< errno at the failing syscall, when there was one.
+  std::string detail;  ///< Human-readable context (path, operation).
+
+  explicit operator bool() const { return code != StoreErrorCode::kNone; }
+
+  std::string to_string() const {
+    std::string out = store_error_name(code);
+    if (!detail.empty()) out += ": " + detail;
+    if (sys_errno != 0)
+      out += std::string(" (") + std::strerror(sys_errno) + ")";
+    return out;
+  }
+};
+
+inline const char* store_error_name(StoreErrorCode code) {
+  switch (code) {
+    case StoreErrorCode::kNone: return "ok";
+    case StoreErrorCode::kAppendFailed: return "append_failed";
+    case StoreErrorCode::kFsyncFailed: return "fsync_failed";
+    case StoreErrorCode::kTipFailed: return "tip_failed";
+    case StoreErrorCode::kSnapshotFailed: return "snapshot_failed";
+    case StoreErrorCode::kCompactFailed: return "compact_failed";
+    case StoreErrorCode::kReadFailed: return "read_failed";
+    case StoreErrorCode::kReadOnly: return "read_only";
+    case StoreErrorCode::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+}  // namespace sc::store

@@ -42,7 +42,7 @@ std::unique_ptr<TipJournal> TipJournal::open(const std::string& path,
                                              bool fsync_writes,
                                              std::uint64_t compact_every,
                                              std::string* why) {
-  auto opened = RecordLog::open(path, fsync_writes, why);
+  auto opened = RecordLog::open(path, fsync_writes, why, "store.wal");
   if (!opened) return nullptr;
 
   auto journal = std::unique_ptr<TipJournal>(new TipJournal);
@@ -109,7 +109,7 @@ bool TipJournal::compact() {
   // between the tmp write and the rename leaves the old (valid) journal.
   const std::string tmp = path_ + ".tmp";
   std::remove(tmp.c_str());
-  auto fresh = RecordLog::open(tmp, fsync_, nullptr);
+  auto fresh = RecordLog::open(tmp, fsync_, nullptr, "store.wal");
   if (!fresh || !fresh->log) return false;
   if (tip_ && !fresh->log->append(encode_tip(*tip_))) return false;
   if (!fresh->log->sync()) return false;
@@ -118,7 +118,7 @@ bool TipJournal::compact() {
   log_.reset();          // close old descriptor before replacing the path
   fresh->log.reset();    // close tmp so the rename is of quiesced files
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) return false;
-  auto reopened = RecordLog::open(path_, fsync_, nullptr);
+  auto reopened = RecordLog::open(path_, fsync_, nullptr, "store.wal");
   if (!reopened) return false;
   log_ = std::move(reopened->log);
   since_compact_ = 0;

@@ -1,0 +1,180 @@
+#include "util/fault.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <mutex>
+#include <unordered_map>
+
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace sc::fault {
+
+std::atomic<int> detail::g_armed_sites{0};
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kError: return "error";
+    case FaultKind::kShortWrite: return "short_write";
+    case FaultKind::kNoSpace: return "enospc";
+    case FaultKind::kFsyncFail: return "fsync_fail";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kBitRot: return "bit_rot";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int default_errno(FaultKind kind) {
+  return kind == FaultKind::kNoSpace ? ENOSPC : EIO;
+}
+
+struct Site {
+  Policy policy;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+}  // namespace
+
+struct Injector::Impl {
+  mutable std::mutex mu;
+  std::unordered_map<std::string, Site> sites;
+  util::Rng rng{0x5eedf417};
+  telemetry::Telemetry* telemetry = nullptr;
+  std::function<void()> crash_handler;
+  std::uint64_t total_fires = 0;
+  /// Hit/fire counts survive disarm so a schedule can interrogate a one-shot
+  /// site after its policy fired and was removed.
+  std::unordered_map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+      history;
+};
+
+Injector::Injector() : impl_(new Impl) {}
+
+Injector& Injector::instance() {
+  static Injector injector;
+  return injector;
+}
+
+void Injector::arm(const std::string& site, const Policy& policy) {
+  std::lock_guard lock(impl_->mu);
+  auto [it, inserted] = impl_->sites.try_emplace(site);
+  it->second = Site{policy, 0, 0};
+  if (inserted)
+    detail::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Injector::disarm(const std::string& site) {
+  std::lock_guard lock(impl_->mu);
+  const auto it = impl_->sites.find(site);
+  if (it == impl_->sites.end()) return;
+  auto& kept = impl_->history[site];
+  kept.first += it->second.hits;
+  kept.second += it->second.fires;
+  impl_->sites.erase(it);
+  detail::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Injector::reset(std::uint64_t seed) {
+  std::lock_guard lock(impl_->mu);
+  detail::g_armed_sites.fetch_sub(static_cast<int>(impl_->sites.size()),
+                                  std::memory_order_relaxed);
+  impl_->sites.clear();
+  impl_->history.clear();
+  impl_->total_fires = 0;
+  impl_->rng = util::Rng(seed);
+}
+
+void Injector::set_telemetry(telemetry::Telemetry* tel) {
+  std::lock_guard lock(impl_->mu);
+  impl_->telemetry = tel;
+}
+
+void Injector::set_crash_handler(std::function<void()> handler) {
+  std::lock_guard lock(impl_->mu);
+  impl_->crash_handler = std::move(handler);
+}
+
+Fired Injector::evaluate(const char* site) {
+  std::function<void()> crash;
+  std::uint64_t delay_us = 0;
+  Fired fired;
+  {
+    std::lock_guard lock(impl_->mu);
+    const auto it = impl_->sites.find(site);
+    if (it == impl_->sites.end()) return {};
+    Site& s = it->second;
+    ++s.hits;
+    const Policy& p = s.policy;
+    if (s.hits <= p.skip) return {};
+    if (p.max_fires != 0 && s.fires >= p.max_fires) return {};
+    if (p.probability < 1.0 && !impl_->rng.bernoulli(p.probability)) return {};
+    ++s.fires;
+    ++impl_->total_fires;
+    fired.kind = p.kind;
+    fired.err = p.err != 0 ? p.err : default_errno(p.kind);
+    fired.arg = p.arg;
+    telemetry::resolve(impl_->telemetry)
+        .registry
+        .counter("fault_injected_total",
+                 "Failpoint activations, by site and fault kind",
+                 {{"site", site}, {"kind", kind_name(p.kind)}})
+        .inc();
+    if (fired.kind == FaultKind::kCrash) crash = impl_->crash_handler;
+    if (fired.kind == FaultKind::kDelay) delay_us = fired.arg;
+  }
+  // Side-effectful kinds resolve here, outside the lock, so the call site
+  // only ever has to interpret data-path kinds (error/short-write/bit-rot).
+  if (fired.kind == FaultKind::kDelay) {
+    if (delay_us > 0) ::usleep(static_cast<useconds_t>(delay_us));
+    return {};
+  }
+  if (fired.kind == FaultKind::kCrash) {
+    if (crash) {
+      crash();
+      return {};  // test override chose to survive
+    }
+    ::_exit(kCrashExitCode);
+  }
+  return fired;
+}
+
+std::uint64_t Injector::hits(const std::string& site) const {
+  std::lock_guard lock(impl_->mu);
+  std::uint64_t n = 0;
+  if (const auto it = impl_->sites.find(site); it != impl_->sites.end())
+    n += it->second.hits;
+  if (const auto it = impl_->history.find(site); it != impl_->history.end())
+    n += it->second.first;
+  return n;
+}
+
+std::uint64_t Injector::fires(const std::string& site) const {
+  std::lock_guard lock(impl_->mu);
+  std::uint64_t n = 0;
+  if (const auto it = impl_->sites.find(site); it != impl_->sites.end())
+    n += it->second.fires;
+  if (const auto it = impl_->history.find(site); it != impl_->history.end())
+    n += it->second.second;
+  return n;
+}
+
+std::uint64_t Injector::total_fires() const {
+  std::lock_guard lock(impl_->mu);
+  return impl_->total_fires;
+}
+
+std::vector<std::string> Injector::armed_sites() const {
+  std::lock_guard lock(impl_->mu);
+  std::vector<std::string> out;
+  out.reserve(impl_->sites.size());
+  for (const auto& [name, site] : impl_->sites) out.push_back(name);
+  return out;
+}
+
+}  // namespace sc::fault

@@ -1,0 +1,130 @@
+// sc::fault — deterministic failpoint injection for robustness testing.
+//
+// A *failpoint* is a named site compiled into production code paths (today:
+// every I/O edge of sc::store). In normal operation the site is a single
+// relaxed atomic load — nothing is armed, nothing fires, and the disabled
+// cost is a few tenths of a nanosecond (tools/sc_chaos --overhead gates
+// this). A test or the chaos harness arms a site with a seeded activation
+// Policy; the site then deterministically fires one of the fault kinds below
+// and the instrumented code must degrade exactly as its contract promises
+// (see docs/robustness.md for the site catalogue and the degradation
+// contract).
+//
+// Determinism: activation draws come from one util::Rng owned by the
+// injector and reseeded per schedule, so a {seed, policy} pair replays the
+// same fault sequence on every run — chaos failures are reproducible from
+// their seed alone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sc::telemetry {
+struct Telemetry;
+}
+
+namespace sc::fault {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  /// Fail the operation outright with `err` (default EIO).
+  kError,
+  /// Write a prefix of the buffer, then fail — a torn/partial write.
+  kShortWrite,
+  /// Fail with ENOSPC (disk full).
+  kNoSpace,
+  /// The data write succeeds but the following fsync fails (default EIO):
+  /// the kernel accepted bytes it could not make durable.
+  kFsyncFail,
+  /// Stall the operation for `arg` microseconds of wall time, then proceed.
+  kDelay,
+  /// Flip one bit of a read payload before checksum verification.
+  kBitRot,
+  /// Terminate the process (_exit) — a crash at an exact I/O boundary.
+  kCrash,
+};
+
+const char* kind_name(FaultKind kind);
+
+/// What a triggered failpoint tells the instrumented site to do.
+struct Fired {
+  FaultKind kind = FaultKind::kNone;
+  int err = 0;            ///< errno the operation should surface.
+  std::uint64_t arg = 0;  ///< Kind-specific: short-write byte count, bit index.
+  explicit operator bool() const { return kind != FaultKind::kNone; }
+};
+
+/// Seeded activation policy for one site.
+struct Policy {
+  FaultKind kind = FaultKind::kError;
+  /// Let this many hits pass untouched before the site can fire (lets a
+  /// schedule target "the Nth append" exactly).
+  std::uint64_t skip = 0;
+  /// Per-hit activation probability once past `skip` (1.0 = always).
+  double probability = 1.0;
+  /// Stop firing after this many activations; 0 = unlimited.
+  std::uint64_t max_fires = 1;
+  /// errno to surface; 0 picks the kind's default (EIO / ENOSPC).
+  int err = 0;
+  /// Kind-specific argument (kShortWrite: bytes to write before failing,
+  /// 0 = half the buffer; kDelay: microseconds; kBitRot: bit index, hashed
+  /// into range).
+  std::uint64_t arg = 0;
+};
+
+namespace detail {
+/// Count of currently armed sites — the whole disabled fast path.
+extern std::atomic<int> g_armed_sites;
+}  // namespace detail
+
+/// Process-wide failpoint table. All mutation is mutex-guarded; evaluation is
+/// guarded too (failpoints are for tests, not hot paths — only the *disabled*
+/// check must be free).
+class Injector {
+ public:
+  static Injector& instance();
+
+  /// Arms (or replaces) the policy at `site` and resets its counters.
+  void arm(const std::string& site, const Policy& policy);
+  void disarm(const std::string& site);
+  /// Disarms every site and zeroes all counters; `seed` reseeds the
+  /// activation stream (call once per chaos schedule).
+  void reset(std::uint64_t seed = 0x5eedf417);
+
+  /// Slow path behind fault::point — consult the armed policy for `site`.
+  Fired evaluate(const char* site);
+
+  /// Telemetry sink for fault_injected_total (nullptr → global()).
+  void set_telemetry(telemetry::Telemetry* tel);
+  /// Test hook: replaces the default _exit(kCrashExitCode) on kCrash.
+  void set_crash_handler(std::function<void()> handler);
+
+  /// Times the armed policy at `site` was consulted / actually fired.
+  std::uint64_t hits(const std::string& site) const;
+  std::uint64_t fires(const std::string& site) const;
+  std::uint64_t total_fires() const;
+  /// Sites currently armed (for harness logging).
+  std::vector<std::string> armed_sites() const;
+
+  static constexpr int kCrashExitCode = 86;
+
+ private:
+  Injector();
+  struct Impl;
+  Impl* impl_;  // intentionally leaked: the injector outlives every user
+};
+
+/// The one macro-free failpoint check. Returns a falsy Fired when the site
+/// is not armed (the common case: one relaxed atomic load, no branch taken).
+/// kDelay is handled internally (the stall happens inside evaluate and a
+/// falsy Fired comes back); kCrash calls the crash handler and does not
+/// return under the default one.
+inline Fired point(const char* site) {
+  if (detail::g_armed_sites.load(std::memory_order_relaxed) == 0) return {};
+  return Injector::instance().evaluate(site);
+}
+
+}  // namespace sc::fault

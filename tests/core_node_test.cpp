@@ -1,6 +1,10 @@
 // Replicated consensus: gossip convergence, record-gate enforcement,
 // partitions/reorgs, and chain-level collusion.
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
 
 #include "core/node.hpp"
 #include "util/rng.hpp"
@@ -164,6 +168,148 @@ TEST(ConsensusCluster, PartitionDivergesThenHeals) {
   cluster.run_for(1500.0);
   cluster.run_for(30.0);
   EXPECT_TRUE(cluster.honest_nodes_converged());
+}
+
+TEST(ConsensusCluster, ThreeWayPartitionHealsToOneHead) {
+  const auto funder = key(20);
+  // Nine honest nodes, then a three-way split: each island keeps mining its
+  // own chain; after healing, all nine must converge on a single head.
+  std::vector<ConsensusCluster::NodeSpec> specs(9, {1.0, true});
+  ConsensusCluster cluster(21, specs, genesis_with(funder), demo_gate);
+  cluster.run_for(300.0);
+
+  std::vector<std::set<sim::NodeId>> groups(3);
+  for (std::size_t i = 0; i < cluster.size(); ++i)
+    groups[i % 3].insert(cluster.node(i).network_id());
+  cluster.network().partition_groups(groups);
+  cluster.run_for(900.0);
+  EXPECT_FALSE(cluster.honest_nodes_converged());
+  EXPECT_GT(cluster.network().messages_severed(), 0u);
+
+  cluster.network().heal_partition();
+  bool converged = false;
+  for (int i = 0; i < 80 && !converged; ++i) {
+    cluster.run_for(30.0);
+    converged = cluster.honest_nodes_converged();
+  }
+  EXPECT_TRUE(converged);
+  const auto head = cluster.honest_head();
+  for (std::size_t i = 0; i < cluster.size(); ++i)
+    EXPECT_EQ(cluster.node(i).chain().best_head(), head) << "node " << i;
+  // Network accounting stayed consistent through the partition epochs.
+  EXPECT_EQ(cluster.network().messages_sent(),
+            cluster.network().messages_delivered() +
+                cluster.network().messages_dropped() +
+                cluster.network().messages_severed());
+}
+
+TEST(ConsensusCluster, CrashedNodeCatchesUpViaPullSync) {
+  const auto funder = key(22);
+  ConsensusCluster cluster(23, {{1.0, true}, {1.0, true}, {1.0, true}},
+                           genesis_with(funder), demo_gate);
+  cluster.run_for(300.0);
+
+  cluster.crash_node(2);
+  EXPECT_FALSE(cluster.node(2).alive());
+  cluster.run_for(600.0);  // ~40 blocks mined while node 2 is down
+  const auto live_height = cluster.node(0).chain().best_height();
+  EXPECT_GT(live_height, cluster.node(2).chain().best_height());
+
+  EXPECT_TRUE(cluster.restart_node(2));  // RAM-only: restart resyncs from genesis
+  bool converged = false;
+  for (int i = 0; i < 60 && !converged; ++i) {
+    cluster.run_for(30.0);
+    converged = cluster.honest_nodes_converged();
+  }
+  EXPECT_TRUE(converged);
+  EXPECT_GE(cluster.node(2).chain().best_height(), live_height);
+  // The ranged protocol (not just block gossip) did the catching up: the
+  // node was ~40 blocks behind and gossip alone cannot deliver old blocks.
+  EXPECT_FALSE(cluster.node(2).syncing());
+}
+
+TEST(ConsensusCluster, DurableNodeRestartsFromItsStore) {
+  const auto funder = key(24);
+  char tmpl[] = "/tmp/sc_node_restart_XXXXXX";
+  const std::string root = ::mkdtemp(tmpl);
+  ClusterOptions options;
+  options.store_root = root;
+  options.persistence.fsync = false;
+  ConsensusCluster cluster(25, {{1.0, true}, {1.0, true}}, genesis_with(funder),
+                           demo_gate, chain::kTargetBlockTime, {}, nullptr,
+                           options);
+  cluster.run_for(1500.0);
+  cluster.crash_node(1);
+  cluster.run_for(300.0);
+  EXPECT_TRUE(cluster.restart_node(1));
+  // The restart replayed the durable prefix instead of starting from
+  // genesis: the chain is immediately non-trivial and persistent.
+  EXPECT_TRUE(cluster.node(1).chain().persistent());
+  EXPECT_GT(cluster.node(1).chain().best_height(), 10u);
+  EXPECT_EQ(cluster.node(1).store_reopen_failures(), 0u);
+  bool converged = false;
+  for (int i = 0; i < 60 && !converged; ++i) {
+    cluster.run_for(30.0);
+    converged = cluster.honest_nodes_converged();
+  }
+  EXPECT_TRUE(converged);
+  std::filesystem::remove_all(root);
+}
+
+TEST(ConsensusNode, OrphanBufferIsBoundedWithOldestParentEviction) {
+  sim::Simulator sim(26);
+  sim::Network net(sim);
+  const auto funder = key(9);
+  NodeOptions options;
+  options.max_orphans = 4;
+  ConsensusNode node(sim, net, genesis_with(funder), "n0", true, demo_gate,
+                     nullptr, options);
+  // Feed orphans with distinct unknown parents; the buffer must never hold
+  // more than max_orphans blocks and must evict the oldest parents first.
+  const auto miner = key(10).address();
+  for (int i = 0; i < 10; ++i) {
+    chain::Block block;
+    block.header.height = 5;
+    block.header.prev_id.bytes[0] = static_cast<std::uint8_t>(i + 1);
+    block.header.timestamp = 50;
+    block.header.difficulty = 1;
+    block.header.miner = miner;
+    block.seal_merkle_root();
+    node.on_message({1, "block", block.encode()});
+  }
+  EXPECT_EQ(node.orphans_buffered(), 10u);
+  EXPECT_EQ(node.orphans_evicted(), 6u);  // 10 seen, cap 4
+  sim.run();
+}
+
+TEST(ConsensusNode, DeadNodeIgnoresTraffic) {
+  sim::Simulator sim(27);
+  sim::Network net(sim);
+  const auto funder = key(11);
+  ConsensusNode node(sim, net, genesis_with(funder), "n0", true, demo_gate);
+  node.crash();
+  EXPECT_FALSE(node.alive());
+  node.on_message({99, "block", util::Bytes{1, 2, 3}});
+  EXPECT_EQ(node.blocks_rejected(), 0u);  // not even rejected: not heard
+  EXPECT_FALSE(node.mine_and_broadcast(key(12).address(), {}));
+  EXPECT_TRUE(node.restart());
+  EXPECT_TRUE(node.alive());
+}
+
+TEST(ConsensusNode, SyncRetriesWithBackoffWhenAlone) {
+  sim::Simulator sim(28);
+  sim::Network net(sim);
+  const auto funder = key(13);
+  ConsensusNode node(sim, net, genesis_with(funder), "n0", true, demo_gate);
+  // No peers: every status probe times out; the node must keep retrying on
+  // an exponential schedule rather than spinning or giving up silently.
+  node.start_sync();
+  sim.run_until(120.0);
+  EXPECT_TRUE(node.syncing());
+  EXPECT_GT(node.sync_timeouts(), 2u);
+  EXPECT_EQ(node.sync_timeouts(), node.sync_retries());
+  // Backoff caps at 30s: in 120s there can be at most ~8 attempts.
+  EXPECT_LT(node.sync_retries(), 10u);
 }
 
 TEST(ConsensusNode, RejectsMalformedBlockPayload) {

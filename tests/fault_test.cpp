@@ -1,0 +1,347 @@
+// sc::fault failpoint framework, and the degradation contract it enforces
+// across the store stack: RecordLog rollback/poisoning, BlockStore read-only
+// mode, and Blockchain's RAM-only fallback (docs/robustness.md).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.hpp"
+#include "store/block_store.hpp"
+#include "store/record_log.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/fault.hpp"
+#include "util/rng.hpp"
+
+namespace sc {
+namespace {
+
+using fault::FaultKind;
+using fault::Injector;
+using fault::Policy;
+
+struct TempDir {
+  TempDir() {
+    char tmpl[] = "/tmp/sc_fault_XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::string sub(const std::string& name) const { return path + "/" + name; }
+  std::string path;
+};
+
+/// Every test starts and ends with a clean failpoint table.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Injector::instance().reset(/*seed=*/42); }
+  void TearDown() override {
+    Injector::instance().reset();
+    Injector::instance().set_telemetry(nullptr);
+  }
+};
+
+TEST_F(FaultTest, DisabledSiteIsFalsyAndUncounted) {
+  EXPECT_FALSE(fault::point("nothing.armed"));
+  EXPECT_EQ(Injector::instance().hits("nothing.armed"), 0u);
+  EXPECT_EQ(Injector::instance().total_fires(), 0u);
+}
+
+TEST_F(FaultTest, SkipDelaysFiringToTheExactHit) {
+  Policy policy;
+  policy.kind = FaultKind::kError;
+  policy.skip = 2;
+  policy.max_fires = 1;
+  Injector::instance().arm("t.site", policy);
+  EXPECT_FALSE(fault::point("t.site"));  // hit 1
+  EXPECT_FALSE(fault::point("t.site"));  // hit 2
+  const fault::Fired fired = fault::point("t.site");  // hit 3 fires
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(fired.kind, FaultKind::kError);
+  EXPECT_EQ(fired.err, EIO);  // kError default
+  EXPECT_FALSE(fault::point("t.site"));  // max_fires exhausted
+  EXPECT_EQ(Injector::instance().hits("t.site"), 4u);
+  EXPECT_EQ(Injector::instance().fires("t.site"), 1u);
+}
+
+TEST_F(FaultTest, NoSpaceDefaultsToEnospc) {
+  Policy policy;
+  policy.kind = FaultKind::kNoSpace;
+  Injector::instance().arm("t.nospace", policy);
+  const fault::Fired fired = fault::point("t.nospace");
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(fired.err, ENOSPC);
+}
+
+TEST_F(FaultTest, MaxFiresZeroMeansUnlimited) {
+  Policy policy;
+  policy.kind = FaultKind::kError;
+  policy.max_fires = 0;
+  Injector::instance().arm("t.forever", policy);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(fault::point("t.forever"));
+  EXPECT_EQ(Injector::instance().fires("t.forever"), 10u);
+}
+
+TEST_F(FaultTest, ProbabilityStreamIsSeedDeterministic) {
+  Policy policy;
+  policy.kind = FaultKind::kError;
+  policy.probability = 0.5;
+  policy.max_fires = 0;
+  auto run = [&] {
+    Injector::instance().reset(/*seed=*/7);
+    Injector::instance().arm("t.prob", policy);
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) fires.push_back(bool(fault::point("t.prob")));
+    return fires;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  // And the stream is actually mixed, not constant.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FaultTest, DisarmStopsFiringAndArmedSitesTracks) {
+  Policy policy;
+  Injector::instance().arm("t.a", policy);
+  Injector::instance().arm("t.b", policy);
+  EXPECT_EQ(Injector::instance().armed_sites().size(), 2u);
+  Injector::instance().disarm("t.a");
+  EXPECT_FALSE(fault::point("t.a"));
+  EXPECT_TRUE(fault::point("t.b"));
+  EXPECT_EQ(Injector::instance().armed_sites().size(), 1u);
+}
+
+TEST_F(FaultTest, FiresPublishTelemetry) {
+  telemetry::Telemetry tel;
+  Injector::instance().set_telemetry(&tel);
+  Policy policy;
+  policy.kind = FaultKind::kNoSpace;
+  Injector::instance().arm("t.metric", policy);
+  ASSERT_TRUE(fault::point("t.metric"));
+  EXPECT_EQ(tel.registry
+                .counter("fault_injected_total", "",
+                         {{"site", "t.metric"}, {"kind", "enospc"}})
+                .value(),
+            1u);
+}
+
+// -- RecordLog under injected faults -----------------------------------------
+
+util::Bytes payload(int i) {
+  util::Bytes p(64, static_cast<std::uint8_t>(i));
+  p[0] = static_cast<std::uint8_t>(i >> 8);
+  return p;
+}
+
+TEST_F(FaultTest, RecordLogAppendErrorFailsCleanAndRecovers) {
+  TempDir dir;
+  std::string why;
+  auto opened = store::RecordLog::open(dir.sub("log"), /*fsync=*/false, &why,
+                                       "test.log");
+  ASSERT_TRUE(opened) << why;
+  auto& log = *opened->log;
+  ASSERT_TRUE(log.append(payload(1)).has_value());
+
+  Policy policy;
+  policy.kind = FaultKind::kError;
+  Injector::instance().arm("test.log.append", policy);
+  EXPECT_FALSE(log.append(payload(2)).has_value());
+  EXPECT_EQ(log.last_errno(), EIO);
+  EXPECT_FALSE(log.failed());  // clean failure, not poisoned
+
+  // The log keeps working once the fault passes, and reopen sees exactly the
+  // successful appends — no torn record from the failed one.
+  ASSERT_TRUE(log.append(payload(3)).has_value());
+  ASSERT_TRUE(log.close_with_footer(payload(99)));
+  auto reopened = store::RecordLog::open(dir.sub("log"), false, &why, "test.log");
+  ASSERT_TRUE(reopened) << why;
+  EXPECT_FALSE(reopened->torn_tail_truncated);
+  int records = 0;
+  reopened->log->scan([&](std::uint64_t, util::Bytes) {
+    ++records;
+    return true;
+  });
+  EXPECT_EQ(records, 2);
+}
+
+TEST_F(FaultTest, RecordLogShortWriteRollsBackToWholeRecords) {
+  TempDir dir;
+  std::string why;
+  auto opened = store::RecordLog::open(dir.sub("log"), false, &why, "test.log");
+  ASSERT_TRUE(opened) << why;
+  auto& log = *opened->log;
+  ASSERT_TRUE(log.append(payload(1)).has_value());
+  const std::uint64_t before = log.size();
+
+  Policy policy;
+  policy.kind = FaultKind::kShortWrite;  // writes half the frame, then fails
+  Injector::instance().arm("test.log.append", policy);
+  EXPECT_FALSE(log.append(payload(2)).has_value());
+  // Rollback truncated the partial frame: append position unchanged and the
+  // file itself holds no torn bytes.
+  EXPECT_EQ(log.size(), before);
+  EXPECT_EQ(std::filesystem::file_size(dir.sub("log")), before);
+  EXPECT_FALSE(log.failed());
+
+  ASSERT_TRUE(log.append(payload(3)).has_value());
+  ASSERT_TRUE(log.close_with_footer({}));
+  auto reopened = store::RecordLog::open(dir.sub("log"), false, &why, "test.log");
+  ASSERT_TRUE(reopened) << why;
+  EXPECT_FALSE(reopened->torn_tail_truncated);
+}
+
+TEST_F(FaultTest, RecordLogFsyncFailurePoisonsWritesNotReads) {
+  TempDir dir;
+  std::string why;
+  auto opened = store::RecordLog::open(dir.sub("log"), /*fsync=*/true, &why,
+                                       "test.log");
+  ASSERT_TRUE(opened) << why;
+  auto& log = *opened->log;
+  const auto offset = log.append(payload(1));
+  ASSERT_TRUE(offset.has_value());
+
+  Policy policy;
+  policy.kind = FaultKind::kFsyncFail;
+  Injector::instance().arm("test.log.fsync", policy);
+  EXPECT_FALSE(log.sync());
+  EXPECT_TRUE(log.failed());  // durability unknown -> poisoned
+  EXPECT_FALSE(log.append(payload(2)).has_value());  // appends refused
+  EXPECT_TRUE(log.read_at(*offset).has_value());     // reads still fine
+  EXPECT_FALSE(log.close_with_footer({}));  // no clean close on a poisoned log
+}
+
+TEST_F(FaultTest, RecordLogBitRotIsCaughtByChecksum) {
+  TempDir dir;
+  std::string why;
+  auto opened = store::RecordLog::open(dir.sub("log"), false, &why, "test.log");
+  ASSERT_TRUE(opened) << why;
+  auto& log = *opened->log;
+  const auto offset = log.append(payload(1));
+  ASSERT_TRUE(offset.has_value());
+
+  Policy policy;
+  policy.kind = FaultKind::kBitRot;
+  policy.arg = 13;  // bit index, hashed into the payload length
+  Injector::instance().arm("test.log.read", policy);
+  EXPECT_FALSE(log.read_at(*offset).has_value());  // CRC catches the flip
+  EXPECT_TRUE(log.read_at(*offset).has_value());   // one-shot: next read clean
+}
+
+// -- BlockStore degradation ---------------------------------------------------
+
+chain::GenesisConfig small_genesis() {
+  util::Rng rng(11);
+  const auto funder = crypto::KeyPair::generate(rng);
+  chain::GenesisConfig genesis{{{funder.address(), 100 * chain::kEther}}, 0, 1};
+  genesis.state_store.flatten_interval = 4;
+  return genesis;
+}
+
+chain::Block next_block(const chain::Blockchain& chain) {
+  chain::Block block;
+  block.header.height = chain.best_height() + 1;
+  block.header.prev_id = chain.best_head();
+  block.header.timestamp = block.header.height * 10;
+  block.header.difficulty = 1;
+  block.seal_merkle_root();
+  return block;
+}
+
+TEST_F(FaultTest, BlockStoreDegradesOnAppendFailureButServesReads) {
+  TempDir dir;
+  telemetry::Telemetry tel;
+  chain::GenesisConfig genesis = small_genesis();
+  chain::Blockchain chain(genesis, &tel);
+  std::string why;
+  ASSERT_TRUE(chain.open(dir.sub("store"), {}, &why)) << why;
+  for (int i = 0; i < 6; ++i)
+    ASSERT_TRUE(chain.submit_block(next_block(chain), &why, true)) << why;
+  const std::uint64_t durable_height = chain.best_height();
+  const crypto::Hash256 durable_head = chain.best_head();
+
+  // Next block-log append fails: the chain must keep the block (RAM-only),
+  // report success to the caller, and flag degradation.
+  Policy policy;
+  policy.kind = FaultKind::kError;
+  Injector::instance().arm("store.log.append", policy);
+  EXPECT_FALSE(chain.store_degraded());
+  EXPECT_TRUE(chain.submit_block(next_block(chain), &why, true)) << why;
+  EXPECT_TRUE(chain.store_degraded());
+  EXPECT_TRUE(chain.persistent());  // store attached read-only, not dropped
+  EXPECT_EQ(chain.best_height(), durable_height + 1);
+  EXPECT_EQ(tel.registry.counter("chain_store_degraded_total", "").value(), 1u);
+  EXPECT_GE(
+      tel.registry.counter("store_io_errors_total", "", {{"op", "append"}})
+          .value(),
+      1u);
+
+  // The degraded chain keeps accepting blocks and serving historic state.
+  ASSERT_TRUE(chain.submit_block(next_block(chain), &why, true)) << why;
+  EXPECT_NE(chain.state_of(durable_head), nullptr);
+  chain.close();
+
+  // Reopen yields exactly the pre-degradation durable prefix.
+  chain::Blockchain reopened(genesis, &tel);
+  ASSERT_TRUE(reopened.open(dir.sub("store"), {}, &why)) << why;
+  EXPECT_EQ(reopened.best_height(), durable_height);
+  EXPECT_EQ(reopened.best_head(), durable_head);
+}
+
+TEST_F(FaultTest, SnapshotFailureDoesNotDegrade) {
+  TempDir dir;
+  telemetry::Telemetry tel;
+  chain::GenesisConfig genesis = small_genesis();  // flatten_interval = 4
+  chain::Blockchain chain(genesis, &tel);
+  std::string why;
+  ASSERT_TRUE(chain.open(dir.sub("store"), {}, &why)) << why;
+
+  Policy policy;
+  policy.kind = FaultKind::kError;
+  policy.max_fires = 0;  // kill every snapshot write attempt
+  Injector::instance().arm("store.snap.append", policy);
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(chain.submit_block(next_block(chain), &why, true)) << why;
+  // Blocks were durably appended the whole time; only snapshots failed.
+  EXPECT_FALSE(chain.store_degraded());
+  const std::uint64_t height = chain.best_height();
+  chain.close();
+
+  Injector::instance().reset();
+  chain::Blockchain reopened(genesis, &tel);
+  ASSERT_TRUE(reopened.open(dir.sub("store"), {}, &why)) << why;
+  EXPECT_EQ(reopened.best_height(), height);  // full replay without snapshots
+}
+
+TEST_F(FaultTest, WalFailureDegradesAndReopensToAcknowledgedPrefix) {
+  TempDir dir;
+  telemetry::Telemetry tel;
+  chain::GenesisConfig genesis = small_genesis();
+  chain::Blockchain chain(genesis, &tel);
+  std::string why;
+  ASSERT_TRUE(chain.open(dir.sub("store"), {}, &why)) << why;
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(chain.submit_block(next_block(chain), &why, true)) << why;
+
+  Policy policy;
+  policy.kind = FaultKind::kNoSpace;
+  Injector::instance().arm("store.wal.append", policy);
+  // The block itself lands in the log; the tip-journal write fails after it.
+  EXPECT_TRUE(chain.submit_block(next_block(chain), &why, true)) << why;
+  EXPECT_TRUE(chain.store_degraded());
+  const std::uint64_t ram_height = chain.best_height();
+  chain.close();
+
+  chain::Blockchain reopened(genesis, &tel);
+  ASSERT_TRUE(reopened.open(dir.sub("store"), {}, &why)) << why;
+  // The journal lost the last tip but the log kept the block: recovery may
+  // serve the full height or the acknowledged prefix, never more.
+  EXPECT_LE(reopened.best_height(), ram_height);
+  EXPECT_GE(reopened.best_height() + 1, ram_height);
+}
+
+}  // namespace
+}  // namespace sc

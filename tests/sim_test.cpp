@@ -173,6 +173,66 @@ TEST(Network, AccountingInvariantUnderLossAndPartition) {
                                      net.messages_severed());
 }
 
+TEST(Network, MultiGroupPartitionSeversOnlyCrossGroupTraffic) {
+  Simulator sim(31);
+  Network net(sim, {.base_latency = 0.01, .latency_jitter = 0.0, .drop_rate = 0.0});
+  std::vector<int> received(6, 0);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t slot = nodes.size();
+    nodes.push_back(net.add_node([&received, slot](const Message&) { ++received[slot]; }));
+  }
+  // Three islands of two, plus intra-group traffic that must keep flowing.
+  net.partition_groups({{nodes[0], nodes[1]}, {nodes[2], nodes[3]}, {nodes[4], nodes[5]}});
+  net.unicast(nodes[0], nodes[1], "intra", {});  // same group: delivered
+  net.unicast(nodes[0], nodes[2], "cross", {});  // different groups: severed
+  net.unicast(nodes[2], nodes[5], "cross", {});
+  net.unicast(nodes[4], nodes[5], "intra", {});
+  sim.run();
+  EXPECT_EQ(received[1], 1);
+  EXPECT_EQ(received[2], 0);
+  EXPECT_EQ(received[5], 1);  // only the intra-group message arrived
+  EXPECT_EQ(net.messages_severed(), 2u);
+
+  // A later two-group partition replaces the three-way one wholesale.
+  net.partition({nodes[0]}, {nodes[1]});
+  net.unicast(nodes[0], nodes[2], "now-open", {});
+  sim.run();
+  EXPECT_EQ(received[2], 1);  // node 2 is in no group: reachable again
+  net.heal_partition();
+}
+
+TEST(Network, AccountingInvariantUnderThreeWayPartition) {
+  // The documented sent == delivered + dropped + severed invariant must hold
+  // for k-way partitions exactly as for the classic two-way split.
+  Simulator sim(32);
+  NetworkConfig config;
+  config.drop_rate = 0.2;
+  Network net(sim, config);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 9; ++i)
+    nodes.push_back(net.add_node([](const Message&) {}));
+
+  for (int round = 0; round < 40; ++round) {
+    if (round == 8)
+      net.partition_groups({{nodes[0], nodes[1], nodes[2]},
+                            {nodes[3], nodes[4], nodes[5]},
+                            {nodes[6], nodes[7], nodes[8]}});
+    if (round == 20)  // regroup differently mid-flight
+      net.partition_groups({{nodes[0], nodes[3], nodes[6]},
+                            {nodes[1], nodes[4], nodes[7]}});
+    if (round == 32) net.heal_partition();
+    for (NodeId from : nodes) net.broadcast(from, "gossip", {1});
+    sim.run_until(sim.now() + 5.0);
+  }
+  sim.run_until(sim.now() + 100.0);
+
+  EXPECT_GT(net.messages_dropped(), 0u);
+  EXPECT_GT(net.messages_severed(), 0u);
+  EXPECT_EQ(net.messages_sent(), net.messages_delivered() + net.messages_dropped() +
+                                     net.messages_severed());
+}
+
 TEST(Network, LatencyHistogramMatchesRunningStats) {
   // The telemetry histogram must agree with an independent util::stats
   // accounting of the same delivery latencies: exact count and sum/mean

@@ -1,0 +1,133 @@
+// sc_chaos — seeded chaos schedules against an N-node consensus cluster.
+//
+//   sc_chaos [--schedules N] [--seed S] [--nodes K] [--duration SECS]
+//            [--events E] [--ram] [--no-disk-faults] [--verbose]
+//   sc_chaos --overhead
+//
+// Each schedule crashes/restarts nodes, partitions the network and injects
+// disk faults from one seed, then checks convergence, conservation, chain
+// linkage and store reopenability (src/core/chaos.hpp). Exit code 1 if any
+// schedule violates an invariant; the failing seed is printed so the run
+// replays exactly.
+//
+// --overhead instead measures the DISABLED failpoint check (fault::point on
+// an unarmed table) and fails if it costs more than kOverheadBudgetNs per
+// call — the zero-overhead guarantee scripts/check.sh gates.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/chaos.hpp"
+#include "util/fault.hpp"
+
+namespace {
+
+// Generous ceiling for one relaxed atomic load + branch; the measured cost
+// is typically well under a nanosecond.
+constexpr double kOverheadBudgetNs = 10.0;
+
+int run_overhead_gate() {
+  sc::fault::Injector::instance().reset();  // nothing armed
+  constexpr int kIters = 20'000'000;
+  // Warm up, then time. The site string is irrelevant on the disabled path —
+  // it is never even hashed.
+  volatile bool sink = false;
+  for (int i = 0; i < 1'000'000; ++i) sink = bool(sc::fault::point("bench.site"));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) sink = bool(sc::fault::point("bench.site"));
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)sink;
+  const double ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / kIters;
+  std::printf("disabled fault::point: %.3f ns/call (budget %.1f ns)\n", ns,
+              kOverheadBudgetNs);
+  if (ns > kOverheadBudgetNs) {
+    std::fprintf(stderr, "FAIL: disabled failpoint overhead above budget\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t schedules = 20;
+  std::uint64_t seed = 1;
+  sc::core::ChaosConfig base;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--overhead") return run_overhead_gate();
+    if (arg == "--schedules") schedules = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--nodes") base.nodes = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--duration") base.duration = std::strtod(next(), nullptr);
+    else if (arg == "--events") base.events = std::strtoull(next(), nullptr, 10);
+    else if (arg == "--scratch") base.scratch_dir = next();
+    else if (arg == "--ram") base.durable = false;
+    else if (arg == "--no-disk-faults") base.disk_faults = false;
+    else if (arg == "--verbose") verbose = true;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::uint64_t failed = 0;
+  std::uint64_t crashes = 0, partitions = 0, faults = 0, degraded = 0;
+  for (std::uint64_t s = 0; s < schedules; ++s) {
+    sc::core::ChaosConfig config = base;
+    config.seed = seed + s;
+    const sc::core::ChaosReport report = sc::core::run_chaos_schedule(config);
+    crashes += report.crashes;
+    partitions += report.partitions;
+    faults += report.faults_armed;
+    degraded += report.degraded_stores;
+    if (!report.ok()) {
+      ++failed;
+      std::fprintf(stderr,
+                   "FAIL seed=%llu: %s (reopen_failures=%llu degraded=%llu "
+                   "crashes=%llu restarts=%llu fired=%llu)\n",
+                   static_cast<unsigned long long>(config.seed),
+                   report.error.c_str(),
+                   static_cast<unsigned long long>(report.store_reopen_failures),
+                   static_cast<unsigned long long>(report.degraded_stores),
+                   static_cast<unsigned long long>(report.crashes),
+                   static_cast<unsigned long long>(report.restarts),
+                   static_cast<unsigned long long>(report.faults_fired));
+    } else if (verbose) {
+      std::printf(
+          "ok seed=%llu height=%llu blocks=%llu crashes=%llu parts=%llu "
+          "disk=%llu degraded=%llu retries=%llu evicted=%llu\n",
+          static_cast<unsigned long long>(config.seed),
+          static_cast<unsigned long long>(report.final_height),
+          static_cast<unsigned long long>(report.blocks_mined),
+          static_cast<unsigned long long>(report.crashes),
+          static_cast<unsigned long long>(report.partitions),
+          static_cast<unsigned long long>(report.faults_armed),
+          static_cast<unsigned long long>(report.degraded_stores),
+          static_cast<unsigned long long>(report.sync_retries),
+          static_cast<unsigned long long>(report.orphans_evicted));
+    }
+  }
+  std::printf(
+      "%llu/%llu schedules passed (%llu crashes, %llu partitions, "
+      "%llu disk faults, %llu degraded stores)\n",
+      static_cast<unsigned long long>(schedules - failed),
+      static_cast<unsigned long long>(schedules),
+      static_cast<unsigned long long>(crashes),
+      static_cast<unsigned long long>(partitions),
+      static_cast<unsigned long long>(faults),
+      static_cast<unsigned long long>(degraded));
+  return failed == 0 ? 0 : 1;
+}
