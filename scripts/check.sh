@@ -39,6 +39,12 @@ echo "== telemetry_bench: overhead smoke =="
 echo "== state_bench: journaled-state smoke =="
 ./build/bench/state_bench --runs=small --out=build/BENCH_state_smoke.json
 
+echo "== trie_bench: incremental state-commitment smoke =="
+./build/bench/trie_bench --runs=small --out=build/BENCH_trie_smoke.json
+
+echo "== trie differential fuzz: 400 rounds incremental vs full recompute =="
+SC_TRIE_FUZZ_ROUNDS=400 ctest --test-dir build --output-on-failure -R TrieDifferentialFuzz
+
 echo "== exec_bench: parallel-executor smoke =="
 ./build/bench/exec_bench --runs=small --out=build/BENCH_exec_smoke.json
 
@@ -67,6 +73,13 @@ ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
 echo "== ASan/UBSan: state differential (journaled vs copy-based oracle) =="
 ctest --test-dir build-asan --output-on-failure -R StateDifferential
+
+echo "== ASan/UBSan: Merkle trie + state commitment differential fuzz =="
+# The trie's index-pool splicing and the commitment's incremental refresh are
+# the pointer-heavy paths behind every state_root — rerun them sanitized with
+# a cranked random delta stream.
+SC_TRIE_FUZZ_ROUNDS=200 ctest --test-dir build-asan --output-on-failure \
+  -R "TrieDifferentialFuzz|MerkleTrie|StateCommitment"
 
 echo "== ASan/UBSan: store byte layer + serialization fuzz =="
 # Torn-tail repair, recovery and the codec round-trip/bit-flip fuzzers are

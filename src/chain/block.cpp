@@ -14,6 +14,7 @@ util::Bytes BlockHeader::serialize() const {
   w.u64(difficulty);
   w.u64(nonce);
   w.raw(miner.span());
+  w.raw(state_root.span());
   return std::move(w).take();
 }
 
@@ -29,8 +30,9 @@ std::optional<BlockHeader> BlockHeader::deserialize(util::ByteSpan data) {
   const auto difficulty = r.u64();
   const auto nonce = r.u64();
   const auto miner = r.raw(20);
+  const auto state_root = r.raw(32);
   if (!height || !prev || !root || !timestamp || !difficulty || !nonce || !miner ||
-      !r.empty())
+      !state_root || !r.empty())
     return std::nullopt;
   h.height = *height;
   h.prev_id = Hash256::from_span(*prev);
@@ -39,6 +41,7 @@ std::optional<BlockHeader> BlockHeader::deserialize(util::ByteSpan data) {
   h.difficulty = *difficulty;
   h.nonce = *nonce;
   h.miner = Address::from_span(*miner);
+  h.state_root = Hash256::from_span(*state_root);
   return h;
 }
 

@@ -22,12 +22,15 @@ struct BlockHeader {
   std::uint64_t difficulty = 1;
   std::uint64_t nonce = 0;   ///< PoW nonce.
   Address miner;             ///< Reward recipient (the IoT provider that mined).
+  Hash256 state_root;        ///< Authenticated post-state commitment
+                             ///< (chain/state_commitment.hpp).
 
   /// Fixed wire layout of serialize(): height u64 | prev_id 32 | merkle_root
-  /// 32 | timestamp u64 | difficulty u64 | nonce u64 | miner 20. The miner
-  /// hot path patches nonce bytes in place at kNonceOffset instead of
-  /// re-serializing per attempt (chain/pow.hpp); tests pin these invariants.
-  static constexpr std::size_t kSerializedSize = 8 + 32 + 32 + 8 + 8 + 8 + 20;
+  /// 32 | timestamp u64 | difficulty u64 | nonce u64 | miner 20 |
+  /// state_root 32. The state root is deliberately *appended* after miner so
+  /// kNonceOffset is unchanged and the miner hot path keeps patching nonce
+  /// bytes in place (chain/pow.hpp); tests pin these invariants.
+  static constexpr std::size_t kSerializedSize = 8 + 32 + 32 + 8 + 8 + 8 + 20 + 32;
   static constexpr std::size_t kNonceOffset = 8 + 32 + 32 + 8 + 8;
 
   util::Bytes serialize() const;

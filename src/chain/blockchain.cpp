@@ -1,5 +1,6 @@
 #include "chain/blockchain.hpp"
 
+#include <chrono>
 #include <thread>
 
 #include "chain/difficulty.hpp"
@@ -32,7 +33,6 @@ Blockchain::Blockchain(const GenesisConfig& genesis, telemetry::Telemetry* tel)
   genesis_block.seal_merkle_root();
 
   Entry entry;
-  entry.block = genesis_block;
   entry.cumulative_difficulty = 0;
   {
     JournaledState journal(tip_state_);
@@ -41,6 +41,11 @@ Blockchain::Blockchain(const GenesisConfig& genesis, telemetry::Telemetry* tel)
     entry.delta = journal.collect_delta();
     journal.commit(0);
   }
+  // The genesis header commits the endowed state like any other block —
+  // stamped before the id so allocations are part of the chain identity.
+  commitment_.update(entry.delta, tip_state_);
+  genesis_block.header.state_root = commitment_.root();
+  entry.block = genesis_block;
   entry.arrival_order = arrival_counter_++;
 
   genesis_id_ = genesis_block.id();
@@ -150,9 +155,55 @@ void Blockchain::move_tip_to(const Hash256& target) {
     b = eb->block.header.prev_id;
     eb = &entries_.at(b);
   }
-  for (const StateDelta* delta : undo) delta->unapply(tip_state_);
-  for (auto it = redo.rbegin(); it != redo.rend(); ++it) (*it)->apply(tip_state_);
+  // Each delta step also refreshes the touched leaves of the commitment from
+  // the just-transitioned state — the trie rolls backward and forward in
+  // O(changes · log n), same as the flat state.
+  for (const StateDelta* delta : undo) {
+    delta->unapply(tip_state_);
+    commitment_.update(*delta, tip_state_);
+  }
+  for (auto it = redo.rbegin(); it != redo.rend(); ++it) {
+    (*it)->apply(tip_state_);
+    commitment_.update(**it, tip_state_);
+  }
   tip_at_ = target;
+}
+
+void Blockchain::execute_block_body(const Block& block,
+                                    std::vector<Receipt>* receipts,
+                                    StateDelta* delta) {
+  BlockEnv env;
+  env.number = block.header.height;
+  env.timestamp = block.header.timestamp;
+  env.miner = block.header.miner;
+  if (deep_verify_.enabled) env.deep_verify = &deep_verify_;
+  JournaledState journal(tip_state_);
+  std::vector<Receipt> r =
+      exec_pool_ ? apply_block_body_parallel(journal, env, block.transactions,
+                                             kBlockReward, *exec_pool_,
+                                             telemetry_, &sig_cache_)
+                 : apply_block_body(journal, env, block.transactions,
+                                    kBlockReward, telemetry_, &sig_cache_);
+  *delta = journal.collect_delta();
+  journal.commit(0);
+  if (receipts) *receipts = std::move(r);
+}
+
+bool Blockchain::seal_state_root(Block& block, std::string* why) {
+  if (!entries_.contains(block.header.prev_id)) {
+    if (why) *why = "unknown parent";
+    return false;
+  }
+  move_tip_to(block.header.prev_id);
+  StateDelta delta;
+  execute_block_body(block, nullptr, &delta);
+  commitment_.update(delta, tip_state_);
+  block.header.state_root = commitment_.root();
+  // Undo the speculative execution: state and trie roll back in O(changes).
+  delta.unapply(tip_state_);
+  commitment_.update(delta, tip_state_);
+  move_tip_to(best_head_);
+  return true;
 }
 
 bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_pow) {
@@ -233,21 +284,29 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
   entry.arrival_order = arrival_counter_++;
 
   move_tip_to(block.header.prev_id);
+  execute_block_body(block, &entry.receipts, &entry.delta);
+
+  // Roll the commitment forward over the block's delta (timed: this is the
+  // per-block O(changes · log n) cost bench/trie_bench quantifies) and
+  // enforce that the header committed exactly this post-state. A wrong root
+  // is a consensus violation: unwind state and trie and reject.
   {
-    BlockEnv env;
-    env.number = block.header.height;
-    env.timestamp = block.header.timestamp;
-    env.miner = block.header.miner;
-    if (deep_verify_.enabled) env.deep_verify = &deep_verify_;
-    JournaledState journal(tip_state_);
-    entry.receipts =
-        exec_pool_ ? apply_block_body_parallel(journal, env, block.transactions,
-                                               kBlockReward, *exec_pool_,
-                                               telemetry_, &sig_cache_)
-                   : apply_block_body(journal, env, block.transactions,
-                                      kBlockReward, telemetry_, &sig_cache_);
-    entry.delta = journal.collect_delta();
-    journal.commit(0);
+    const auto t0 = std::chrono::steady_clock::now();
+    commitment_.update(entry.delta, tip_state_);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - t0;
+    tel.registry
+        .histogram("state_root_update_seconds",
+                   "Wall time of the incremental state-root update per "
+                   "connected block",
+                   telemetry::HistogramSpec::latency_seconds())
+        .observe(elapsed.count());
+  }
+  if (block.header.state_root != commitment_.root()) {
+    entry.delta.unapply(tip_state_);
+    commitment_.update(entry.delta, tip_state_);
+    move_tip_to(best_head_);
+    return fail("state root mismatch");
   }
   tip_at_ = id;  // Tip now equals the new block's post-state.
 
@@ -271,6 +330,7 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
       if (why) why->clear();
     } else {
       entry.delta.unapply(tip_state_);
+      commitment_.update(entry.delta, tip_state_);
       tip_at_ = block.header.prev_id;
       move_tip_to(best_head_);
       return false;
@@ -332,6 +392,11 @@ bool Blockchain::submit_block(const Block& block, std::string* why, bool skip_po
   tel.registry
       .gauge("state_accounts", "Accounts in the canonical-head state")
       .set(static_cast<double>(tip_state_.account_count()));
+  tel.registry
+      .gauge("state_trie_nodes",
+             "Nodes (leaves + branches) across the account and storage "
+             "commitment tries")
+      .set(static_cast<double>(commitment_.node_count()));
   return true;
 }
 
@@ -473,7 +538,7 @@ std::uint64_t Blockchain::required_difficulty(std::uint64_t child_timestamp) con
 
 Block Blockchain::build_block_template(const Address& miner, std::uint64_t timestamp,
                                        std::uint64_t difficulty,
-                                       std::vector<Transaction> txs) const {
+                                       std::vector<Transaction> txs) {
   const Entry& head = entries_.at(best_head_);
   Block block;
   block.header.height = head.block.header.height + 1;
@@ -485,6 +550,7 @@ Block Blockchain::build_block_template(const Address& miner, std::uint64_t times
   block.header.miner = miner;
   block.transactions = std::move(txs);
   block.seal_merkle_root();
+  seal_state_root(block);  // Parent is the best head; always succeeds.
   return block;
 }
 

@@ -29,6 +29,7 @@
 #include "chain/executor.hpp"
 #include "chain/sig_cache.hpp"
 #include "chain/state.hpp"
+#include "chain/state_commitment.hpp"
 #include "chain/state_journal.hpp"
 #include "chain/store_hook.hpp"
 #include "symex/properties.hpp"
@@ -198,13 +199,37 @@ class Blockchain {
   bool tx_confirmed(const Hash256& tx_id,
                     std::uint64_t depth = kConfirmationDepth) const;
 
-  /// Assembles an unsealed successor of the current best head. Caller fills
-  /// transactions (or uses this as-is), seals the Merkle root and mines.
+  /// Assembles a successor of the current best head with Merkle root and
+  /// state root sealed (the body is speculatively executed to stamp the
+  /// post-state commitment — the "miner executes first" rule). Caller mines.
   /// Under dynamic difficulty, the `difficulty` argument is ignored and the
   /// consensus-mandated value is stamped instead.
   Block build_block_template(const Address& miner, std::uint64_t timestamp,
                              std::uint64_t difficulty,
-                             std::vector<Transaction> txs) const;
+                             std::vector<Transaction> txs);
+
+  /// Executes `block`'s body on its parent's post-state and stamps
+  /// header.state_root with the resulting commitment, leaving the chain
+  /// untouched (the trie roll is undone afterwards). For callers assembling
+  /// blocks by hand — fork builders in tests, attack harnesses — whose
+  /// parent is not the best head; build_block_template does this for the
+  /// canonical path. False if the parent is unknown.
+  bool seal_state_root(Block& block, std::string* why = nullptr);
+
+  /// Authenticated root of the best head's post-state — equals the best
+  /// head's header.state_root between submits.
+  const Hash256& state_root() const { return commitment_.root(); }
+  /// The live tip commitment (proof surface + node accounting).
+  const StateCommitment& commitment() const { return commitment_; }
+  /// Merkle proof of an account (or its absence) in the best head's state.
+  AccountProof prove_account(const Address& addr) const {
+    return commitment_.prove_account(addr, tip_state_);
+  }
+  /// Merkle proof of a contract storage slot's value (zero = absent) in the
+  /// best head's state.
+  StorageProof prove_storage(const Address& addr, const crypto::U256& slot) const {
+    return commitment_.prove_storage(addr, slot, tip_state_);
+  }
 
   /// The difficulty consensus requires for a child of the current best head
   /// at the given timestamp.
@@ -239,8 +264,15 @@ class Blockchain {
   std::uint64_t reorg_depth(const Hash256& old_head) const;
   /// Walks tip_state_ from tip_at_ to `target` (both must be stored) by
   /// unapplying deltas up to the common ancestor and applying down the other
-  /// branch. O(changed entries along the two branches).
+  /// branch, rolling the state commitment along. O(changed entries along the
+  /// two branches).
   void move_tip_to(const Hash256& target);
+  /// Executes `block`'s body on tip_state_ (which must equal the parent's
+  /// post-state), committing the journal and returning the net delta;
+  /// receipts are optional. The commitment is NOT updated — callers follow
+  /// up with commitment_.update for the direction they need.
+  void execute_block_body(const Block& block, std::vector<Receipt>* receipts,
+                          StateDelta* delta);
   /// Stores a full snapshot for `entry` (assumed == tip_state_) and updates
   /// the flatten telemetry.
   void flatten_into(Entry& entry);
@@ -268,6 +300,9 @@ class Blockchain {
 
   /// The one materialized state, walked across the tree via deltas.
   WorldState tip_state_;
+  /// Authenticated commitment mirroring tip_state_, rolled incrementally by
+  /// the same delta walks (O(changes · log n) per block/reorg step).
+  StateCommitment commitment_;
   Hash256 tip_at_;  ///< Block whose post-state tip_state_ currently equals.
   std::uint64_t snapshot_bytes_ = 0;  ///< Running approx bytes of all snapshots.
   /// Historic materializations built by state_of (value pointers are stable

@@ -1,10 +1,12 @@
 #include "chain/light_client.hpp"
 
 #include "chain/pow.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace sc::chain {
 
-LightClient::LightClient(const BlockHeader& genesis) {
+LightClient::LightClient(const BlockHeader& genesis, telemetry::Telemetry* tel)
+    : telemetry_(tel) {
   Entry entry;
   entry.header = genesis;
   entry.cumulative_difficulty = 0;
@@ -64,6 +66,48 @@ bool LightClient::verify_inclusion(const crypto::Hash256& tx_id,
   if (!is_confirmed(block_id, depth)) return false;
   const BlockHeader& header = headers_.at(block_id).header;
   return crypto::merkle_verify(tx_id, proof, header.merkle_root);
+}
+
+bool LightClient::count_verdict(bool ok) const {
+  auto& registry = telemetry::resolve(telemetry_).registry;
+  if (ok)
+    registry
+        .counter("lightclient_proof_verified_total",
+                 "State proofs a light client verified against a header's "
+                 "state_root")
+        .inc();
+  else
+    registry
+        .counter("lightclient_proof_rejected_total",
+                 "State proofs a light client rejected (tampered, mismatched "
+                 "or for an unconfirmed block)")
+        .inc();
+  return ok;
+}
+
+bool LightClient::verify_account(const crypto::Hash256& block_id,
+                                 const AccountProof& proof,
+                                 std::uint64_t depth) const {
+  const auto it = headers_.find(block_id);
+  if (it == headers_.end() || !is_confirmed(block_id, depth))
+    return count_verdict(false);
+  return count_verdict(proof.verify(it->second.header.state_root));
+}
+
+bool LightClient::verify_storage(const crypto::Hash256& block_id,
+                                 const StorageProof& proof,
+                                 std::uint64_t depth) const {
+  const auto it = headers_.find(block_id);
+  if (it == headers_.end() || !is_confirmed(block_id, depth))
+    return count_verdict(false);
+  return count_verdict(proof.verify(it->second.header.state_root));
+}
+
+std::optional<Amount> LightClient::verified_balance(
+    const crypto::Hash256& block_id, const AccountProof& proof,
+    std::uint64_t depth) const {
+  if (!verify_account(block_id, proof, depth)) return std::nullopt;
+  return proof.exists ? proof.balance : 0;
 }
 
 std::optional<BlockHeader> LightClient::header_at(std::uint64_t height) const {

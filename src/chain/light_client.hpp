@@ -17,15 +17,23 @@
 #include <vector>
 
 #include "chain/block.hpp"
+#include "chain/state_commitment.hpp"
 #include "chain/types.hpp"
 #include "crypto/merkle.hpp"
+
+namespace sc::telemetry {
+struct Telemetry;
+}
 
 namespace sc::chain {
 
 class LightClient {
  public:
-  /// Starts from a trusted genesis header (the bootstrap checkpoint).
-  explicit LightClient(const BlockHeader& genesis);
+  /// Starts from a trusted genesis header (the bootstrap checkpoint). `tel`
+  /// receives the lightclient_proof_{verified,rejected}_total counters
+  /// (nullptr → telemetry::global()).
+  explicit LightClient(const BlockHeader& genesis,
+                       telemetry::Telemetry* tel = nullptr);
 
   /// Validates linkage, PoW and timestamps, then stores the header. Headers
   /// may arrive out of order across forks; unknown-parent headers are
@@ -53,7 +61,29 @@ class LightClient {
   /// Header at a canonical height (nullopt past the tip).
   std::optional<BlockHeader> header_at(std::uint64_t height) const;
 
+  // -- Stateless state queries (against header.state_root) ------------------
+  // Each checks the block is canonical with `depth` confirmations, then
+  // verifies the proof against that header's state root — no WorldState, no
+  // trust in the serving full node. Tampered or mismatched proofs count into
+  // lightclient_proof_rejected_total.
+
+  /// Account proof: balance/nonce/code-hash claims, or proof of absence
+  /// (proof.exists == false). This is the detector's balance query.
+  bool verify_account(const crypto::Hash256& block_id, const AccountProof& proof,
+                      std::uint64_t depth = 0) const;
+  /// Storage-slot proof (zero value = absent slot). SRA fields and detection
+  /// -report commitment states are contract slots, so this is the SRA/report
+  /// query surface.
+  bool verify_storage(const crypto::Hash256& block_id, const StorageProof& proof,
+                      std::uint64_t depth = 0) const;
+  /// Convenience: a verified account proof's balance (nullopt when the proof
+  /// fails; 0 for a proven-absent account).
+  std::optional<Amount> verified_balance(const crypto::Hash256& block_id,
+                                         const AccountProof& proof,
+                                         std::uint64_t depth = 0) const;
+
  private:
+  bool count_verdict(bool ok) const;
   struct Entry {
     BlockHeader header;
     std::uint64_t cumulative_difficulty = 0;
@@ -61,6 +91,7 @@ class LightClient {
 
   void reindex();
 
+  telemetry::Telemetry* telemetry_ = nullptr;
   std::unordered_map<crypto::Hash256, Entry> headers_;
   crypto::Hash256 genesis_id_;
   crypto::Hash256 best_head_;

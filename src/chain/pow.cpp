@@ -24,7 +24,7 @@ void record_grind(std::uint64_t attempts, bool mined) {
 }
 
 // SHA-256 length padding for the two fixed message sizes in the double hash.
-constexpr std::uint64_t kHeaderBits = BlockHeader::kSerializedSize * 8;  // 928
+constexpr std::uint64_t kHeaderBits = BlockHeader::kSerializedSize * 8;  // 1184
 constexpr std::uint64_t kDigestBits = 256;
 
 void write_be64(std::uint8_t* out, std::uint64_t v) {
@@ -54,13 +54,14 @@ PowScratch::PowScratch(const BlockHeader& header)
   midstate_ = crypto::Sha256::initial_state();
   crypto::Sha256::transform(midstate_.h, serialized.data());
 
-  // Inner tail block: header bytes [64, 116), then FIPS 180-2 padding
-  // (0x80, zeros, 64-bit big-endian message length). 116 mod 64 = 52 < 56,
-  // so the whole tail plus padding fits in a single block.
+  // Inner tail: header bytes [64, 148), then FIPS 180-2 padding (0x80,
+  // zeros, 64-bit big-endian message length). 148 mod 64 = 20 < 56, so the
+  // tail plus padding fills exactly two compression blocks, with the length
+  // field in the second.
   std::memset(tail_, 0, sizeof(tail_));
   std::memcpy(tail_, serialized.data() + 64, BlockHeader::kSerializedSize - 64);
   tail_[BlockHeader::kSerializedSize - 64] = 0x80;
-  write_be64(tail_ + 56, kHeaderBits);
+  write_be64(tail_ + 120, kHeaderBits);
 
   // Outer block: 32-byte inner digest (patched per attempt) + padding.
   std::memset(outer_, 0, sizeof(outer_));
@@ -73,10 +74,11 @@ Hash256 PowScratch::id_for_nonce(std::uint64_t nonce) {
   std::uint8_t* nonce_at = tail_ + (BlockHeader::kNonceOffset - 64);
   for (int i = 0; i < 8; ++i) nonce_at[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
 
-  // Inner hash: resume from the midstate, compress the patched tail.
+  // Inner hash: resume from the midstate, compress both patched tail blocks.
   std::uint32_t inner[8];
   std::memcpy(inner, midstate_.h, sizeof(inner));
   crypto::Sha256::transform(inner, tail_);
+  crypto::Sha256::transform(inner, tail_ + 64);
 
   // Outer hash: big-endian inner digest, one compression from the IV.
   for (int i = 0; i < 8; ++i) {

@@ -38,10 +38,12 @@ bool check_pow(const BlockHeader& header, const Hash256& id);
 /// Serialize-once, midstate-reuse mining scratchpad for one block template.
 ///
 /// Construction pays the fixed costs exactly once: one header serialization,
-/// one compression of the constant 64-byte prefix, and pre-assembly of both
+/// one compression of the constant 64-byte prefix, and pre-assembly of the
 /// SHA-256 padding blocks. Per attempt, id_for_nonce() patches the nonce at
-/// its fixed offset and runs two compression calls — versus three plus a
-/// heap-allocating serialization for the naive BlockHeader::id() path.
+/// its fixed offset and runs three compression calls (the 148-byte header
+/// spans two tail blocks after the prefix, plus the outer digest block) —
+/// versus four plus a heap-allocating serialization for the naive
+/// BlockHeader::id() path.
 class PowScratch {
  public:
   explicit PowScratch(const BlockHeader& header);
@@ -56,13 +58,14 @@ class PowScratch {
   const crypto::U256& target() const { return target_; }
 
  private:
-  static_assert(BlockHeader::kSerializedSize == 116,
-                "PowScratch padding layout assumes a 116-byte header");
+  static_assert(BlockHeader::kSerializedSize == 148,
+                "PowScratch padding layout assumes a 148-byte header");
   static_assert(BlockHeader::kNonceOffset == 88,
                 "nonce must sit in the second SHA-256 block");
 
   crypto::Sha256State midstate_;  ///< After compressing header bytes [0, 64).
-  std::uint8_t tail_[64];         ///< Header bytes [64, 116) + inner padding.
+  std::uint8_t tail_[128];        ///< Header bytes [64, 148) + inner padding
+                                  ///< (two compression blocks).
   std::uint8_t outer_[64];        ///< Inner digest + outer padding.
   crypto::U256 target_;
 };

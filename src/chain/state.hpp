@@ -110,6 +110,12 @@ class WorldState final : public StateView {
   /// journal on clean shutdown and re-verified on open.
   Hash256 digest() const;
 
+  /// Authenticated state root: the Merkle-trie commitment over every
+  /// account and storage slot (chain/state_commitment.hpp). Full rebuild,
+  /// O(n log n) — the oracle/debug surface; the chain keeps its header
+  /// root incrementally from per-block deltas instead.
+  Hash256 state_root() const;
+
   /// Iteration for analytics.
   const std::unordered_map<Address, Account>& accounts() const { return accounts_; }
 

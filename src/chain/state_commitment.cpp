@@ -1,0 +1,281 @@
+#include "chain/state_commitment.hpp"
+
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "util/serialize.hpp"
+
+namespace sc::chain {
+
+Hash256 StateCommitment::account_key(const Address& addr) {
+  return crypto::Sha256::digest(addr.span());
+}
+
+Hash256 StateCommitment::slot_key(const crypto::U256& slot) {
+  std::uint8_t be[32];
+  slot.to_be_bytes(be);
+  return crypto::Sha256::digest({be, sizeof(be)});
+}
+
+Hash256 StateCommitment::slot_leaf_value(const crypto::U256& value) {
+  std::uint8_t be[32];
+  value.to_be_bytes(be);
+  return Hash256::from_span({be, sizeof(be)});
+}
+
+Hash256 StateCommitment::code_hash_of(util::ByteSpan code) {
+  if (code.empty()) return Hash256{};
+  return crypto::Sha256::digest(code);
+}
+
+Hash256 StateCommitment::account_digest(Amount balance, std::uint64_t nonce,
+                                        const Hash256& code_hash,
+                                        const Hash256& storage_root) {
+  std::uint8_t buf[8 + 8 + 32 + 32];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(balance >> (8 * i));
+    buf[8 + i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+  }
+  std::copy(code_hash.bytes.begin(), code_hash.bytes.end(), buf + 16);
+  std::copy(storage_root.bytes.begin(), storage_root.bytes.end(), buf + 48);
+  return crypto::Sha256::digest({buf, sizeof(buf)});
+}
+
+void StateCommitment::clear() {
+  accounts_.clear();
+  storage_.clear();
+  code_hashes_.clear();
+  storage_nodes_ = 0;
+}
+
+Hash256 StateCommitment::storage_root_of(const Address& addr) const {
+  const auto it = storage_.find(addr);
+  return it == storage_.end() ? Hash256{} : it->second.root();
+}
+
+Hash256 StateCommitment::cached_code_hash(const Address& addr,
+                                          const Account& acct,
+                                          bool code_changed) {
+  if (acct.code.empty()) {
+    code_hashes_.erase(addr);
+    return Hash256{};
+  }
+  const auto it = code_hashes_.find(addr);
+  if (it != code_hashes_.end() && !code_changed) return it->second;
+  const Hash256 h = code_hash_of(acct.code);
+  code_hashes_[addr] = h;
+  return h;
+}
+
+void StateCommitment::refresh_account(
+    const Address& addr, const WorldState& state,
+    const std::map<crypto::U256, StateDelta::SlotChange>* slots,
+    bool code_changed) {
+  const Account* acct = state.find(addr);
+  if (!acct) {
+    // Account gone (delta-unapply of a created account): drop every trace.
+    const auto it = storage_.find(addr);
+    if (it != storage_.end()) {
+      storage_nodes_ -= it->second.node_count();
+      storage_.erase(it);
+    }
+    code_hashes_.erase(addr);
+    accounts_.erase(account_key(addr));
+    return;
+  }
+  if (slots) {
+    crypto::MerkleTrie& trie = storage_[addr];
+    storage_nodes_ -= trie.node_count();
+    for (const auto& [slot, change] : *slots) {
+      (void)change;  // Both directions read the truth from `state`, not the delta.
+      const auto cur = acct->storage.find(slot);
+      if (cur == acct->storage.end())
+        trie.erase(slot_key(slot));
+      else
+        trie.set(slot_key(slot), slot_leaf_value(cur->second));
+    }
+    if (trie.empty()) {
+      storage_.erase(addr);
+    } else {
+      storage_nodes_ += trie.node_count();
+    }
+  }
+  const Hash256 digest =
+      account_digest(acct->balance, acct->nonce,
+                     cached_code_hash(addr, *acct, code_changed),
+                     storage_root_of(addr));
+  accounts_.set(account_key(addr), digest);
+}
+
+void StateCommitment::update(const StateDelta& delta, const WorldState& state) {
+  for (const auto& [addr, change] : delta.changes)
+    refresh_account(addr, state,
+                    change.storage.empty() ? nullptr : &change.storage,
+                    change.code.has_value());
+}
+
+void StateCommitment::rebuild(const WorldState& state) {
+  clear();
+  std::vector<std::pair<Hash256, Hash256>> kv;
+  kv.reserve(state.account_count());
+  for (const auto& [addr, acct] : state.accounts()) {
+    Hash256 storage_root;
+    if (!acct.storage.empty()) {
+      std::vector<std::pair<Hash256, Hash256>> slot_kv;
+      slot_kv.reserve(acct.storage.size());
+      for (const auto& [slot, value] : acct.storage)
+        slot_kv.emplace_back(slot_key(slot), slot_leaf_value(value));
+      crypto::MerkleTrie trie = crypto::MerkleTrie::build(std::move(slot_kv));
+      storage_root = trie.root();
+      storage_nodes_ += trie.node_count();
+      storage_.emplace(addr, std::move(trie));
+    }
+    Hash256 code_hash;
+    if (!acct.code.empty()) {
+      code_hash = code_hash_of(acct.code);
+      code_hashes_.emplace(addr, code_hash);
+    }
+    kv.emplace_back(account_key(addr),
+                    account_digest(acct.balance, acct.nonce, code_hash,
+                                   storage_root));
+  }
+  accounts_ = crypto::MerkleTrie::build(std::move(kv));
+}
+
+Hash256 StateCommitment::root_of(const WorldState& state) {
+  StateCommitment fresh;
+  fresh.rebuild(state);
+  return fresh.root();
+}
+
+AccountProof StateCommitment::prove_account(const Address& addr,
+                                            const StateView& state) const {
+  AccountProof p;
+  p.address = addr;
+  p.trie = accounts_.prove(account_key(addr));
+  if (const Account* acct = state.find(addr)) {
+    p.exists = true;
+    p.balance = acct->balance;
+    p.nonce = acct->nonce;
+    p.code_hash = code_hash_of(acct->code);
+    p.storage_root = storage_root_of(addr);
+  }
+  return p;
+}
+
+StorageProof StateCommitment::prove_storage(const Address& addr,
+                                            const crypto::U256& slot,
+                                            const StateView& state) const {
+  StorageProof sp;
+  sp.account = prove_account(addr, state);
+  sp.slot = slot;
+  sp.value = state.get_storage(addr, slot);
+  if (sp.account.exists) {
+    const auto it = storage_.find(addr);
+    if (it != storage_.end()) sp.trie = it->second.prove(slot_key(slot));
+  }
+  return sp;
+}
+
+// -- Proof verification + wire codecs ----------------------------------------
+
+bool AccountProof::verify(const Hash256& state_root) const {
+  const Hash256 key = StateCommitment::account_key(address);
+  if (!exists) {
+    // Absence carries no fields; insist they are zeroed so a proof cannot
+    // smuggle unverified claims alongside a valid absence chain.
+    if (balance != 0 || nonce != 0 || !code_hash.is_zero() ||
+        !storage_root.is_zero())
+      return false;
+    return crypto::MerkleTrie::verify_absent(state_root, key, trie);
+  }
+  return crypto::MerkleTrie::verify_present(
+      state_root, key,
+      StateCommitment::account_digest(balance, nonce, code_hash, storage_root),
+      trie);
+}
+
+bool StorageProof::verify(const Hash256& state_root) const {
+  if (!account.verify(state_root)) return false;
+  if (!account.exists) return value.is_zero();  // No account, no storage.
+  const Hash256 key = StateCommitment::slot_key(slot);
+  if (value.is_zero())
+    return crypto::MerkleTrie::verify_absent(account.storage_root, key, trie);
+  return crypto::MerkleTrie::verify_present(
+      account.storage_root, key, StateCommitment::slot_leaf_value(value), trie);
+}
+
+util::Bytes AccountProof::encode() const {
+  util::Writer w;
+  w.raw(address.span());
+  w.u8(exists ? 1 : 0);
+  w.u64(balance);
+  w.u64(nonce);
+  w.raw(code_hash.span());
+  w.raw(storage_root.span());
+  w.bytes(trie.encode());
+  return std::move(w).take();
+}
+
+std::optional<AccountProof> AccountProof::decode(util::ByteSpan data) {
+  util::Reader r(data);
+  AccountProof p;
+  const auto addr = r.raw(20);
+  const auto exists = r.u8();
+  const auto balance = r.u64();
+  const auto nonce = r.u64();
+  const auto code_hash = r.raw(32);
+  const auto storage_root = r.raw(32);
+  const auto trie_bytes = r.bytes();
+  if (!addr || !exists || *exists > 1 || !balance || !nonce || !code_hash ||
+      !storage_root || !trie_bytes || !r.empty())
+    return std::nullopt;
+  const auto trie = crypto::TrieProof::decode(*trie_bytes);
+  if (!trie) return std::nullopt;
+  p.address = Address::from_span(*addr);
+  p.exists = *exists == 1;
+  p.balance = *balance;
+  p.nonce = *nonce;
+  p.code_hash = Hash256::from_span(*code_hash);
+  p.storage_root = Hash256::from_span(*storage_root);
+  p.trie = *trie;
+  return p;
+}
+
+util::Bytes StorageProof::encode() const {
+  util::Writer w;
+  w.bytes(account.encode());
+  std::uint8_t be[32];
+  slot.to_be_bytes(be);
+  w.raw({be, sizeof(be)});
+  value.to_be_bytes(be);
+  w.raw({be, sizeof(be)});
+  w.bytes(trie.encode());
+  return std::move(w).take();
+}
+
+std::optional<StorageProof> StorageProof::decode(util::ByteSpan data) {
+  util::Reader r(data);
+  StorageProof sp;
+  const auto account_bytes = r.bytes();
+  const auto slot = r.raw(32);
+  const auto value = r.raw(32);
+  const auto trie_bytes = r.bytes();
+  if (!account_bytes || !slot || !value || !trie_bytes || !r.empty())
+    return std::nullopt;
+  const auto account = AccountProof::decode(*account_bytes);
+  const auto trie = crypto::TrieProof::decode(*trie_bytes);
+  if (!account || !trie) return std::nullopt;
+  sp.account = *account;
+  sp.slot = crypto::U256::from_be_bytes(*slot);
+  sp.value = crypto::U256::from_be_bytes(*value);
+  sp.trie = *trie;
+  return sp;
+}
+
+// Declared in state.hpp: the StateView-family root surface. Full rebuild —
+// this is the oracle/debug entry point; the chain maintains its root
+// incrementally via StateCommitment::update.
+Hash256 WorldState::state_root() const { return StateCommitment::root_of(*this); }
+
+}  // namespace sc::chain

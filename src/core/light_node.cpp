@@ -1,0 +1,132 @@
+#include "core/light_node.hpp"
+
+#include <algorithm>
+
+#include "util/serialize.hpp"
+
+namespace sc::core {
+
+LightClientNode::LightClientNode(sim::Network& net,
+                                 const chain::BlockHeader& genesis,
+                                 bool skip_pow, telemetry::Telemetry* tel)
+    : net_(net), skip_pow_(skip_pow), client_(genesis, tel) {
+  net_id_ = net_.add_node([this](const sim::Message& msg) { on_message(msg); });
+}
+
+void LightClientNode::on_message(const sim::Message& msg) {
+  if (msg.topic == "block") {
+    const auto block = chain::Block::decode(msg.payload);
+    if (!block) return;
+    accept_header(block->header);
+    return;
+  }
+  if (msg.topic == "proof.resp") handle_proof_resp(msg);
+  // Everything else (sync.*, get_block, proof.req) is full-node business.
+}
+
+void LightClientNode::accept_header(const chain::BlockHeader& header) {
+  if (!client_.accept_header(header, nullptr, skip_pow_)) {
+    // Unknown parent: gossip raced ahead of us. Buffer and retry once a
+    // linking header lands (duplicates are rejected by the client, so a
+    // bounded buffer of distinct headers cannot loop).
+    if (pending_headers_.size() < 256) pending_headers_.push_back(header);
+    return;
+  }
+  ++headers_accepted_;
+  drain_pending_headers();
+}
+
+void LightClientNode::drain_pending_headers() {
+  bool progressed = true;
+  while (progressed && !pending_headers_.empty()) {
+    progressed = false;
+    for (std::size_t i = 0; i < pending_headers_.size();) {
+      if (client_.accept_header(pending_headers_[i], nullptr, skip_pow_)) {
+        ++headers_accepted_;
+        pending_headers_.erase(pending_headers_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+        progressed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+std::uint64_t LightClientNode::request_account(sim::NodeId peer,
+                                               const chain::Address& addr,
+                                               std::uint64_t depth) {
+  const std::uint64_t id = next_req_id_++;
+  pending_reqs_[id] = PendingReq{0, depth};
+  util::Writer w;
+  w.u64(id);
+  w.u8(0);
+  w.raw(addr.span());
+  net_.unicast(net_id_, peer, "proof.req", std::move(w).take());
+  return id;
+}
+
+std::uint64_t LightClientNode::request_storage(sim::NodeId peer,
+                                               const chain::Address& addr,
+                                               const crypto::U256& slot,
+                                               std::uint64_t depth) {
+  const std::uint64_t id = next_req_id_++;
+  pending_reqs_[id] = PendingReq{1, depth};
+  util::Writer w;
+  w.u64(id);
+  w.u8(1);
+  w.raw(addr.span());
+  std::uint8_t slot_be[32];
+  slot.to_be_bytes(slot_be);
+  w.raw(slot_be);
+  net_.unicast(net_id_, peer, "proof.req", std::move(w).take());
+  return id;
+}
+
+void LightClientNode::handle_proof_resp(const sim::Message& msg) {
+  // Response: req u64 | kind u8 | height u64 | block id 32 | proof bytes.
+  util::Reader r(msg.payload);
+  const auto req = r.u64();
+  const auto kind = r.u8();
+  const auto height = r.u64();
+  const auto id_bytes = r.raw(32);
+  const auto proof_bytes = r.bytes();
+  if (!req || !kind || !height || !id_bytes || !proof_bytes || !r.empty()) {
+    ++undecodable_;
+    return;
+  }
+  const auto pending = pending_reqs_.find(*req);
+  if (pending == pending_reqs_.end() || pending->second.kind != *kind) {
+    ++undecodable_;  // Unsolicited or kind-swapped reply.
+    return;
+  }
+  const PendingReq want = pending->second;
+  pending_reqs_.erase(pending);
+
+  ProofResult result;
+  result.req_id = *req;
+  result.block_id = crypto::Hash256::from_span(*id_bytes);
+  if (*kind == 0) {
+    auto proof = chain::AccountProof::decode(*proof_bytes);
+    if (!proof) {
+      ++undecodable_;
+      return;
+    }
+    result.verified =
+        client_.verify_account(result.block_id, *proof, want.depth);
+    result.account = std::move(*proof);
+  } else {
+    auto proof = chain::StorageProof::decode(*proof_bytes);
+    if (!proof) {
+      ++undecodable_;
+      return;
+    }
+    result.verified =
+        client_.verify_storage(result.block_id, *proof, want.depth);
+    result.account = proof->account;
+    result.storage = std::move(*proof);
+  }
+  results_.push_back(std::move(result));
+}
+
+}  // namespace sc::core

@@ -1,0 +1,81 @@
+// A header-only participant on the sim network: the paper's IoT-class
+// detector that cannot run a full node.
+//
+// Listens to the same "block" gossip as full nodes but keeps only headers
+// (chain::LightClient), and answers state questions — balances, SRA fields,
+// detection-report commitments — by asking any full node for a Merkle proof
+// over the "proof.req"/"proof.resp" topics and verifying it against the
+// header's state_root. The serving node is untrusted: a tampered or stale
+// proof fails verification locally (and is counted), so millions of these
+// clients can use the platform with O(headers) storage and zero trust in
+// whoever happens to answer.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "chain/light_client.hpp"
+#include "sim/network.hpp"
+
+namespace sc::core {
+
+class LightClientNode {
+ public:
+  /// Outcome of one proof request, in arrival order. `verified` is the light
+  /// client's own verdict against its header chain — never the server's.
+  struct ProofResult {
+    std::uint64_t req_id = 0;
+    bool verified = false;
+    crypto::Hash256 block_id;                   ///< Head the proof was served at.
+    chain::AccountProof account;                ///< Account requests.
+    std::optional<chain::StorageProof> storage; ///< Storage requests.
+  };
+
+  /// `skip_pow` mirrors the full nodes' simulation mode (event-model mining
+  /// stamps difficulty without grinding). `tel` feeds the light client's
+  /// verified/rejected counters (nullptr → telemetry::global()).
+  LightClientNode(sim::Network& net, const chain::BlockHeader& genesis,
+                  bool skip_pow = true, telemetry::Telemetry* tel = nullptr);
+
+  sim::NodeId network_id() const { return net_id_; }
+  chain::LightClient& client() { return client_; }
+  const chain::LightClient& client() const { return client_; }
+
+  /// Asks `peer` for an account proof at its best head. Returns the request
+  /// id; the verified result lands in results() when the response arrives.
+  std::uint64_t request_account(sim::NodeId peer, const chain::Address& addr,
+                                std::uint64_t depth = 0);
+  /// Asks `peer` for a storage-slot proof (SRA field / report commitment).
+  std::uint64_t request_storage(sim::NodeId peer, const chain::Address& addr,
+                                const crypto::U256& slot,
+                                std::uint64_t depth = 0);
+
+  const std::vector<ProofResult>& results() const { return results_; }
+  std::uint64_t headers_accepted() const { return headers_accepted_; }
+  std::uint64_t responses_undecodable() const { return undecodable_; }
+
+ private:
+  void on_message(const sim::Message& msg);
+  void accept_header(const chain::BlockHeader& header);
+  void drain_pending_headers();
+  void handle_proof_resp(const sim::Message& msg);
+
+  sim::Network& net_;
+  sim::NodeId net_id_ = 0;
+  bool skip_pow_;
+  chain::LightClient client_;
+  /// Headers that arrived before their parent (gossip reordering).
+  std::vector<chain::BlockHeader> pending_headers_;
+  struct PendingReq {
+    std::uint8_t kind = 0;  ///< 0 account, 1 storage.
+    std::uint64_t depth = 0;
+  };
+  std::map<std::uint64_t, PendingReq> pending_reqs_;
+  std::uint64_t next_req_id_ = 1;
+  std::vector<ProofResult> results_;
+  std::uint64_t headers_accepted_ = 0;
+  std::uint64_t undecodable_ = 0;
+};
+
+}  // namespace sc::core

@@ -110,6 +110,44 @@ void ConsensusNode::on_message(const sim::Message& msg) {
   if (msg.topic == "sync.status_resp") return handle_status_resp(msg);
   if (msg.topic == "sync.range_req") return handle_range_req(msg);
   if (msg.topic == "sync.range_resp") return handle_range_resp(msg);
+  if (msg.topic == "proof.req") return handle_proof_req(msg);
+}
+
+void ConsensusNode::handle_proof_req(const sim::Message& msg) {
+  // Stateless-verification service: a header-only client asks for a Merkle
+  // proof of an account or storage slot against our best head's state_root.
+  // Request: req u64 | kind u8 (0 account, 1 storage) | address 20
+  //          | slot 32 (big-endian, kind 1 only).
+  util::Reader r(msg.payload);
+  const auto req = r.u64();
+  const auto kind = r.u8();
+  const auto addr_bytes = r.raw(20);
+  if (!req || !kind || *kind > 1 || !addr_bytes) return;
+  const chain::Address addr = chain::Address::from_span(*addr_bytes);
+  util::Bytes proof_bytes;
+  if (*kind == 0) {
+    if (!r.empty()) return;
+    proof_bytes = chain_->prove_account(addr).encode();
+  } else {
+    const auto slot_bytes = r.raw(32);
+    if (!slot_bytes || !r.empty()) return;
+    proof_bytes =
+        chain_->prove_storage(addr, crypto::U256::from_be_bytes(*slot_bytes))
+            .encode();
+  }
+  const crypto::Hash256& head = chain_->best_head();
+  util::Writer w;
+  w.u64(*req);
+  w.u8(*kind);
+  w.u64(chain_->best_height());
+  w.raw(head.span());
+  w.bytes(proof_bytes);
+  telemetry::resolve(telemetry_)
+      .registry
+      .counter("lightclient_proof_served_total",
+               "State proofs served to header-only clients over proof.req")
+      .inc();
+  net_.unicast(net_id_, msg.from, "proof.resp", std::move(w).take());
 }
 
 void ConsensusNode::try_connect(const chain::Block& block, bool rebroadcast) {

@@ -90,7 +90,8 @@ class ConsensusNode {
   bool mine_and_broadcast(const chain::Address& miner,
                           std::vector<chain::Transaction> txs);
 
-  /// Network delivery entry point ("block", "get_block" and "sync.*" topics).
+  /// Network delivery entry point ("block", "get_block", "sync.*" and
+  /// "proof.req" topics).
   void on_message(const sim::Message& msg);
 
   // -- Crash/restart lifecycle ---------------------------------------------
@@ -141,6 +142,7 @@ class ConsensusNode {
   /// Best peer claiming more blocks than we hold (highest score, lowest id
   /// tie-break); -1 when every known claim is satisfied.
   long long pick_sync_peer() const;
+  void handle_proof_req(const sim::Message& msg);
   void handle_status_req(const sim::Message& msg);
   void handle_status_resp(const sim::Message& msg);
   void handle_range_req(const sim::Message& msg);

@@ -22,7 +22,16 @@ namespace fs = std::filesystem;
 constexpr std::uint8_t kRecordMeta = 0x01;
 constexpr std::uint8_t kRecordBlock = 0x02;
 constexpr std::uint8_t kRecordIndex = 0x7F;
-constexpr std::uint32_t kFormatVersion = 1;
+// v1: original block log. v2: BlockHeader carries state_root (wire layout of
+// every embedded header changed), so v1 logs are rejected up front with a
+// clear version error instead of failing deep inside block decoding.
+constexpr std::uint32_t kFormatVersion = 2;
+
+std::string format_version_error(const std::string& dir, std::uint32_t found) {
+  return dir + ": unsupported store format version " + std::to_string(found) +
+         " (this build reads version " + std::to_string(kFormatVersion) +
+         "; v2 added state_root to block headers — re-sync or migrate)";
+}
 
 bool set_why(std::string* why, std::string msg) {
   if (why) *why = std::move(msg);
@@ -49,15 +58,21 @@ util::Bytes encode_meta(const crypto::Hash256& genesis_id) {
   return std::move(w).take();
 }
 
-std::optional<crypto::Hash256> decode_meta(util::ByteSpan payload) {
+struct MetaRecord {
+  std::uint32_t version = 0;
+  crypto::Hash256 genesis;
+};
+
+/// Structural decode only — the caller compares `version`, so an old-format
+/// log earns a precise error instead of a generic corruption report.
+std::optional<MetaRecord> decode_meta(util::ByteSpan payload) {
   util::Reader r(payload);
   const auto kind = r.u8();
   const auto version = r.u32();
   const auto genesis = r.raw(32);
-  if (!kind || *kind != kRecordMeta || !version || *version != kFormatVersion ||
-      !genesis || !r.empty())
+  if (!kind || *kind != kRecordMeta || !version || !genesis || !r.empty())
     return std::nullopt;
-  return crypto::Hash256::from_span(*genesis);
+  return MetaRecord{*version, crypto::Hash256::from_span(*genesis)};
 }
 
 util::Bytes encode_block_payload(const chain::Block& block,
@@ -150,8 +165,15 @@ std::unique_ptr<BlockStore> BlockStore::open(const std::string& dir,
 
   bool meta_seen = false;
   if (opened->had_footer) {
-    if (!store->load_index(opened->footer))
+    if (!store->load_index(opened->footer)) {
+      // Distinguish an old-format index from plain corruption.
+      util::Reader peek(opened->footer);
+      const auto kind = peek.u8();
+      const auto version = peek.u32();
+      if (kind && *kind == kRecordIndex && version && *version != kFormatVersion)
+        return set_why(why, format_version_error(dir, *version)), nullptr;
       return set_why(why, dir + ": corrupt clean-close index"), nullptr;
+    }
     meta_seen = true;  // the index payload carries (and verified) the meta
     store->recovered_from_index_ = true;
     if (store->index_genesis_ != genesis_id)
@@ -160,6 +182,7 @@ std::unique_ptr<BlockStore> BlockStore::open(const std::string& dir,
   } else {
     // Scan whatever survived tail repair, indexing headers as we go.
     bool corrupt = false;
+    std::string scan_error;
     const bool scan_ok = store->log_->scan([&](std::uint64_t offset,
                                                util::Bytes payload) {
       if (payload.empty()) {
@@ -167,9 +190,19 @@ std::unique_ptr<BlockStore> BlockStore::open(const std::string& dir,
         return false;
       }
       if (!meta_seen) {
-        const auto meta_genesis = decode_meta(payload);
-        if (!meta_genesis || *meta_genesis != genesis_id) {
+        const auto meta = decode_meta(payload);
+        if (!meta) {
           corrupt = true;
+          return false;
+        }
+        if (meta->version != kFormatVersion) {
+          corrupt = true;
+          scan_error = format_version_error(dir, meta->version);
+          return false;
+        }
+        if (meta->genesis != genesis_id) {
+          corrupt = true;
+          scan_error = dir + ": store belongs to a different genesis";
           return false;
         }
         meta_seen = true;
@@ -183,8 +216,10 @@ std::unique_ptr<BlockStore> BlockStore::open(const std::string& dir,
       return store->index_block(peeked->first, peeked->second, offset);
     });
     if (!scan_ok || corrupt)
-      return set_why(why, dir + ": unrecoverable block log (bad meta or "
-                          "record kind)"),
+      return set_why(why, scan_error.empty()
+                              ? dir + ": unrecoverable block log (bad meta or "
+                                      "record kind)"
+                              : scan_error),
              nullptr;
   }
 

@@ -148,6 +148,7 @@ bool Blockchain::open(const std::string& dir, const PersistenceOptions& options,
     best_head_ = genesis_id_;
     tip_at_ = genesis_id_;
     tip_state_ = *entries_.at(genesis_id_).snapshot;
+    commitment_.rebuild(tip_state_);
     reindex_canonical();
     prune_state_cache();
     return fail(why, std::move(msg));
@@ -186,6 +187,16 @@ bool Blockchain::open(const std::string& dir, const PersistenceOptions& options,
     break;
   }
   move_tip_to(best_head_);
+
+  // -- Cross-check the authenticated state root -----------------------------
+  // The replayed tip state must hash to exactly the commitment the recovered
+  // head's header advertises — a mismatch means the log's deltas and the
+  // header's root disagree, i.e. corruption the CRC layer could not see.
+  // (The incremental walk above ran against a stale trie; recovery pays one
+  // O(n) bottom-up rebuild to re-anchor it.)
+  commitment_.rebuild(tip_state_);
+  if (commitment_.root() != entries_.at(best_head_).block.header.state_root)
+    return abort_open("recovered state root mismatch at " + best_head_.hex());
 
   // -- Cross-check the write-ahead tip journal ------------------------------
   const std::optional<store::TipRecord>& tip = backing->journal_tip();

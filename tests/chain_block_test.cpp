@@ -54,6 +54,41 @@ TEST(Pow, DifficultyOneAlwaysPasses) {
   EXPECT_TRUE(check_pow(header));
 }
 
+TEST(Block, HeaderWireLayoutPinned) {
+  // Hard numbers on purpose, not the symbolic constants: the v2 store
+  // format, the PoW nonce-patching hot path (chain/pow.hpp tail layout) and
+  // cross-version wire compatibility all depend on EXACTLY these offsets.
+  // If this test fails you changed the header wire layout — bump the store
+  // format version and revisit PowScratch before touching these numbers.
+  EXPECT_EQ(BlockHeader::kSerializedSize, 148u);
+  EXPECT_EQ(BlockHeader::kNonceOffset, 88u);
+
+  // state_root must survive the codec and feed the header id.
+  util::Rng rng(0x51a7e);
+  BlockHeader h;
+  h.height = 7;
+  h.timestamp = 70;
+  h.difficulty = 3;
+  h.nonce = 0x0123456789abcdefULL;
+  h.miner = key(5).address();
+  for (auto& b : h.state_root.bytes) b = static_cast<std::uint8_t>(rng.uniform(256));
+  const util::Bytes wire = h.serialize();
+  ASSERT_EQ(wire.size(), 148u);
+  const auto back = BlockHeader::deserialize(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->state_root, h.state_root);
+  EXPECT_EQ(back->id(), h.id());
+
+  BlockHeader other = h;
+  other.state_root.bytes[31] ^= 1;
+  EXPECT_NE(other.id(), h.id());
+
+  // A pre-state-root (116-byte) header payload must fail to decode, not
+  // silently read garbage.
+  util::Bytes legacy(wire.begin(), wire.begin() + 116);
+  EXPECT_FALSE(BlockHeader::deserialize(legacy).has_value());
+}
+
 TEST(Block, MerkleSealAndConsistency) {
   Block block;
   block.transactions.push_back(transfer(key(1), key(2).address(), 5));
@@ -202,6 +237,8 @@ TEST_F(BlockchainTest, ForkChoicePrefersMoreCumulativeWork) {
   fork.header.difficulty = 16;
   fork.header.miner = key(13).address();
   fork.seal_merkle_root();
+  // state_root is part of the PoW preimage: seal it before grinding.
+  ASSERT_TRUE(chain_.seal_state_root(fork));
   fork.header.nonce = *mine(fork.header, 1'000'000);
   ASSERT_TRUE(chain_.submit_block(fork));
 
@@ -220,6 +257,7 @@ TEST_F(BlockchainTest, TieBreakKeepsFirstSeen) {
   rival.header.difficulty = 1;
   rival.header.miner = key(14).address();
   rival.seal_merkle_root();
+  ASSERT_TRUE(chain_.seal_state_root(rival));
   rival.header.nonce = *mine(rival.header, 1000);
   ASSERT_TRUE(chain_.submit_block(rival));
   EXPECT_EQ(chain_.best_head(), first.id());

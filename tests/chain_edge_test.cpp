@@ -51,6 +51,7 @@ TEST(ChainReorg, ProtocolRecordsFollowCanonicalChain) {
   branch_b.header.difficulty = 16;
   branch_b.header.miner = key(3).address();
   branch_b.seal_merkle_root();
+  ASSERT_TRUE(chain.seal_state_root(branch_b));
   branch_b.header.nonce = *mine(branch_b.header, 1'000'000);
   ASSERT_TRUE(chain.submit_block(branch_b));
 
@@ -67,6 +68,7 @@ TEST(ChainReorg, ProtocolRecordsFollowCanonicalChain) {
   extend_a.header.difficulty = 32;
   extend_a.header.miner = miner.address();
   extend_a.seal_merkle_root();
+  ASSERT_TRUE(chain.seal_state_root(extend_a));
   extend_a.header.nonce = *mine(extend_a.header, 10'000'000);
   ASSERT_TRUE(chain.submit_block(extend_a));
   EXPECT_EQ(chain.protocol_records(ProtocolKind::kSra).size(), 1u);

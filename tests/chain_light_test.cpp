@@ -119,6 +119,8 @@ TEST_F(LightClientTest, ForkChoiceMatchesFullNode) {
   Block fork_block;
   fork_block.header = fork;
   fork_block.seal_merkle_root();
+  // state_root is part of the PoW preimage: seal it before grinding.
+  ASSERT_TRUE(chain_.seal_state_root(fork_block));
   fork_block.header.nonce = *mine(fork_block.header, 1'000'000);
   ASSERT_TRUE(chain_.submit_block(fork_block));
   ASSERT_TRUE(light_.accept_header(fork_block.header));

@@ -11,6 +11,7 @@
 #include "chain/blockchain.hpp"
 #include "chain/legacy_executor.hpp"
 #include "chain/parallel_executor.hpp"
+#include "chain/state_commitment.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -368,6 +369,10 @@ TEST(ParallelExec, RandomizedDifferentialVsSequentialAndLegacy) {
 
   util::ThreadPool pool(3);
   std::vector<Address> contracts;
+  // Incremental trie fed only by the PARALLEL executor's deltas; every block
+  // it must land on the full-rehash root of the other two executors' states.
+  StateCommitment par_commitment;
+  par_commitment.rebuild(par_state);
   for (int b = 0; b < kBlocks; ++b) {
     std::vector<Transaction> txs;
     for (int t = 0; t < kTxPerBlock; ++t) {
@@ -440,6 +445,15 @@ TEST(ParallelExec, RandomizedDifferentialVsSequentialAndLegacy) {
     ASSERT_TRUE(states_equal(seq.state, par.state, &why)) << "block " << b << ": " << why;
     ASSERT_EQ(legacy_state.total_supply(), par.state.total_supply()) << "block " << b;
 
+    // Byte-identical state roots across all three executors: incremental
+    // trie over the parallel delta == full rehash of the sequential and
+    // legacy states.
+    par_commitment.update(par.delta, par.state);
+    ASSERT_EQ(par_commitment.root(), StateCommitment::root_of(seq.state))
+        << "block " << b << " (vs sequential)";
+    ASSERT_EQ(par_commitment.root(), StateCommitment::root_of(legacy_state))
+        << "block " << b << " (vs legacy)";
+
     seq_state = std::move(seq.state);
     par_state = std::move(par.state);
   }
@@ -497,6 +511,13 @@ TEST(ParallelExec, BlockchainParallelConfigMatchesSequentialChain) {
     ASSERT_TRUE(deltas_equal(*seq_chain.delta_of(block.id()),
                              *par_chain.delta_of(block.id()), &diff))
         << "block " << b << ": " << diff;
+    // Both replicas validated the header's state_root on connect; pin the
+    // committed root to the full-rehash oracle of each tip state.
+    const Hash256& committed = block.header.state_root;
+    ASSERT_EQ(committed, StateCommitment::root_of(seq_chain.best_state()))
+        << "block " << b;
+    ASSERT_EQ(committed, StateCommitment::root_of(par_chain.best_state()))
+        << "block " << b;
   }
 }
 

@@ -184,14 +184,17 @@ TEST(SigCache, BlockBatchPreValidationFeedsTheCache) {
   const auto alice = key(1);
   const auto miner = key(9);
   GenesisConfig genesis{{{alice.address(), 10 * kEther}}, 0, 1};
+  Blockchain builder(genesis);
   Blockchain chain(genesis, &tel);
 
   std::vector<Transaction> txs;
   for (int i = 0; i < 3; ++i) txs.push_back(transfer(alice, key(30 + i).address(), 500, i));
 
-  // No mempool: the block's signatures are first seen by submit_block, which
-  // batch-verifies them once; the per-tx loop and executor then hit.
-  Block block = chain.build_block_template(miner.address(), 100, 1, txs);
+  // Built on a SEPARATE chain: the miner's template execution (state-root
+  // sealing) warms that chain's own cache, so the receiving replica's first
+  // sight of the signatures is submit_block, which batch-verifies them once;
+  // the per-tx loop and executor then hit.
+  Block block = builder.build_block_template(miner.address(), 100, 1, txs);
   std::string why;
   ASSERT_TRUE(chain.submit_block(block, &why, /*skip_pow=*/true)) << why;
   EXPECT_EQ(tel.registry

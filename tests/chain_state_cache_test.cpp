@@ -18,7 +18,8 @@ constexpr const char* kMissHelp =
     "state_of lookups that had to materialize from an ancestor snapshot by "
     "delta replay";
 
-Block empty_block(const Hash256& parent, std::uint64_t height, const Address& miner) {
+Block empty_block(Blockchain& chain, const Hash256& parent,
+                  std::uint64_t height, const Address& miner) {
   Block block;
   block.header.height = height;
   block.header.prev_id = parent;
@@ -26,6 +27,7 @@ Block empty_block(const Hash256& parent, std::uint64_t height, const Address& mi
   block.header.difficulty = 1;
   block.header.miner = miner;
   block.seal_merkle_root();
+  EXPECT_TRUE(chain.seal_state_root(block));
   return block;
 }
 
@@ -44,7 +46,7 @@ TEST(StateCacheCounters, HitAndMissAccounting) {
 
   std::vector<Hash256> ids{chain.genesis_id()};
   for (std::uint64_t h = 1; h <= 10; ++h) {
-    Block block = empty_block(ids.back(), h, miner.address());
+    Block block = empty_block(chain, ids.back(), h, miner.address());
     std::string why;
     ASSERT_TRUE(chain.submit_block(block, &why, true)) << why;
     ids.push_back(block.id());

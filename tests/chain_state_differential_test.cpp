@@ -254,6 +254,7 @@ TEST(StateDifferential, BlockchainMatchesShadowCopyStatesAcrossReorgs) {
     block.header.miner = rng.bernoulli(0.5) ? miner_a.address() : miner_b.address();
     block.transactions = txs;
     block.seal_merkle_root();
+    ASSERT_TRUE(chain.seal_state_root(block));
 
     // Shadow execution with the frozen legacy path.
     Shadow next{parent.state, parent.height + 1,
@@ -263,6 +264,11 @@ TEST(StateDifferential, BlockchainMatchesShadowCopyStatesAcrossReorgs) {
     env.timestamp = block.header.timestamp;
     env.miner = block.header.miner;
     legacy::apply_block_body(next.state, env, block.transactions, kBlockReward);
+
+    // The committed root is reproducible from the LEGACY executor's state:
+    // three implementations (sealing replay, incremental trie, full rehash
+    // of the shadow) must agree byte-for-byte.
+    ASSERT_EQ(StateCommitment::root_of(next.state), block.header.state_root);
 
     std::string why;
     ASSERT_TRUE(chain.submit_block(block, &why, /*skip_pow=*/true)) << why;

@@ -27,7 +27,7 @@ Transaction transfer(const crypto::KeyPair& from, const Address& to, Amount valu
   return tx;
 }
 
-Block make_block(const Blockchain& chain, const Hash256& parent_id,
+Block make_block(Blockchain& chain, const Hash256& parent_id,
                  std::uint64_t height, std::uint64_t timestamp,
                  std::uint64_t difficulty, const Address& miner,
                  std::vector<Transaction> txs) {
@@ -39,7 +39,7 @@ Block make_block(const Blockchain& chain, const Hash256& parent_id,
   block.header.miner = miner;
   block.transactions = std::move(txs);
   block.seal_merkle_root();
-  (void)chain;
+  EXPECT_TRUE(chain.seal_state_root(block));
   return block;
 }
 

@@ -1,0 +1,186 @@
+// Acceptance test of the stateless light-client path (the paper's IoT-class
+// detector): a header-only LightClientNode on the sim network verifies a
+// balance, SRA contract fields, a detection-report commitment and a proof of
+// absence against block-header state roots — served by an untrusted full
+// node over "proof.req"/"proof.resp" — and rejects tampered proofs. The
+// light node never touches a WorldState.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "contracts/smartcrowd_contract.hpp"
+#include "core/light_node.hpp"
+#include "core/node.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace sc::core {
+namespace {
+
+using chain::Address;
+using chain::kEther;
+using chain::Transaction;
+using crypto::Hash256;
+using crypto::U256;
+
+crypto::KeyPair key(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return crypto::KeyPair::generate(rng);
+}
+
+TEST(LightClientNode, VerifiesStateQueriesAgainstHeadersOnly) {
+  const auto provider = key(1);
+  const auto detector = key(2);
+  const auto miner = key(3);
+  chain::GenesisConfig genesis{
+      {{provider.address(), 100 * kEther}, {detector.address(), 10 * kEther}},
+      0,
+      1};
+  genesis.execution.threads = 1;
+
+  sim::Simulator sim(7);
+  sim::Network net(sim, {});
+  ConsensusNode full(sim, net, genesis, "server", /*honest=*/true,
+                     /*gate=*/nullptr);
+  const chain::BlockHeader genesis_header =
+      full.chain().block(full.chain().genesis_id())->header;
+  LightClientNode light(net, genesis_header, /*skip_pow=*/true);
+
+  // Block 1: the provider deploys an SRA with insurance escrow and bounty μ.
+  const chain::Amount bounty = 3 * kEther / 2;
+  const Hash256 system_hash = crypto::Sha256::digest(util::Bytes{0x51});
+  Transaction deploy = contracts::make_deploy_tx(
+      /*nonce=*/0, /*insurance=*/5 * kEther, bounty, system_hash,
+      contracts::pack_metadata("cam-fw", "1.2", "https://sra.example/cam"));
+  deploy.sign_with(provider);
+  const Address sra = chain::contract_address(provider.address(), 0);
+  ASSERT_TRUE(full.mine_and_broadcast(miner.address(), {deploy}));
+  sim.run_until(sim.now() + 10.0);
+
+  // Block 2: the detector commits to a detailed report (phase I).
+  const Hash256 detailed_hash = crypto::Sha256::digest(util::Bytes{0xD7});
+  Transaction commit;
+  commit.kind = chain::TxKind::kCall;
+  commit.nonce = 0;
+  commit.to = sra;
+  commit.gas_limit = 200'000;
+  commit.data = contracts::register_initial_calldata(detailed_hash);
+  commit.sign_with(detector);
+  ASSERT_TRUE(full.mine_and_broadcast(miner.address(), {commit}));
+  sim.run_until(sim.now() + 10.0);
+
+  // The light node followed along on headers alone.
+  ASSERT_EQ(light.client().best_height(), 2u);
+  EXPECT_EQ(light.client().best_head(), full.chain().best_head());
+  EXPECT_EQ(light.headers_accepted(), 2u);
+
+  // Stateless queries against the untrusted server: provider balance, the
+  // SRA's bounty and provider slots, the detector's report commitment, and
+  // proofs of absence (unknown account, untouched slot).
+  const std::uint64_t q_balance =
+      light.request_account(full.network_id(), provider.address());
+  const std::uint64_t q_bounty =
+      light.request_storage(full.network_id(), sra, U256{1});
+  const std::uint64_t q_commit = light.request_storage(
+      full.network_id(), sra,
+      contracts::commitment_key(detector.address(), detailed_hash));
+  const Address ghost{};  // zero address: never funded
+  const std::uint64_t q_absent_acct =
+      light.request_account(full.network_id(), ghost);
+  const std::uint64_t q_absent_slot =
+      light.request_storage(full.network_id(), sra, U256{0x4242});
+  sim.run_until(sim.now() + 10.0);
+
+  ASSERT_EQ(light.results().size(), 5u);
+  EXPECT_EQ(light.responses_undecodable(), 0u);
+  auto result = [&](std::uint64_t id) -> const LightClientNode::ProofResult& {
+    for (const auto& r : light.results())
+      if (r.req_id == id) return r;
+    static const LightClientNode::ProofResult none{};
+    return none;
+  };
+
+  // Balance: exists, and the proved fields are the genesis allocation minus
+  // the deploy's escrow and gas — read from the proof, not from any state.
+  const auto& balance = result(q_balance);
+  ASSERT_TRUE(balance.verified);
+  EXPECT_TRUE(balance.account.exists);
+  EXPECT_EQ(balance.account.nonce, 1u);
+  EXPECT_LT(balance.account.balance, 95 * kEther);
+  EXPECT_GT(balance.account.balance, 90 * kEther);
+
+  // SRA bounty slot (0x01) carries μ.
+  const auto& bounty_slot = result(q_bounty);
+  ASSERT_TRUE(bounty_slot.verified);
+  ASSERT_TRUE(bounty_slot.storage.has_value());
+  EXPECT_EQ(bounty_slot.storage->value, U256{bounty});
+  EXPECT_TRUE(bounty_slot.storage->account.exists);
+  EXPECT_FALSE(bounty_slot.storage->account.code_hash.is_zero());
+
+  // Report commitment: keccak(detector || H_R*) slot reads 1 (committed).
+  const auto& committed = result(q_commit);
+  ASSERT_TRUE(committed.verified);
+  ASSERT_TRUE(committed.storage.has_value());
+  EXPECT_EQ(committed.storage->value, U256{1});
+
+  // Absence: both proofs verify with exists=false / value=0.
+  const auto& no_acct = result(q_absent_acct);
+  ASSERT_TRUE(no_acct.verified);
+  EXPECT_FALSE(no_acct.account.exists);
+  const auto& no_slot = result(q_absent_slot);
+  ASSERT_TRUE(no_slot.verified);
+  ASSERT_TRUE(no_slot.storage.has_value());
+  EXPECT_TRUE(no_slot.storage->value.is_zero());
+
+  // Tampering: inflate the proved balance, flip a commitment to "paid", or
+  // conjure the ghost account — each fails against the same header root.
+  chain::AccountProof forged_balance = balance.account;
+  forged_balance.balance += kEther;
+  EXPECT_FALSE(light.client().verify_account(balance.block_id, forged_balance));
+  chain::StorageProof forged_commit = *committed.storage;
+  forged_commit.value = U256{2};
+  EXPECT_FALSE(light.client().verify_storage(committed.block_id, forged_commit));
+  chain::AccountProof conjured = no_acct.account;
+  conjured.exists = true;
+  conjured.balance = kEther;
+  EXPECT_FALSE(light.client().verify_account(no_acct.block_id, conjured));
+}
+
+TEST(LightClientNode, StaleProofFailsAfterReorgDepthRequirement) {
+  // A proof served at the head fails when the client demands confirmations
+  // the chain doesn't have yet — then verifies once enough blocks are mined
+  // on top (the anti-stale knob for detectors acting on bounty state).
+  const auto funder = key(10);
+  const auto miner = key(11);
+  chain::GenesisConfig genesis{{{funder.address(), 100 * kEther}}, 0, 1};
+  genesis.execution.threads = 1;
+
+  sim::Simulator sim(9);
+  sim::Network net(sim, {});
+  ConsensusNode full(sim, net, genesis, "server", true, nullptr);
+  const chain::BlockHeader genesis_header =
+      full.chain().block(full.chain().genesis_id())->header;
+  LightClientNode light(net, genesis_header, true);
+
+  ASSERT_TRUE(full.mine_and_broadcast(miner.address(), {}));
+  sim.run_until(sim.now() + 10.0);
+
+  // depth=2 cannot be met at height 1: the request verifies only after two
+  // more blocks land on top of the served head.
+  light.request_account(full.network_id(), funder.address(), /*depth=*/2);
+  sim.run_until(sim.now() + 10.0);
+  ASSERT_EQ(light.results().size(), 1u);
+  const auto early = light.results()[0];
+  EXPECT_FALSE(early.verified);
+
+  ASSERT_TRUE(full.mine_and_broadcast(miner.address(), {}));
+  ASSERT_TRUE(full.mine_and_broadcast(miner.address(), {}));
+  sim.run_until(sim.now() + 10.0);
+  EXPECT_TRUE(light.client().verify_account(early.block_id, early.account,
+                                            /*depth=*/2));
+}
+
+}  // namespace
+}  // namespace sc::core

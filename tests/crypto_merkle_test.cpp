@@ -84,6 +84,37 @@ TEST(Merkle, ProofForBadIndexIsEmpty) {
   EXPECT_TRUE(merkle_proof(leaves, 4).empty());
 }
 
+TEST(Merkle, ProofForWrongIndexRejected) {
+  // A valid proof for index i must not verify any other leaf of the same
+  // tree, even though both leaves and both proofs are individually genuine.
+  const auto leaves = make_leaves(9);  // odd count: duplicate-last padding in play
+  const Hash256 root = merkle_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const MerkleProof proof = merkle_proof(leaves, i);
+    for (std::size_t j = 0; j < leaves.size(); ++j) {
+      if (j == i) continue;
+      EXPECT_FALSE(merkle_verify(leaves[j], proof, root))
+          << "proof for " << i << " accepted leaf " << j;
+    }
+  }
+}
+
+TEST(Merkle, ProofAgainstDifferentRootFails) {
+  const auto leaves = make_leaves(6);
+  const MerkleProof proof = merkle_proof(leaves, 2);
+  auto other = leaves;
+  other[5].bytes[0] ^= 1;
+  EXPECT_TRUE(merkle_verify(leaves[2], proof, merkle_root(leaves)));
+  EXPECT_FALSE(merkle_verify(leaves[2], proof, merkle_root(other)));
+}
+
+TEST(Merkle, EmptyProofOnlyVerifiesSingleLeafTree) {
+  // The empty proof says "this leaf is the root" — true only for n == 1.
+  const auto leaves = make_leaves(4);
+  EXPECT_FALSE(merkle_verify(leaves[0], MerkleProof{}, merkle_root(leaves)));
+  EXPECT_TRUE(merkle_verify(leaves[0], MerkleProof{}, leaves[0]));
+}
+
 TEST(Merkle, TamperedProofFails) {
   const auto leaves = make_leaves(8);
   const Hash256 root = merkle_root(leaves);

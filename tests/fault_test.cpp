@@ -241,13 +241,14 @@ chain::GenesisConfig small_genesis() {
   return genesis;
 }
 
-chain::Block next_block(const chain::Blockchain& chain) {
+chain::Block next_block(chain::Blockchain& chain) {
   chain::Block block;
   block.header.height = chain.best_height() + 1;
   block.header.prev_id = chain.best_head();
   block.header.timestamp = block.header.height * 10;
   block.header.difficulty = 1;
   block.seal_merkle_root();
+  EXPECT_TRUE(chain.seal_state_root(block));
   return block;
 }
 

@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "chain/blockchain.hpp"
+#include "store/record_log.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
+#include "util/serialize.hpp"
 
 namespace sc::chain {
 namespace {
@@ -47,9 +49,13 @@ Transaction transfer(const crypto::KeyPair& from, const Address& to, Amount valu
   return tx;
 }
 
-Block make_block(const Hash256& parent_id, std::uint64_t height,
-                 std::uint64_t timestamp, std::uint64_t difficulty,
-                 const Address& miner, std::vector<Transaction> txs = {}) {
+/// `chain` executes the body against `parent_id`'s state to stamp the
+/// header's state_root (what an honest miner does); any chain that has seen
+/// the same blocks produces the same root.
+Block make_block(Blockchain& chain, const Hash256& parent_id,
+                 std::uint64_t height, std::uint64_t timestamp,
+                 std::uint64_t difficulty, const Address& miner,
+                 std::vector<Transaction> txs = {}) {
   Block block;
   block.header.height = height;
   block.header.prev_id = parent_id;
@@ -58,6 +64,7 @@ Block make_block(const Hash256& parent_id, std::uint64_t height,
   block.header.miner = miner;
   block.transactions = std::move(txs);
   block.seal_merkle_root();
+  EXPECT_TRUE(chain.seal_state_root(block));
   return block;
 }
 
@@ -82,7 +89,8 @@ std::vector<Hash256> grow(Blockchain& chain, Blockchain* also, int count,
     const std::uint64_t h = chain.best_height() + 1;
     std::vector<Transaction> txs;
     txs.push_back(transfer(alice, bob.address(), kEther / 100 + h, (*nonce)++));
-    Block block = make_block(chain.best_head(), h, h * 10, 1, miner.address(),
+    Block block = make_block(chain, chain.best_head(), h, h * 10, 1,
+                             miner.address(),
                              std::move(txs));
     std::string why;
     EXPECT_TRUE(chain.submit_block(block, &why, /*skip_pow=*/true)) << why;
@@ -184,7 +192,7 @@ TEST(StoreChain, ForkAndReorgSurviveReopen) {
   // Main branch: 5 empty difficulty-1 blocks by miner A.
   std::vector<Hash256> main_ids{durable.genesis_id()};
   for (std::uint64_t h = 1; h <= 5; ++h) {
-    Block b = make_block(main_ids.back(), h, h * 10, 1, miner_a.address());
+    Block b = make_block(durable, main_ids.back(), h, h * 10, 1, miner_a.address());
     submit_both(b);
     main_ids.push_back(b.id());
   }
@@ -192,13 +200,13 @@ TEST(StoreChain, ForkAndReorgSurviveReopen) {
   // equal cumulative difficulty must keep the first-seen head.
   std::vector<Hash256> fork_ids{main_ids[2]};
   for (std::uint64_t h = 3; h <= 5; ++h) {
-    Block b = make_block(fork_ids.back(), h, h * 10 + 1, 1, miner_b.address());
+    Block b = make_block(durable, fork_ids.back(), h, h * 10 + 1, 1, miner_b.address());
     submit_both(b);
     fork_ids.push_back(b.id());
   }
   EXPECT_EQ(durable.best_head(), main_ids[5]);
   // One heavier block on the fork wins fork choice — a 3-deep reorg.
-  Block heavy = make_block(fork_ids.back(), 6, 62, 2, miner_b.address());
+  Block heavy = make_block(durable, fork_ids.back(), 6, 62, 2, miner_b.address());
   submit_both(heavy);
   EXPECT_EQ(durable.best_head(), heavy.id());
   EXPECT_EQ(reference.best_head(), heavy.id());
@@ -265,11 +273,11 @@ TEST(StoreChain, CompactDropsFinalizedOrphans) {
   };
   // A height-1 orphan that loses fork choice immediately, then a long main
   // chain that finalizes past it.
-  Block orphan = make_block(durable.genesis_id(), 1, 11, 1, miner_b.address());
+  Block orphan = make_block(durable, durable.genesis_id(), 1, 11, 1, miner_b.address());
   submit_both(orphan);
   Hash256 parent = durable.genesis_id();
   for (std::uint64_t h = 1; h <= 12; ++h) {
-    Block b = make_block(parent, h, h * 10, 2, miner_a.address());
+    Block b = make_block(durable, parent, h, h * 10, 2, miner_a.address());
     submit_both(b);
     parent = b.id();
   }
@@ -316,6 +324,40 @@ TEST(StoreChain, SnapshotsStayOnDiskOnly) {
     ASSERT_NE(durable.state_of(id), nullptr);
     EXPECT_EQ(durable.state_of(id)->encode(), reference.state_of(id)->encode());
   }
+}
+
+TEST(StoreChain, OldFormatLogIsRejectedWithVersionError) {
+  // A pre-state-root (version 1) log must fail open() with a message naming
+  // both the found and the supported format — never a generic corruption
+  // report, and never a silent re-initialization of the directory.
+  TempDir dir;
+  const std::string store_dir = dir.sub("store");
+  std::filesystem::create_directory(store_dir);
+  const GenesisConfig genesis = test_genesis();
+  {
+    // Hand-write a v1 meta record: u8 kind(0x01) | u32 version(1) | genesis.
+    const Hash256 genesis_id = Blockchain(genesis).genesis_id();
+    auto opened =
+        store::RecordLog::open(store_dir + "/blocks.log", false, nullptr);
+    ASSERT_TRUE(opened.has_value() && opened->log);
+    util::Writer w;
+    w.u8(0x01);
+    w.u32(1);
+    w.raw(genesis_id.span());
+    ASSERT_TRUE(opened->log->append(std::move(w).take()).has_value());
+    ASSERT_TRUE(opened->log->sync());
+  }
+  Blockchain chain(genesis);
+  std::string why;
+  ASSERT_FALSE(chain.open(store_dir, {}, &why));
+  EXPECT_NE(why.find("unsupported store format version 1"), std::string::npos)
+      << why;
+  EXPECT_NE(why.find("version 2"), std::string::npos) << why;
+  EXPECT_FALSE(chain.persistent());
+  // The old log is left intact for offline migration: same failure on retry.
+  std::string again;
+  EXPECT_FALSE(Blockchain(genesis).open(store_dir, {}, &again));
+  EXPECT_EQ(again, why);
 }
 
 }  // namespace

@@ -71,6 +71,7 @@ std::vector<Block> build_sequence(const GenesisConfig& genesis, int count) {
     block.transactions.push_back(
         transfer(alice, bob.address(), kEther / 1000 + h, h - 1));
     block.seal_merkle_root();
+    EXPECT_TRUE(chain.seal_state_root(block));
     std::string why;
     EXPECT_TRUE(chain.submit_block(block, &why, /*skip_pow=*/true)) << why;
     blocks.push_back(block);

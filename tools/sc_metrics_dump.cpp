@@ -12,11 +12,19 @@
 //      latency histogram.
 //   3. A durable-chain round trip (write, clean close, reopen/replay,
 //      compact) in a scratch directory, populating the store_* families.
+//   4. A header-only light client requesting Merkle state proofs from a full
+//      node over the sim network — including a proof of absence and a
+//      tampered proof it must reject — populating the lightclient_proof_*
+//      counters.
 //
 // All phases are fully seeded, so with the same --seed the Prometheus text
 // is byte-identical across runs (the CI determinism gate; pow_* counters go
 // to the global sink and thus never pollute the local registry — and the
-// store phase's scratch path never appears in a metric).
+// store phase's scratch path never appears in a metric). The one family
+// whose SAMPLES are wall-clock (state_root_update_seconds, timed with a
+// real clock inside submit_block) is normalized before rendering: the
+// deterministic _count is kept, every bucket collapses to it and _sum is
+// zeroed, so the gate stays a plain byte-compare.
 //
 //   sc_metrics_dump [--seed N] [--duration SECONDS] [--prom PATH]
 //                   [--trace PATH] [--summary] [--check]
@@ -32,9 +40,12 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "chain/blockchain.hpp"
+#include "core/light_node.hpp"
 #include "core/node.hpp"
 #include "core/platform.hpp"
 #include "telemetry/export.hpp"
@@ -165,6 +176,83 @@ void run_store_phase(std::uint64_t seed, telemetry::Telemetry& tel) {
   std::filesystem::remove_all(dir, ec);
 }
 
+/// Phase 4: stateless verification over the network. One full node serves
+/// Merkle proofs at its head; a header-only client verifies a present
+/// account, an absent account, an absent storage slot, and then rejects a
+/// tampered copy of the first proof. Sim-time only — byte-stable counters.
+void run_lightclient_phase(std::uint64_t seed, telemetry::Telemetry& tel) {
+  util::Rng key_rng(0x11c7 + seed);
+  const auto funder = crypto::KeyPair::generate(key_rng);
+  const auto miner = crypto::KeyPair::generate(key_rng);
+  chain::GenesisConfig genesis{{{funder.address(), 100 * kEther}}, 0, 1};
+  genesis.execution.threads = 1;  // byte-stability, as in phase 1
+  sim::Simulator sim(seed);
+  sim::Network net(sim, {}, &tel);
+  core::ConsensusNode full(sim, net, genesis, "proof-server", /*honest=*/true,
+                           /*gate=*/nullptr, &tel);
+  const chain::BlockHeader genesis_header =
+      full.chain().block(full.chain().genesis_id())->header;
+  core::LightClientNode light(net, genesis_header, /*skip_pow=*/true, &tel);
+
+  for (int i = 0; i < 3; ++i) {
+    full.mine_and_broadcast(miner.address(), {});
+    sim.run_until(sim.now() + 10.0);  // deliver the block gossip
+  }
+
+  const chain::Address absent{};  // zero address: never funded, never mined to
+  light.request_account(full.network_id(), funder.address());
+  light.request_account(full.network_id(), absent);
+  light.request_storage(full.network_id(), absent, crypto::U256(7));
+  sim.run_until(sim.now() + 10.0);  // request + response round trips
+
+  // A forged balance must fail against the same header — the rejected
+  // counter is the proof the client actually checks, not just decodes.
+  if (!light.results().empty() && light.results().front().verified) {
+    chain::AccountProof forged = light.results().front().account;
+    forged.balance += 1;
+    light.client().verify_account(light.results().front().block_id, forged);
+  }
+}
+
+/// Collapses the named wall-clock histogram families to their deterministic
+/// shape: buckets := _count (every sample "instantaneous"), _sum := 0. The
+/// count token is copied verbatim from the family's _count line, so the
+/// rewrite can never introduce a formatting difference of its own.
+std::string normalize_wallclock_histograms(const std::string& prom) {
+  static constexpr const char* kWallClockFamilies[] = {
+      "state_root_update_seconds",
+  };
+  std::vector<std::string> lines;
+  std::istringstream in(prom);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  auto value_token = [](const std::string& line) {
+    const auto pos = line.rfind(' ');
+    return pos == std::string::npos ? std::string() : line.substr(pos + 1);
+  };
+  for (const char* family : kWallClockFamilies) {
+    const std::string count_prefix = std::string(family) + "_count";
+    const std::string bucket_prefix = std::string(family) + "_bucket";
+    const std::string sum_prefix = std::string(family) + "_sum";
+    std::string count;
+    for (const auto& line : lines)
+      if (line.rfind(count_prefix, 0) == 0) count = value_token(line);
+    if (count.empty()) continue;  // family absent from this run
+    for (auto& line : lines) {
+      if (line.rfind(bucket_prefix, 0) == 0)
+        line = line.substr(0, line.rfind(' ') + 1) + count;
+      else if (line.rfind(sum_prefix, 0) == 0)
+        line = line.substr(0, line.rfind(' ') + 1) + "0";
+    }
+  }
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
 /// True when the submit→confirmation histogram holds at least one sample.
 bool confirmation_histogram_populated(const telemetry::Registry& registry) {
   for (const auto& family : registry.snapshot()) {
@@ -231,8 +319,10 @@ int main(int argc, char** argv) {
   run_cluster_phase(seed, tel);
   run_platform_phase(seed, duration, tel);
   run_store_phase(seed, tel);
+  run_lightclient_phase(seed, tel);
 
-  const std::string prom = telemetry::to_prometheus(tel.registry);
+  const std::string prom =
+      normalize_wallclock_histograms(telemetry::to_prometheus(tel.registry));
   if (!prom_path.empty()) {
     if (!write_file(prom_path, prom)) return 2;
   }

@@ -10,12 +10,19 @@
 //   sc_store_inspect <dir>                  summary stats (default)
 //   sc_store_inspect <dir> --check          full integrity pass
 //   sc_store_inspect <dir> --export [PATH]  JSON-lines block dump (stdout
-//                                           when PATH omitted)
+//                                           when PATH omitted); includes each
+//                                           block's committed state_root
+//   sc_store_inspect <dir> --prove ADDR     reconstruct the best head's state
+//                                           (newest snapshot + delta replay),
+//                                           emit a Merkle account proof for
+//                                           ADDR (hex, 0x ok) and verify it
+//                                           offline against the header root
 //
 // Exit codes: 0 ok, 1 integrity violation found, 2 usage or I/O error.
 // --check decodes every block and delta, re-verifies linkage and Merkle
 // consistency, parses every snapshot, and confirms the journal tip is
 // either present in the log or flagged as a recovered-prefix artifact.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,9 +33,11 @@
 
 #include "chain/block.hpp"
 #include "chain/state.hpp"
+#include "chain/state_commitment.hpp"
 #include "chain/state_journal.hpp"
 #include "store/record_log.hpp"
 #include "store/wal.hpp"
+#include "util/hex.hpp"
 #include "util/serialize.hpp"
 
 namespace {
@@ -42,14 +51,16 @@ constexpr std::uint8_t kRecordBlock = 0x02;
 constexpr std::uint8_t kRecordIndex = 0x7F;
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: sc_store_inspect <dir> [--check | --export [PATH]]\n");
+  std::fprintf(
+      stderr,
+      "usage: sc_store_inspect <dir> [--check | --export [PATH] | --prove ADDR]\n");
   return 2;
 }
 
 struct BlockRow {
   crypto::Hash256 id;
   crypto::Hash256 prev;
+  crypto::Hash256 state_root;
   std::uint64_t height = 0;
   std::uint64_t difficulty = 0;
   std::size_t txs = 0;
@@ -60,6 +71,8 @@ struct BlockRow {
 struct LogView {
   std::optional<crypto::Hash256> genesis;
   std::vector<BlockRow> blocks;
+  /// Aligned with `blocks` when scan_log ran with keep_deltas (--prove).
+  std::vector<chain::StateDelta> deltas;
   bool had_footer = false;
   bool torn_tail = false;
   std::uint64_t truncated_bytes = 0;
@@ -70,8 +83,11 @@ struct LogView {
 };
 
 /// Scans blocks.log. `deep` fully decodes every record (--check); the
-/// default only peeks headers.
-std::optional<LogView> scan_log(const std::string& path, bool deep) {
+/// default only peeks headers. `keep_deltas` retains every decoded delta
+/// (aligned with blocks) for state replay — --prove needs them, --check
+/// does not.
+std::optional<LogView> scan_log(const std::string& path, bool deep,
+                                bool keep_deltas = false) {
   auto opened = store::RecordLog::open_read_only(path, nullptr);
   if (!opened || !opened->log) return std::nullopt;
   LogView view;
@@ -120,10 +136,12 @@ std::optional<LogView> scan_log(const std::string& path, bool deep) {
       }
       row.id = block->id();
       row.prev = block->header.prev_id;
+      row.state_root = block->header.state_root;
       row.height = block->header.height;
       row.difficulty = block->header.difficulty;
       row.txs = block->transactions.size();
       row.delta_accounts = delta->account_count();
+      if (keep_deltas) view.deltas.push_back(std::move(*delta));
       if (!block->merkle_consistent()) ++view.merkle_bad;
       if (row.height > 0) {
         const auto parent = heights.find(row.prev);
@@ -146,6 +164,7 @@ std::optional<LogView> scan_log(const std::string& path, bool deep) {
       }
       row.id = header->id();
       row.prev = header->prev_id;
+      row.state_root = header->state_root;
       row.height = header->height;
       row.difficulty = header->difficulty;
     }
@@ -309,10 +328,12 @@ int run_export(const LogView& view, const std::string& out_path) {
   for (const auto& row : view.blocks) {
     std::fprintf(out,
                  "{\"height\":%llu,\"id\":\"%s\",\"prev\":\"%s\","
+                 "\"state_root\":\"%s\","
                  "\"difficulty\":%llu,\"txs\":%zu,\"delta_accounts\":%zu,"
                  "\"record_bytes\":%zu}\n",
                  static_cast<unsigned long long>(row.height),
                  row.id.hex().c_str(), row.prev.hex().c_str(),
+                 row.state_root.hex().c_str(),
                  static_cast<unsigned long long>(row.difficulty), row.txs,
                  row.delta_accounts, row.record_bytes);
   }
@@ -320,13 +341,164 @@ int run_export(const LogView& view, const std::string& out_path) {
   return 0;
 }
 
+// -- --prove: offline account proofs against the reconstructed best head ----
+
+std::optional<chain::Address> parse_address(std::string arg) {
+  if (arg.rfind("0x", 0) == 0 || arg.rfind("0X", 0) == 0) arg = arg.substr(2);
+  const auto bytes = util::from_hex(arg);
+  if (!bytes || bytes->size() != 20) return std::nullopt;
+  return chain::Address::from_span(*bytes);
+}
+
+struct LoadedSnapshot {
+  std::uint64_t height = 0;
+  crypto::Hash256 id;
+  chain::WorldState state;
+};
+
+std::optional<LoadedSnapshot> load_snapshot(const std::string& path) {
+  auto opened = store::RecordLog::open_read_only(path, nullptr);
+  if (!opened || !opened->log) return std::nullopt;
+  std::optional<LoadedSnapshot> out;
+  opened->log->scan([&](std::uint64_t, util::Bytes payload) {
+    util::Reader r(payload);
+    const auto height = r.u64();
+    const auto id = r.raw(32);
+    const auto state_bytes = r.bytes_bounded(r.remaining());
+    if (height && id && state_bytes && r.empty()) {
+      auto state = chain::WorldState::decode(*state_bytes);
+      if (state) {
+        out = LoadedSnapshot{*height, crypto::Hash256::from_span(*id),
+                             std::move(*state)};
+      }
+    }
+    return false;
+  });
+  return out;
+}
+
+/// Rebuilds the best head's WorldState the same way Blockchain::open does —
+/// newest on-chain snapshot plus delta replay — then commits it to a Merkle
+/// trie and emits an account proof that verifies OFFLINE against the head
+/// header's state_root (no chain process, no trust in this tool's replay:
+/// a replay bug surfaces as a root mismatch, not a bogus "verified").
+int run_prove(const std::string& dir, const LogView& view,
+              const chain::Address& addr) {
+  if (!view.genesis) {
+    std::fprintf(stderr, "sc_store_inspect: meta record missing or corrupt\n");
+    return 1;
+  }
+  // Heaviest-chain fork choice over the decoded log, exactly as a node would.
+  std::map<crypto::Hash256, std::size_t> by_id;
+  std::vector<std::size_t> order(view.blocks.size());
+  for (std::size_t i = 0; i < view.blocks.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return view.blocks[a].height < view.blocks[b].height;
+  });
+  std::map<crypto::Hash256, unsigned long long> cum;
+  crypto::Hash256 best = *view.genesis;
+  unsigned long long best_cum = 0;
+  for (const std::size_t i : order) {
+    const BlockRow& row = view.blocks[i];
+    unsigned long long parent_cum = 0;
+    if (!(row.height == 1 && row.prev == *view.genesis)) {
+      const auto it = cum.find(row.prev);
+      if (it == cum.end()) continue;  // unlinked side branch
+      parent_cum = it->second;
+    }
+    const unsigned long long c =
+        parent_cum + std::max<std::uint64_t>(1, row.difficulty);
+    by_id[row.id] = i;
+    cum[row.id] = c;
+    if (c > best_cum || (c == best_cum && row.id < best)) {
+      best = row.id;
+      best_cum = c;
+    }
+  }
+  std::map<std::uint64_t, std::size_t> path;  // canonical height -> block index
+  for (crypto::Hash256 cursor = best; by_id.contains(cursor);) {
+    const std::size_t i = by_id.at(cursor);
+    path[view.blocks[i].height] = i;
+    cursor = view.blocks[i].prev;
+  }
+
+  // Newest snapshot that sits ON the canonical path (the genesis snapshot at
+  // height 0 always qualifies).
+  std::optional<LoadedSnapshot> snap;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snap_", 0) != 0 || entry.path().extension() != ".snap")
+      continue;
+    auto loaded = load_snapshot(entry.path().string());
+    if (!loaded) continue;
+    const bool on_path =
+        loaded->height == 0
+            ? loaded->id == *view.genesis
+            : path.contains(loaded->height) &&
+                  view.blocks.at(path.at(loaded->height)).id == loaded->id;
+    if (on_path && (!snap || loaded->height > snap->height))
+      snap = std::move(loaded);
+  }
+  if (!snap) {
+    std::fprintf(stderr,
+                 "sc_store_inspect: no usable snapshot on the canonical chain\n");
+    return 1;
+  }
+
+  chain::WorldState state = std::move(snap->state);
+  const std::uint64_t head_height = path.empty() ? 0 : path.rbegin()->first;
+  for (std::uint64_t h = snap->height + 1; h <= head_height; ++h) {
+    const auto it = path.find(h);
+    if (it == path.end() || it->second >= view.deltas.size()) {
+      std::fprintf(stderr,
+                   "sc_store_inspect: canonical chain has a gap at height %llu\n",
+                   static_cast<unsigned long long>(h));
+      return 1;
+    }
+    view.deltas[it->second].apply(state);
+  }
+
+  chain::StateCommitment commitment;
+  commitment.rebuild(state);
+  // Cross-check the replayed state against the committed header root; the
+  // genesis-only store has no header in the log, so nothing to compare then.
+  if (!path.empty()) {
+    const crypto::Hash256& committed =
+        view.blocks.at(path.rbegin()->second).state_root;
+    if (commitment.root() != committed) {
+      std::fprintf(stderr,
+                   "sc_store_inspect: replayed state root %s does not match "
+                   "header state_root %s at height %llu\n",
+                   commitment.root().hex().c_str(), committed.hex().c_str(),
+                   static_cast<unsigned long long>(head_height));
+      return 1;
+    }
+  }
+
+  const chain::AccountProof proof = commitment.prove_account(addr, state);
+  const bool verified = proof.verify(commitment.root());
+  std::printf("{\"height\":%llu,\"block\":\"%s\",\"state_root\":\"%s\","
+              "\"address\":\"%s\",\"exists\":%s,\"balance\":%llu,"
+              "\"nonce\":%llu,\"proof\":\"%s\",\"verified\":%s}\n",
+              static_cast<unsigned long long>(head_height), best.hex().c_str(),
+              commitment.root().hex().c_str(), addr.hex().c_str(),
+              proof.exists ? "true" : "false",
+              static_cast<unsigned long long>(proof.balance),
+              static_cast<unsigned long long>(proof.nonce),
+              util::to_hex(proof.encode()).c_str(),
+              verified ? "true" : "false");
+  return verified ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string dir = argv[1];
-  enum class Mode { kStats, kCheck, kExport } mode = Mode::kStats;
+  enum class Mode { kStats, kCheck, kExport, kProve } mode = Mode::kStats;
   std::string export_path;
+  std::optional<chain::Address> prove_addr;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--check") {
@@ -334,6 +506,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--export") {
       mode = Mode::kExport;
       if (i + 1 < argc && argv[i + 1][0] != '-') export_path = argv[++i];
+    } else if (arg == "--prove") {
+      mode = Mode::kProve;
+      if (i + 1 >= argc || !(prove_addr = parse_address(argv[++i]))) {
+        std::fprintf(stderr,
+                     "sc_store_inspect: --prove needs a 20-byte hex address\n");
+        return 2;
+      }
     } else {
       return usage();
     }
@@ -344,7 +523,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool deep = mode != Mode::kStats;
-  const auto view = scan_log(dir + "/blocks.log", deep);
+  const auto view =
+      scan_log(dir + "/blocks.log", deep, /*keep_deltas=*/mode == Mode::kProve);
   if (!view) {
     std::fprintf(stderr, "sc_store_inspect: cannot open %s/blocks.log\n",
                  dir.c_str());
@@ -357,6 +537,8 @@ int main(int argc, char** argv) {
       return run_check(dir, *view);
     case Mode::kExport:
       return run_export(*view, export_path);
+    case Mode::kProve:
+      return run_prove(dir, *view, *prove_addr);
   }
   return 2;
 }
